@@ -1,0 +1,168 @@
+// Command hpa-report regenerates the paper's tables and figures and prints
+// them as text, with the paper's reference values alongside for shape
+// comparison.
+//
+// Usage:
+//
+//	hpa-report [-exp all|table1|fig1|fig2|fig3|fig4|weka]
+//	           [-scale F | -mix-scale F -nsf-scale F] [-full]
+//	           [-mode auto|sim|real] [-threads 1,2,4,8,12,16,20]
+//	           [-k 8] [-seed 1] [-v]
+//
+// By default corpora are scaled down so the full report takes seconds;
+// -full runs the paper's exact Table 1 sizes (several minutes, and the
+// Figure 4 hash configuration allocates multiple GB by design).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hpa/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig1, fig2, fig3, fig4, weka, ablation")
+		scale    = flag.Float64("scale", 0, "scale both corpora by this factor (overrides defaults)")
+		mixScale = flag.Float64("mix-scale", 0, "scale the Mix corpus")
+		nsfScale = flag.Float64("nsf-scale", 0, "scale the NSF Abstracts corpus")
+		full     = flag.Bool("full", false, "run at the paper's full Table 1 scale")
+		mode     = flag.String("mode", "auto", "thread sweep mode: auto, sim, real")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,12,16,20)")
+		k        = flag.Int("k", 8, "number of clusters")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		repeats  = flag.Int("repeats", 0, "trace-recording repetitions, fastest kept (0 = default 3)")
+		verbose  = flag.Bool("v", false, "progress output on stderr")
+		csvDir   = flag.String("csv", "", "also write <exp>.csv files with the figure data to this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	if *scale > 0 {
+		cfg.MixScale, cfg.NSFScale = *scale, *scale
+	}
+	if *mixScale > 0 {
+		cfg.MixScale = *mixScale
+	}
+	if *nsfScale > 0 {
+		cfg.NSFScale = *nsfScale
+	}
+	cfg.K = *k
+	cfg.Seed = *seed
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	if *verbose {
+		cfg.Verbose = os.Stderr
+	}
+	switch *mode {
+	case "auto":
+		cfg.Mode = experiments.Auto
+	case "sim":
+		cfg.Mode = experiments.Sim
+	case "real":
+		cfg.Mode = experiments.Real
+	default:
+		fatalf("unknown -mode %q", *mode)
+	}
+	if *threads != "" {
+		cfg.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatalf("bad -threads entry %q", part)
+			}
+			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+
+	run := func(name string) {
+		out, csv, err := runExperiment(name, cfg)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		if *csvDir != "" && csv != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatalf("%v", err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	switch *exp {
+	case "all":
+		for _, name := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "weka", "ablation"} {
+			run(name)
+			fmt.Println(strings.Repeat("=", 78))
+		}
+	case "table1", "fig1", "fig2", "fig3", "fig4", "weka", "ablation":
+		run(*exp)
+	default:
+		fatalf("unknown -exp %q", *exp)
+	}
+}
+
+func runExperiment(name string, cfg experiments.Config) (string, string, error) {
+	switch name {
+	case "table1":
+		r, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "fig1":
+		r, err := experiments.RunFig1(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "fig2":
+		r, err := experiments.RunFig2(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "fig3":
+		r, err := experiments.RunFig3(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "fig4":
+		r, err := experiments.RunFig4(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "weka":
+		r, err := experiments.RunWeka(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	case "ablation":
+		r, err := experiments.RunAblation(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return r.Render(), r.CSV(), nil
+	}
+	return "", "", fmt.Errorf("unknown experiment %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hpa-report: "+format+"\n", args...)
+	os.Exit(2)
+}

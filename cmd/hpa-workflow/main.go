@@ -1,0 +1,157 @@
+// Command hpa-workflow runs the paper's TF/IDF→K-Means workflow over a
+// corpus directory, either discrete (operators communicate through an ARFF
+// file on disk) or merged (fused, in-memory), and prints the phase
+// breakdown of Figures 3 and 4.
+//
+// Usage:
+//
+//	hpa-workflow -in CORPUSDIR [-mode merged|discrete] [-threads N]
+//	             [-dict map|u-map|map-arena] [-presize 0] [-k 8] [-seed 1]
+//	             [-scratch DIR] [-disksim off|hdd] [-sweep 1,4,8,12,16]
+//
+// With -sweep, the workflow runs once per thread count and prints a
+// Figure 3-style table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"hpa/internal/corpus"
+	"hpa/internal/dict"
+	"hpa/internal/kmeans"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/tfidf"
+	"hpa/internal/workflow"
+)
+
+var phaseOrder = []string{
+	tfidf.PhaseInputWC, tfidf.PhaseOutput, "kmeans-input",
+	tfidf.PhaseTransform, kmeans.PhaseKMeans, workflow.PhaseOutput,
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "corpus directory (required)")
+		mode     = flag.String("mode", "merged", "workflow mode: merged or discrete")
+		threads  = flag.Int("threads", runtime.NumCPU(), "worker threads")
+		dictKind = flag.String("dict", "map-arena", "dictionary: map, u-map, map-arena")
+		presize  = flag.Int("presize", 0, "per-document dictionary presize")
+		k        = flag.Int("k", 8, "number of clusters")
+		seed     = flag.Uint64("seed", 1, "seeding RNG")
+		scratch  = flag.String("scratch", "", "scratch directory (default: temp)")
+		diskSim  = flag.String("disksim", "off", "storage model: off or hdd")
+		sweep    = flag.String("sweep", "", "comma-separated thread counts for a Figure 3-style sweep")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hpa-workflow: -in is required")
+		os.Exit(2)
+	}
+	var wmode workflow.Mode
+	switch *mode {
+	case "merged":
+		wmode = workflow.Merged
+	case "discrete":
+		wmode = workflow.Discrete
+	default:
+		fmt.Fprintf(os.Stderr, "hpa-workflow: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	kind := dict.Tree
+	switch *dictKind {
+	case "map":
+		kind = dict.NodeTree
+	case "u-map", "umap":
+		kind = dict.Hash
+	case "map-arena", "arena":
+		kind = dict.Tree
+	default:
+		fmt.Fprintf(os.Stderr, "hpa-workflow: unknown -dict %q\n", *dictKind)
+		os.Exit(2)
+	}
+
+	scratchDir := *scratch
+	if scratchDir == "" {
+		dir, err := os.MkdirTemp("", "hpa-workflow-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		scratchDir = dir
+	}
+
+	cfg := workflow.TFKMConfig{
+		Mode: wmode,
+		TFIDF: tfidf.Options{
+			DictKind:   kind,
+			DocPresize: *presize,
+			Normalize:  true,
+		},
+		KMeans: kmeans.Options{K: *k, Seed: *seed},
+	}
+
+	threadList := []int{*threads}
+	if *sweep != "" {
+		threadList = nil
+		for _, part := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "hpa-workflow: bad -sweep entry %q\n", part)
+				os.Exit(2)
+			}
+			threadList = append(threadList, n)
+		}
+	}
+
+	header := append([]string{"Threads", "Mode", "Dict"}, phaseOrder...)
+	header = append(header, "total")
+	table := metrics.NewTable(header...)
+
+	for _, n := range threadList {
+		var disk *pario.DiskSim
+		if *diskSim == "hdd" {
+			disk = pario.HDD2016()
+		}
+		src, err := corpus.OpenDir(*in, disk)
+		if err != nil {
+			fatal(err)
+		}
+		pool := par.NewPool(n)
+		ctx := workflow.NewContext(pool)
+		ctx.ScratchDir = scratchDir
+		ctx.Disk = disk
+		rep, err := workflow.RunTFKM(src, ctx, cfg)
+		pool.Close()
+		if err != nil {
+			fatal(err)
+		}
+		row := []string{fmt.Sprintf("%d", n), wmode.String(), kind.String()}
+		for _, ph := range phaseOrder {
+			if d := rep.Breakdown.Get(ph); d > 0 {
+				row = append(row, metrics.FormatDuration(d))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, metrics.FormatDuration(rep.Breakdown.Total()))
+		table.AddRow(row...)
+
+		if len(threadList) == 1 {
+			fmt.Fprintf(os.Stderr, "clusters: %v\n", rep.Clustering.Result.Counts)
+			fmt.Fprintf(os.Stderr, "dictionary footprint: %s\n", metrics.FormatBytes(rep.DictFootprint))
+		}
+	}
+	fmt.Print(table.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hpa-workflow: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Labeling: full text-analytics pipeline with preprocessing — stopword
+// filtering and Porter stemming shrink the vocabulary before TF/IDF, the
+// fused workflow clusters the documents, and each cluster is labeled with
+// its heaviest centroid terms. Demonstrates the preprocessing options and
+// the clustering-quality API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hpa"
+)
+
+func main() {
+	pool := hpa.NewPool(4)
+	defer pool.Close()
+
+	corpus := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.02), pool)
+
+	// Vectorize twice: raw, and with stopwords+stemming, to show the
+	// vocabulary shrink.
+	raw, err := hpa.TFIDF(corpus.Source(nil), pool, hpa.TFIDFOptions{
+		DictKind:  hpa.TreeDict,
+		Normalize: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stemmed, err := hpa.TFIDF(corpus.Source(nil), pool, hpa.TFIDFOptions{
+		DictKind:   hpa.TreeDict,
+		Normalize:  true,
+		Stem:       true,
+		MinWordLen: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vocabulary: %d raw terms -> %d stemmed terms (%.1f%% smaller)\n",
+		raw.Dim(), stemmed.Dim(), 100*(1-float64(stemmed.Dim())/float64(raw.Dim())))
+
+	// Cluster the stemmed vectors and label the clusters.
+	km, err := hpa.KMeans(stemmed.Vectors, stemmed.Dim(), pool, hpa.KMeansOptions{K: 6, Seed: 123})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d documents into %d clusters (%d iterations)\n\n",
+		len(stemmed.Vectors), len(km.Counts), km.Iterations)
+
+	top := km.TopTerms(6)
+	for j := range km.Counts {
+		words := make([]string, 0, len(top[j]))
+		for _, id := range top[j] {
+			words = append(words, stemmed.Terms[id])
+		}
+		fmt.Printf("cluster %d (%4d docs): %s\n", j, km.Counts[j], strings.Join(words, ", "))
+	}
+}

@@ -1,0 +1,253 @@
+// Package hpa is a high-performance analytics library for single-node
+// (intra-node) parallel data analytics, reproducing the system described in
+// Vandierendonck et al., "Operator and Workflow Optimization for
+// High-Performance Analytics" (MEDAL/EDBT 2016).
+//
+// The library provides:
+//
+//   - analytics operators: TF/IDF text vectorization and K-Means
+//     clustering, both parallelized over a Cilk-style work-stealing pool;
+//   - a workflow engine in which operators either communicate through
+//     ARFF files on disk or are fused into a single in-memory pipeline;
+//   - selectable dictionary data structures (red-black tree vs hash
+//     table) whose trade-offs differ per workflow phase;
+//   - parallel file input with an optional storage-device simulator;
+//   - synthetic corpus generation calibrated to the paper's datasets;
+//   - a virtual-time scheduler simulator for thread-scaling experiments
+//     on machines with fewer cores than the sweep.
+//
+// # Quick start
+//
+//	pool := hpa.NewPool(8)
+//	defer pool.Close()
+//	corpus := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.05), pool)
+//	ctx := hpa.NewWorkflowContext(pool)
+//	ctx.ScratchDir = os.TempDir()
+//	report, err := hpa.RunTFIDFKMeans(corpus.Source(nil), ctx, hpa.TFKMConfig{
+//	    Mode:   hpa.Merged,
+//	    TFIDF:  hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true},
+//	    KMeans: hpa.KMeansOptions{K: 8},
+//	})
+//
+// The subpackages under internal/ implement the pieces; this package is the
+// supported surface.
+package hpa
+
+import (
+	"hpa/internal/corpus"
+	"hpa/internal/dict"
+	"hpa/internal/kmeans"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/simsearch"
+	"hpa/internal/sparse"
+	"hpa/internal/text"
+	"hpa/internal/tfidf"
+	"hpa/internal/workflow"
+)
+
+// Pool is a fixed-size work-stealing worker pool providing intra-node
+// parallelism to all operators. See NewPool.
+type Pool = par.Pool
+
+// NewPool creates a pool with n workers. Close it when done.
+func NewPool(n int) *Pool { return par.NewPool(n) }
+
+// DefaultPool returns a process-wide pool sized to the host's CPUs.
+func DefaultPool() *Pool { return par.Default() }
+
+// Vector is a sparse numeric vector (sorted indices, non-zero values).
+type Vector = sparse.Vector
+
+// Corpus is an in-memory document collection.
+type Corpus = corpus.Corpus
+
+// CorpusSpec describes a synthetic corpus to generate.
+type CorpusSpec = corpus.Spec
+
+// CorpusStats summarizes a corpus (Table 1's columns).
+type CorpusStats = corpus.Stats
+
+// MixSpec returns the paper's "Mix" dataset specification (23,432
+// documents, 62.8 MB, 184,743 distinct words).
+func MixSpec() CorpusSpec { return corpus.Mix() }
+
+// NSFAbstractsSpec returns the paper's "NSF Abstracts" dataset
+// specification (101,483 documents, 310.9 MB, 267,914 distinct words).
+func NSFAbstractsSpec() CorpusSpec { return corpus.NSFAbstracts() }
+
+// GenerateCorpus synthesizes a corpus matching the spec; pass a pool for
+// parallel generation or nil for sequential.
+func GenerateCorpus(spec CorpusSpec, pool *Pool) *Corpus {
+	return corpus.Generate(spec, pool)
+}
+
+// LoadCorpusDir loads a corpus previously written with Corpus.WriteDir.
+func LoadCorpusDir(dir string, parallelism int) (*Corpus, error) {
+	return corpus.LoadDir(dir, parallelism)
+}
+
+// Source yields named documents to the TF/IDF operator.
+type Source = pario.Source
+
+// FileSource reads documents from filesystem paths.
+type FileSource = pario.FileSource
+
+// MemSource serves documents from memory.
+type MemSource = pario.MemSource
+
+// DiskSim models a storage device (throughput cap + per-open latency).
+type DiskSim = pario.DiskSim
+
+// HDD2016 returns a disk model matching the paper's testbed class.
+func HDD2016() *DiskSim { return pario.HDD2016() }
+
+// DictKind selects a dictionary implementation for TF/IDF.
+type DictKind = dict.Kind
+
+// Dictionary kinds. TreeDict is the library default: a red-black tree over
+// an arena (fast, compact). HashDict is the chained hash table analogous to
+// the paper's std::unordered_map. NodeTreeDict is the node-per-allocation
+// red-black tree matching std::map's cost profile, kept for the Figure 4
+// experiment and as an ablation point.
+const (
+	TreeDict     = dict.Tree
+	HashDict     = dict.Hash
+	NodeTreeDict = dict.NodeTree
+)
+
+// TFIDFOptions configures the TF/IDF operator.
+type TFIDFOptions = tfidf.Options
+
+// TFIDFResult is the TF/IDF operator output.
+type TFIDFResult = tfidf.Result
+
+// TFIDF runs the TF/IDF operator over a document source.
+func TFIDF(src Source, pool *Pool, opts TFIDFOptions) (*TFIDFResult, error) {
+	return tfidf.Run(src, pool, opts, nil)
+}
+
+// TFIDFInto is TFIDF with phase times accumulated into bd (the "input+wc"
+// and "transform" phases of the paper's figures).
+func TFIDFInto(src Source, pool *Pool, opts TFIDFOptions, bd *Breakdown) (*TFIDFResult, error) {
+	return tfidf.Run(src, pool, opts, bd)
+}
+
+// NewBreakdown returns an empty per-phase time accumulator.
+func NewBreakdown() *Breakdown { return metrics.NewBreakdown() }
+
+// KMeansOptions configures the K-Means operator.
+type KMeansOptions = kmeans.Options
+
+// KMeansResult is the K-Means operator output.
+type KMeansResult = kmeans.Result
+
+// KMeans clusters sparse vectors of the given dimensionality into
+// opts.K clusters.
+func KMeans(docs []Vector, dim int, pool *Pool, opts KMeansOptions) (*KMeansResult, error) {
+	return kmeans.Run(docs, dim, pool, opts, nil)
+}
+
+// SimpleKMeans is the WEKA-analogue dense, single-threaded baseline.
+type SimpleKMeans = kmeans.SimpleKMeans
+
+// Breakdown accumulates per-phase wall-clock times.
+type Breakdown = metrics.Breakdown
+
+// Workflow engine surface.
+type (
+	// WorkflowContext carries pool, device model, metrics and scratch
+	// space through a pipeline run.
+	WorkflowContext = workflow.Context
+	// Pipeline is a linear operator chain.
+	Pipeline = workflow.Pipeline
+	// Operator is one workflow stage.
+	Operator = workflow.Operator
+	// TFKMConfig configures the TF/IDF→K-Means workflow.
+	TFKMConfig = workflow.TFKMConfig
+	// TFKMReport is the workflow outcome with its phase breakdown.
+	TFKMReport = workflow.TFKMReport
+	// WorkflowMode selects discrete or merged execution.
+	WorkflowMode = workflow.Mode
+	// Clustering pairs K-Means output with document names.
+	Clustering = workflow.Clustering
+)
+
+// Workflow modes (Figure 3's two variants).
+const (
+	Discrete = workflow.Discrete
+	Merged   = workflow.Merged
+)
+
+// Built-in operators, for assembling custom pipelines with NewPipeline.
+type (
+	// TFIDFOp vectorizes a document source.
+	TFIDFOp = workflow.TFIDFOp
+	// KMeansOp clusters a matrix or TF/IDF result.
+	KMeansOp = workflow.KMeansOp
+	// MaterializeARFF writes the intermediate matrix to disk.
+	MaterializeARFF = workflow.MaterializeARFF
+	// LoadARFF reads a materialized matrix back.
+	LoadARFF = workflow.LoadARFF
+	// WriteAssignments writes the final cluster assignments.
+	WriteAssignments = workflow.WriteAssignments
+	// WordCountOp computes corpus-wide word frequencies.
+	WordCountOp = workflow.WordCountOp
+	// WordCounts is WordCountOp's output.
+	WordCounts = workflow.WordCounts
+	// WriteWordCounts writes word frequencies as TSV.
+	WriteWordCounts = workflow.WriteWordCounts
+	// Matrix is the in-memory term-document dataset between operators.
+	Matrix = workflow.Matrix
+)
+
+// NewPipeline builds a pipeline from operators in execution order.
+func NewPipeline(ops ...Operator) *Pipeline { return workflow.NewPipeline(ops...) }
+
+// Stopwords returns the built-in English stopword set for TFIDFOptions.
+func Stopwords() *text.StopwordSet { return text.English() }
+
+// PorterStem stems a lowercase word in place (see internal/text).
+func PorterStem(word []byte) []byte { return text.PorterStem(word) }
+
+// NewWorkflowContext returns a context with an empty breakdown.
+func NewWorkflowContext(pool *Pool) *WorkflowContext { return workflow.NewContext(pool) }
+
+// RunTFIDFKMeans executes the paper's TF/IDF→K-Means workflow.
+func RunTFIDFKMeans(src Source, ctx *WorkflowContext, cfg TFKMConfig) (*TFKMReport, error) {
+	return workflow.RunTFKM(src, ctx, cfg)
+}
+
+// FusePipeline removes adjacent materialize/load operator pairs — the
+// paper's workflow-fusion optimization as a graph transform.
+func FusePipeline(p *Pipeline) *Pipeline { return workflow.Fuse(p) }
+
+// NewTFKMPipeline constructs the TF/IDF→K-Means pipeline for the config;
+// Merged mode returns the fused plan.
+func NewTFKMPipeline(cfg TFKMConfig) *Pipeline { return workflow.TFKMPipeline(cfg) }
+
+// Similarity search (cosine top-k retrieval over TF/IDF vectors).
+type (
+	// SearchIndex is an inverted index over a vector collection.
+	SearchIndex = simsearch.Index
+	// Searcher runs allocation-free top-k queries against a SearchIndex.
+	Searcher = simsearch.Searcher
+	// Match is one search result (document index + cosine score).
+	Match = simsearch.Match
+)
+
+// BuildSearchIndex constructs an inverted index over document vectors of
+// the given dimensionality; pass a pool for parallel construction.
+func BuildSearchIndex(vectors []Vector, dim int, pool *Pool) (*SearchIndex, error) {
+	return simsearch.Build(vectors, dim, pool)
+}
+
+// NewSearcher creates a query context over the index (one per goroutine).
+func NewSearcher(ix *SearchIndex) *Searcher { return simsearch.NewSearcher(ix) }
+
+// BruteForceTopK is the O(n·nnz) reference scan, for verification and
+// small collections.
+func BruteForceTopK(vectors []Vector, query *Vector, k int) []Match {
+	return simsearch.BruteForceTopK(vectors, query, k)
+}

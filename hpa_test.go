@@ -1,0 +1,134 @@
+package hpa_test
+
+// Integration tests of the public API surface: everything a downstream
+// user touches, exercised together.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpa"
+)
+
+func TestPublicEndToEndMerged(t *testing.T) {
+	pool := hpa.NewPool(2)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.003), pool)
+	if c.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	ctx := hpa.NewWorkflowContext(pool)
+	ctx.ScratchDir = t.TempDir()
+	rep, err := hpa.RunTFIDFKMeans(c.Source(nil), ctx, hpa.TFKMConfig{
+		Mode:   hpa.Merged,
+		TFIDF:  hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true},
+		KMeans: hpa.KMeansOptions{K: 4, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Clustering.Result
+	if len(res.Assign) != c.Len() {
+		t.Fatalf("%d assignments for %d docs", len(res.Assign), c.Len())
+	}
+	var n int64
+	for _, s := range res.Counts {
+		n += s
+	}
+	if n != int64(c.Len()) {
+		t.Fatalf("cluster sizes sum to %d", n)
+	}
+	if rep.Breakdown.Total() == 0 {
+		t.Fatal("no phases timed")
+	}
+}
+
+func TestPublicOperatorsSeparately(t *testing.T) {
+	pool := hpa.NewPool(2)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.NSFAbstractsSpec().Scaled(0.001), pool)
+	tf, err := hpa.TFIDF(c.Source(nil), pool, hpa.TFIDFOptions{
+		DictKind:  hpa.HashDict,
+		Normalize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Dim() == 0 || len(tf.Vectors) != c.Len() {
+		t.Fatalf("tfidf: %d terms, %d vectors", tf.Dim(), len(tf.Vectors))
+	}
+	km, err := hpa.KMeans(tf.Vectors, tf.Dim(), pool, hpa.KMeansOptions{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(km.Centroids) != 3 {
+		t.Fatalf("%d centroids", len(km.Centroids))
+	}
+}
+
+func TestPublicCorpusDiskRoundTrip(t *testing.T) {
+	pool := hpa.NewPool(2)
+	defer pool.Close()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.001), pool)
+	if err := c.WriteDir(dir, 64); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hpa.LoadCorpusDir(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != c.Len() || loaded.Bytes() != c.Bytes() {
+		t.Fatalf("round trip: %d/%d docs, %d/%d bytes",
+			loaded.Len(), c.Len(), loaded.Bytes(), c.Bytes())
+	}
+}
+
+func TestPublicBaselineAgreesWithOptimized(t *testing.T) {
+	pool := hpa.NewPool(1)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.002), pool)
+	tf, err := hpa.TFIDF(c.Source(nil), pool, hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hpa.KMeansOptions{K: 5, Seed: 9}
+	fast, err := hpa.KMeans(tf.Vectors, tf.Dim(), pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([][]float64, len(tf.Vectors))
+	for i := range dense {
+		dense[i] = tf.Vectors[i].ToDense(tf.Dim())
+	}
+	base := &hpa.SimpleKMeans{Instances: dense, Opts: opts}
+	slow, err := base.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Inertia-slow.Inertia) > 1e-6*(1+slow.Inertia) {
+		t.Fatalf("inertia %v vs %v", fast.Inertia, slow.Inertia)
+	}
+}
+
+func TestPublicFusePipeline(t *testing.T) {
+	p := hpa.NewTFKMPipeline(hpa.TFKMConfig{Mode: hpa.Discrete})
+	fused := hpa.FusePipeline(p)
+	if len(fused.Ops) >= len(p.Ops) {
+		t.Fatalf("fusion removed nothing: %d -> %d ops", len(p.Ops), len(fused.Ops))
+	}
+}
+
+func TestPublicDiskSimThrottles(t *testing.T) {
+	disk := hpa.HDD2016()
+	src := &hpa.MemSource{Docs: [][]byte{[]byte("hello world")}, Disk: disk}
+	if _, err := src.Read(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,68 @@
+// Package arff reads and writes WEKA's Attribute-Relation File Format, the
+// intermediate format of the paper's discrete TF/IDF→K-Means workflow. The
+// paper stores per-document TF/IDF score vectors as sparse ARFF instances
+// and observes that the format "does not facilitate parallel output": rows
+// are sequentially numbered text records in one file, so both the writer
+// and the reader here are deliberately sequential, exactly like the
+// single-threaded tfidf-output and kmeans-input phases of Figure 3.
+package arff
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Header describes an ARFF relation: its name and its (numeric) attributes.
+// The TF/IDF operator uses one attribute per vocabulary term, so attribute
+// counts in the hundreds of thousands are the norm rather than the
+// exception.
+type Header struct {
+	// Relation is the @RELATION name.
+	Relation string
+	// Attributes holds the @ATTRIBUTE names in column order; every
+	// attribute is NUMERIC.
+	Attributes []string
+}
+
+// ErrFormat reports malformed ARFF input.
+var ErrFormat = errors.New("arff: format error")
+
+// quoteName quotes an attribute or relation name if it contains characters
+// that would break tokenization (whitespace, braces, commas, quotes, or a
+// leading %).
+func quoteName(name string) string {
+	if name == "" {
+		return "''"
+	}
+	if !strings.ContainsAny(name, " \t{},'\"%\\") {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '\'' || c == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+// unquoteName reverses quoteName given a token that starts with a quote.
+func unquoteName(tok string) (string, error) {
+	if len(tok) < 2 || tok[0] != '\'' || tok[len(tok)-1] != '\'' {
+		return "", fmt.Errorf("%w: bad quoted name %q", ErrFormat, tok)
+	}
+	body := tok[1 : len(tok)-1]
+	var sb strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+		}
+		sb.WriteByte(body[i])
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,414 @@
+package arff
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpa/internal/sparse"
+)
+
+func sampleHeader(n int) Header {
+	h := Header{Relation: "tfidf"}
+	for i := 0; i < n; i++ {
+		h.Attributes = append(h.Attributes, "term"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26)))
+	}
+	return h
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	h := sampleHeader(50)
+	rows := []sparse.Vector{
+		{Idx: []uint32{0, 3, 49}, Val: []float64{1.5, -0.25, 3.25e-7}},
+		{},
+		{Idx: []uint32{7}, Val: []float64{42}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, h)
+	for i := range rows {
+		if err := w.WriteRow(&rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().Relation != "tfidf" || len(r.Header().Attributes) != 50 {
+		t.Fatalf("header mismatch: %+v", r.Header())
+	}
+	var v sparse.Vector
+	for i := range rows {
+		ok, err := r.ReadRow(&v)
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+		if !sparse.Equal(&v, &rows[i]) {
+			t.Fatalf("row %d: got %+v want %+v", i, v, rows[i])
+		}
+	}
+	if ok, _ := r.ReadRow(&v); ok {
+		t.Fatal("extra row after end")
+	}
+	if r.Rows() != len(rows) {
+		t.Fatalf("Rows() = %d", r.Rows())
+	}
+}
+
+// boundedVec generates valid sparse vectors with dimension <= 512 so the
+// header stays small.
+type boundedVec struct{ v sparse.Vector }
+
+func (boundedVec) Generate(r *rand.Rand, size int) reflect.Value {
+	nnz := r.Intn(40)
+	var v sparse.Vector
+	idx := uint32(0)
+	for i := 0; i < nnz; i++ {
+		idx += uint32(r.Intn(12) + 1)
+		if idx >= 512 {
+			break
+		}
+		val := r.NormFloat64()
+		if val == 0 {
+			val = 1
+		}
+		v.Idx = append(v.Idx, idx)
+		v.Val = append(v.Val, val)
+	}
+	return reflect.ValueOf(boundedVec{v})
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(bv boundedVec) bool {
+		v := bv.v
+		dim := v.Dim()
+		if dim == 0 {
+			dim = 1
+		}
+		h := sampleHeader(dim)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, h)
+		if err := w.WriteRow(&v); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got sparse.Vector
+		ok, err := r.ReadRow(&got)
+		return err == nil && ok && sparse.Equal(&got, &v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatExactRoundTrip(t *testing.T) {
+	// Full float64 precision must survive the text format.
+	f := func(val float64) bool {
+		if val == 0 || val != val || val-val != 0 { // skip 0, NaN, Inf
+			return true
+		}
+		v := sparse.Vector{Idx: []uint32{0}, Val: []float64{val}}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, sampleHeader(1))
+		if w.WriteRow(&v) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got sparse.Vector
+		if ok, err := r.ReadRow(&got); !ok || err != nil {
+			return false
+		}
+		return got.Val[0] == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotedNames(t *testing.T) {
+	h := Header{Relation: "my relation", Attributes: []string{"plain", "with space", "it's", "a,b", "{brace}"}}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, h)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Header()
+	if got.Relation != h.Relation {
+		t.Fatalf("relation %q", got.Relation)
+	}
+	for i := range h.Attributes {
+		if got.Attributes[i] != h.Attributes[i] {
+			t.Fatalf("attribute %d: %q want %q", i, got.Attributes[i], h.Attributes[i])
+		}
+	}
+}
+
+func TestDenseRowsParsed(t *testing.T) {
+	in := "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@ATTRIBUTE c NUMERIC\n@DATA\n1.5,0,2\n0,0,0\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sparse.Vector
+	ok, err := r.ReadRow(&v)
+	if !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	want := sparse.Vector{Idx: []uint32{0, 2}, Val: []float64{1.5, 2}}
+	if !sparse.Equal(&v, &want) {
+		t.Fatalf("dense row parsed as %+v", v)
+	}
+	ok, err = r.ReadRow(&v)
+	if !ok || err != nil || v.NNZ() != 0 {
+		t.Fatalf("all-zero dense row: ok=%v err=%v nnz=%d", ok, err, v.NNZ())
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	in := "% comment\n\n@RELATION r\n% another\n@ATTRIBUTE a NUMERIC\n@DATA\n% data comment\n\n{0 5}\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sparse.Vector
+	if ok, err := r.ReadRow(&v); !ok || err != nil || v.At(0) != 5 {
+		t.Fatalf("ok=%v err=%v v=%+v", ok, err, v)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no data section", "@RELATION r\n@ATTRIBUTE a NUMERIC\n"},
+		{"data before attributes", "@RELATION r\n@DATA\n"},
+		{"garbage header", "@RELATION r\nhello world\n@DATA\n"},
+		{"bad attribute type", "@RELATION r\n@ATTRIBUTE a STRING\n@DATA\n"},
+		{"attribute missing type", "@RELATION r\n@ATTRIBUTE aonly\n@DATA\n"},
+		{"unterminated quote", "@RELATION r\n@ATTRIBUTE 'a NUMERIC\n@DATA\n"},
+	}
+	for _, c := range cases {
+		if _, err := NewReader(strings.NewReader(c.in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", c.name, err)
+		}
+	}
+}
+
+func TestCorruptRows(t *testing.T) {
+	head := "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@DATA\n"
+	cases := []struct {
+		name string
+		row  string
+	}{
+		{"unterminated sparse", "{0 1"},
+		{"bad index", "{x 1}"},
+		{"index out of range", "{5 1}"},
+		{"decreasing indices", "{1 1,0 2}"},
+		{"missing value", "{0}"},
+		{"bad value", "{0 abc}"},
+		{"too many dense columns", "1,2,3"},
+		{"too few dense columns", "1"},
+		{"bad dense value", "1,x"},
+	}
+	for _, c := range cases {
+		r, err := NewReader(strings.NewReader(head + c.row + "\n"))
+		if err != nil {
+			t.Fatalf("%s: header err %v", c.name, err)
+		}
+		var v sparse.Vector
+		if _, err := r.ReadRow(&v); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", c.name, err)
+		}
+	}
+}
+
+func TestRowDimensionExceedsAttributes(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, sampleHeader(3))
+	v := sparse.Vector{Idx: []uint32{5}, Val: []float64{1}}
+	if err := w.WriteRow(&v); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+}
+
+func TestExplicitZeroDroppedOnRead(t *testing.T) {
+	in := "@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE b NUMERIC\n@DATA\n{0 0,1 3}\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sparse.Vector
+	if ok, err := r.ReadRow(&v); !ok || err != nil {
+		t.Fatal(ok, err)
+	}
+	if v.NNZ() != 1 || v.Idx[0] != 1 {
+		t.Fatalf("explicit zero kept: %+v", v)
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTripWithStats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.arff")
+	h := sampleHeader(100)
+	r := rand.New(rand.NewSource(7))
+	var rows []sparse.Vector
+	for i := 0; i < 200; i++ {
+		var v sparse.Vector
+		for j := 0; j < 100; j += 1 + r.Intn(20) {
+			v.Append(uint32(j), r.Float64()+0.1)
+		}
+		rows = append(rows, v)
+	}
+	n, err := WriteFile(path, h, rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() != n {
+		t.Fatalf("reported %d bytes, file has %d (%v)", n, fi.Size(), err)
+	}
+	gotH, gotRows, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotH.Attributes) != 100 || len(gotRows) != 200 {
+		t.Fatalf("read back %d attrs, %d rows", len(gotH.Attributes), len(gotRows))
+	}
+	for i := range rows {
+		if !sparse.Equal(&rows[i], &gotRows[i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope.arff"), nil); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, sampleHeader(2))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sparse.Vector
+	if ok, err := r.ReadRow(&v); ok || err != nil {
+		t.Fatalf("empty relation: ok=%v err=%v", ok, err)
+	}
+}
+
+func BenchmarkWriteRow(b *testing.B) {
+	h := sampleHeader(1000)
+	var v sparse.Vector
+	for j := uint32(0); j < 1000; j += 7 {
+		v.Append(j, float64(j)*0.123456789)
+	}
+	w := NewWriter(discard{}, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteRow(&v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestDenseWriterRoundTrip(t *testing.T) {
+	h := sampleHeader(10)
+	rows := []sparse.Vector{
+		{Idx: []uint32{0, 9}, Val: []float64{1.5, -2}},
+		{},
+		{Idx: []uint32{4}, Val: []float64{0.125}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, h)
+	w.Dense = true
+	for i := range rows {
+		if err := w.WriteRow(&rows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Dense rows must not contain braces and must have exactly 10 cells.
+	body := buf.String()[strings.Index(buf.String(), "@DATA\n")+6:]
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.ContainsAny(line, "{}") {
+			t.Fatalf("dense writer emitted sparse row %q", line)
+		}
+		if got := strings.Count(line, ",") + 1; got != 10 {
+			t.Fatalf("dense row has %d cells: %q", got, line)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v sparse.Vector
+	for i := range rows {
+		ok, err := r.ReadRow(&v)
+		if !ok || err != nil {
+			t.Fatalf("row %d: %v %v", i, ok, err)
+		}
+		if !sparse.Equal(&v, &rows[i]) {
+			t.Fatalf("row %d round trip: %+v != %+v", i, v, rows[i])
+		}
+	}
+}
+
+func TestDenseMuchLargerThanSparse(t *testing.T) {
+	h := sampleHeader(500)
+	v := sparse.Vector{Idx: []uint32{3, 250}, Val: []float64{1, 2}}
+	size := func(dense bool) int {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, h)
+		w.Dense = dense
+		if err := w.Flush(); err != nil { // header only
+			t.Fatal(err)
+		}
+		header := buf.Len()
+		if err := w.WriteRow(&v); err != nil || w.Flush() != nil {
+			t.Fatal(err)
+		}
+		return buf.Len() - header // row bytes only
+	}
+	sp, de := size(false), size(true)
+	if de < 10*sp/2 {
+		t.Fatalf("dense %dB not much larger than sparse %dB", de, sp)
+	}
+}

@@ -1,0 +1,261 @@
+package arff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+)
+
+// Reader parses an ARFF file: the header eagerly at construction, then one
+// instance per ReadRow. Both sparse ({idx val,...}) and dense (comma-
+// separated) instances are accepted; dense rows are sparsified. Parsing is
+// sequential — the kmeans-input phase of the discrete workflow.
+type Reader struct {
+	s      *bufio.Scanner
+	header Header
+	line   int
+	rows   int
+}
+
+// NewReader parses the header from r and returns a row reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<20), 1<<26) // instances can be very long lines
+	rd := &Reader{s: s}
+	if err := rd.parseHeader(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Header returns the parsed header.
+func (r *Reader) Header() Header { return r.header }
+
+func (r *Reader) parseHeader() error {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "@RELATION"):
+			name, err := parseName(strings.TrimSpace(line[len("@RELATION"):]))
+			if err != nil {
+				return fmt.Errorf("%w (line %d)", err, r.line)
+			}
+			r.header.Relation = name
+		case strings.HasPrefix(upper, "@ATTRIBUTE"):
+			rest := strings.TrimSpace(line[len("@ATTRIBUTE"):])
+			name, typ, err := parseAttribute(rest)
+			if err != nil {
+				return fmt.Errorf("%w (line %d)", err, r.line)
+			}
+			if !strings.EqualFold(typ, "NUMERIC") && !strings.EqualFold(typ, "REAL") {
+				return fmt.Errorf("%w: unsupported attribute type %q (line %d)", ErrFormat, typ, r.line)
+			}
+			r.header.Attributes = append(r.header.Attributes, name)
+		case strings.HasPrefix(upper, "@DATA"):
+			if len(r.header.Attributes) == 0 {
+				return fmt.Errorf("%w: @DATA before any @ATTRIBUTE (line %d)", ErrFormat, r.line)
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected header line %q (line %d)", ErrFormat, line, r.line)
+		}
+	}
+	if err := r.s.Err(); err != nil {
+		return fmt.Errorf("arff: %w", err)
+	}
+	return fmt.Errorf("%w: missing @DATA section", ErrFormat)
+}
+
+// parseName extracts a possibly-quoted name that constitutes the whole
+// remainder.
+func parseName(rest string) (string, error) {
+	if rest == "" {
+		return "", fmt.Errorf("%w: empty name", ErrFormat)
+	}
+	if rest[0] == '\'' {
+		return unquoteName(rest)
+	}
+	return rest, nil
+}
+
+// parseAttribute splits "name TYPE" where name may be quoted.
+func parseAttribute(rest string) (name, typ string, err error) {
+	if rest == "" {
+		return "", "", fmt.Errorf("%w: empty attribute", ErrFormat)
+	}
+	if rest[0] == '\'' {
+		// Find the closing unescaped quote.
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '\'' {
+				name, err = unquoteName(rest[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				typ = strings.TrimSpace(rest[i+1:])
+				if typ == "" {
+					return "", "", fmt.Errorf("%w: attribute %q missing type", ErrFormat, name)
+				}
+				return name, typ, nil
+			}
+		}
+		return "", "", fmt.Errorf("%w: unterminated quoted name", ErrFormat)
+	}
+	sp := strings.IndexAny(rest, " \t")
+	if sp < 0 {
+		return "", "", fmt.Errorf("%w: attribute %q missing type", ErrFormat, rest)
+	}
+	return rest[:sp], strings.TrimSpace(rest[sp:]), nil
+}
+
+// ReadRow parses the next instance into dst (reset first). It returns
+// false at clean end of input.
+func (r *Reader) ReadRow(dst *sparse.Vector) (bool, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if err := r.parseRow(line, dst); err != nil {
+			return false, err
+		}
+		r.rows++
+		return true, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return false, fmt.Errorf("arff: %w", err)
+	}
+	return false, nil
+}
+
+func (r *Reader) parseRow(line string, dst *sparse.Vector) error {
+	dst.Reset()
+	if line[0] == '{' {
+		return r.parseSparseRow(line, dst)
+	}
+	return r.parseDenseRow(line, dst)
+}
+
+func (r *Reader) parseSparseRow(line string, dst *sparse.Vector) error {
+	if line[len(line)-1] != '}' {
+		return fmt.Errorf("%w: unterminated sparse instance (line %d)", ErrFormat, r.line)
+	}
+	body := strings.TrimSpace(line[1 : len(line)-1])
+	if body == "" {
+		return nil // all-zero instance
+	}
+	prev := -1
+	for len(body) > 0 {
+		var pair string
+		if c := strings.IndexByte(body, ','); c >= 0 {
+			pair, body = body[:c], body[c+1:]
+		} else {
+			pair, body = body, ""
+		}
+		pair = strings.TrimSpace(pair)
+		sp := strings.IndexAny(pair, " \t")
+		if sp < 0 {
+			return fmt.Errorf("%w: bad sparse pair %q (line %d)", ErrFormat, pair, r.line)
+		}
+		idx, err := strconv.ParseUint(pair[:sp], 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: bad index %q (line %d)", ErrFormat, pair[:sp], r.line)
+		}
+		if int(idx) >= len(r.header.Attributes) {
+			return fmt.Errorf("%w: index %d out of range (%d attributes, line %d)",
+				ErrFormat, idx, len(r.header.Attributes), r.line)
+		}
+		if int(idx) <= prev {
+			return fmt.Errorf("%w: indices not increasing at %d (line %d)", ErrFormat, idx, r.line)
+		}
+		prev = int(idx)
+		val, err := strconv.ParseFloat(strings.TrimSpace(pair[sp+1:]), 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad value %q (line %d)", ErrFormat, pair[sp+1:], r.line)
+		}
+		if val != 0 {
+			dst.Idx = append(dst.Idx, uint32(idx))
+			dst.Val = append(dst.Val, val)
+		}
+	}
+	return nil
+}
+
+func (r *Reader) parseDenseRow(line string, dst *sparse.Vector) error {
+	col := 0
+	for len(line) > 0 {
+		var cell string
+		if c := strings.IndexByte(line, ','); c >= 0 {
+			cell, line = line[:c], line[c+1:]
+		} else {
+			cell, line = line, ""
+		}
+		if col >= len(r.header.Attributes) {
+			return fmt.Errorf("%w: too many columns (line %d)", ErrFormat, r.line)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad value %q (line %d)", ErrFormat, cell, r.line)
+		}
+		if val != 0 {
+			dst.Idx = append(dst.Idx, uint32(col))
+			dst.Val = append(dst.Val, val)
+		}
+		col++
+	}
+	if col != len(r.header.Attributes) {
+		return fmt.Errorf("%w: %d columns, want %d (line %d)", ErrFormat, col, len(r.header.Attributes), r.line)
+	}
+	return nil
+}
+
+// Rows returns the number of instances read so far.
+func (r *Reader) Rows() int { return r.rows }
+
+// ReadFile reads a complete ARFF file, returning its header and all rows.
+// The optional disk simulator is charged for the file size before parsing
+// begins (a sequential scan of the file).
+func ReadFile(path string, disk *pario.DiskSim) (Header, []sparse.Vector, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("arff: %w", err)
+	}
+	disk.ChargeRead(fi.Size(), true)
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("arff: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var rows []sparse.Vector
+	var v sparse.Vector
+	for {
+		ok, err := r.ReadRow(&v)
+		if err != nil {
+			return r.header, rows, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, v.Clone())
+	}
+	return r.header, rows, nil
+}

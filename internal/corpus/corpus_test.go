@@ -1,0 +1,183 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpa/internal/par"
+)
+
+func TestSpecPresets(t *testing.T) {
+	m, n := Mix(), NSFAbstracts()
+	if m.Documents != 23432 || m.TargetDistinct != 184_743 {
+		t.Fatalf("Mix spec wrong: %+v", m)
+	}
+	if n.Documents != 101_483 || n.TargetDistinct != 267_914 {
+		t.Fatalf("NSF spec wrong: %+v", n)
+	}
+	if mb := float64(m.TargetBytes) / (1 << 20); math.Abs(mb-62.8) > 0.1 {
+		t.Fatalf("Mix bytes = %.1f MB, want 62.8", mb)
+	}
+	if mb := float64(n.TargetBytes) / (1 << 20); math.Abs(mb-310.9) > 0.1 {
+		t.Fatalf("NSF bytes = %.1f MB, want 310.9", mb)
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	s := Mix().Scaled(0.1)
+	if s.Documents != 2343 {
+		t.Fatalf("scaled documents = %d", s.Documents)
+	}
+	if s.TargetBytes != Mix().TargetBytes/10 {
+		t.Fatalf("scaled bytes = %d", s.TargetBytes)
+	}
+	// Heaps' law: distinct scales sublinearly.
+	want := int(float64(Mix().TargetDistinct)*math.Pow(0.1, 0.55) + 0.5)
+	if s.TargetDistinct != want {
+		t.Fatalf("scaled distinct = %d, want %d", s.TargetDistinct, want)
+	}
+	if Mix().Scaled(1).Name != "Mix" {
+		t.Fatal("identity scale renamed spec")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Mix().Scaled(0.005)
+	a := Generate(spec, nil)
+	p := par.NewPool(4)
+	defer p.Close()
+	b := Generate(spec, p)
+	if a.Len() != b.Len() {
+		t.Fatalf("doc counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Docs {
+		if !bytes.Equal(a.Docs[i], b.Docs[i]) {
+			t.Fatalf("doc %d differs between sequential and parallel generation", i)
+		}
+		if a.Names[i] != b.Names[i] {
+			t.Fatalf("name %d differs", i)
+		}
+	}
+}
+
+func TestGenerateHitsTable1Targets(t *testing.T) {
+	// At 2% scale the generator must land within 12% of every Table 1
+	// column; the full-scale report tightens this further.
+	for _, spec := range []Spec{Mix().Scaled(0.02), NSFAbstracts().Scaled(0.01)} {
+		p := par.NewPool(4)
+		c := Generate(spec, p)
+		st := c.MeasureStats()
+		p.Close()
+		if st.Documents != spec.Documents {
+			t.Fatalf("%s: documents = %d, want %d", spec.Name, st.Documents, spec.Documents)
+		}
+		if rel := relErr(float64(st.Bytes), float64(spec.TargetBytes)); rel > 0.12 {
+			t.Fatalf("%s: bytes = %d, target %d (%.1f%% off)", spec.Name, st.Bytes, spec.TargetBytes, rel*100)
+		}
+		if rel := relErr(float64(st.DistinctWords), float64(spec.TargetDistinct)); rel > 0.12 {
+			t.Fatalf("%s: distinct = %d, target %d (%.1f%% off)", spec.Name, st.DistinctWords, spec.TargetDistinct, rel*100)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestGenerateEmptySpec(t *testing.T) {
+	c := Generate(Spec{Name: "empty"}, nil)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("empty spec generated %d docs", c.Len())
+	}
+}
+
+func TestGeneratedDocsLookLikeProse(t *testing.T) {
+	spec := Mix().Scaled(0.002)
+	c := Generate(spec, nil)
+	for i, d := range c.Docs {
+		if len(d) == 0 {
+			t.Fatalf("doc %d empty", i)
+		}
+		if d[0] < 'A' || d[0] > 'Z' {
+			t.Fatalf("doc %d does not start with a capital: %q", i, d[:min(20, len(d))])
+		}
+		if !bytes.Contains(d, []byte(". ")) && !bytes.Contains(d, []byte(".\n")) {
+			t.Fatalf("doc %d has no sentence breaks", i)
+		}
+	}
+}
+
+func TestDocLengthsVary(t *testing.T) {
+	c := Generate(Mix().Scaled(0.01), nil)
+	minLen, maxLen := len(c.Docs[0]), len(c.Docs[0])
+	for _, d := range c.Docs {
+		if len(d) < minLen {
+			minLen = len(d)
+		}
+		if len(d) > maxLen {
+			maxLen = len(d)
+		}
+	}
+	if maxLen < 3*minLen {
+		t.Fatalf("document lengths too uniform: min=%d max=%d", minLen, maxLen)
+	}
+}
+
+func TestWriteListLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	orig := Generate(Mix().Scaled(0.001), nil)
+	if err := orig.WriteDir(dir, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	paths, err := ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != orig.Len() {
+		t.Fatalf("listed %d files, want %d", len(paths), orig.Len())
+	}
+	loaded, err := LoadDir(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("loaded %d docs, want %d", loaded.Len(), orig.Len())
+	}
+	for i := range orig.Docs {
+		if !bytes.Equal(orig.Docs[i], loaded.Docs[i]) {
+			t.Fatalf("doc %d corrupted through disk round trip", i)
+		}
+	}
+}
+
+func TestListDirEmpty(t *testing.T) {
+	if _, err := ListDir(t.TempDir()); err == nil {
+		t.Fatal("ListDir on empty dir did not error")
+	}
+}
+
+func TestSourceWrapping(t *testing.T) {
+	c := Generate(Mix().Scaled(0.001), nil)
+	src := c.Source(nil)
+	if src.Len() != c.Len() {
+		t.Fatalf("source len %d", src.Len())
+	}
+	b, err := src.Read(0)
+	if err != nil || !bytes.Equal(b, c.Docs[0]) {
+		t.Fatalf("source read mismatch: %v", err)
+	}
+	if src.Name(0) != c.Names[0] {
+		t.Fatalf("source name %q", src.Name(0))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

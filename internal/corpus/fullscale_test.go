@@ -1,0 +1,37 @@
+package corpus
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hpa/internal/par"
+)
+
+// TestFullScaleCalibration is a long test validating the full Table 1 scale;
+// run with -run FullScale -v and HPA_FULLSCALE=1.
+func TestFullScaleCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration skipped in -short mode")
+	}
+	p := par.NewPool(runtime.NumCPU())
+	defer p.Close()
+	for _, spec := range []Spec{Mix(), NSFAbstracts()} {
+		start := time.Now()
+		c := Generate(spec, p)
+		gen := time.Since(start)
+		st := c.MeasureStats()
+		t.Logf("%s: docs=%d bytes=%d (target %d, %.1f%%) distinct=%d (target %d, %.1f%%) tokens=%d gen=%v",
+			spec.Name, st.Documents, st.Bytes, spec.TargetBytes,
+			100*float64(st.Bytes)/float64(spec.TargetBytes),
+			st.DistinctWords, spec.TargetDistinct,
+			100*float64(st.DistinctWords)/float64(spec.TargetDistinct),
+			st.TotalTokens, gen)
+		if rel := relErr(float64(st.Bytes), float64(spec.TargetBytes)); rel > 0.05 {
+			t.Errorf("%s: bytes %.1f%% off target", spec.Name, rel*100)
+		}
+		if rel := relErr(float64(st.DistinctWords), float64(spec.TargetDistinct)); rel > 0.05 {
+			t.Errorf("%s: distinct %.1f%% off target", spec.Name, rel*100)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hpa/internal/pario"
+)
+
+// WriteDir materializes the corpus under dir, one file per document,
+// sharded into subdirectories of shardSize files (0 selects 1024) so that
+// very large corpora do not produce pathological directories. A MANIFEST
+// file records the corpus name and document count.
+func (c *Corpus) WriteDir(dir string, shardSize int) error {
+	if shardSize <= 0 {
+		shardSize = 1024
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for i, doc := range c.Docs {
+		shard := filepath.Join(dir, fmt.Sprintf("shard%04d", i/shardSize))
+		if i%shardSize == 0 {
+			if err := os.MkdirAll(shard, 0o755); err != nil {
+				return fmt.Errorf("corpus: %w", err)
+			}
+		}
+		path := filepath.Join(shard, fmt.Sprintf("doc%07d.txt", i))
+		if err := os.WriteFile(path, doc, 0o644); err != nil {
+			return fmt.Errorf("corpus: write %s: %w", path, err)
+		}
+	}
+	return c.writeManifest(dir)
+}
+
+func (c *Corpus) writeManifest(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "name: %s\ndocuments: %d\nbytes: %d\n", c.Name, c.Len(), c.Bytes())
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return f.Close()
+}
+
+// ListDir enumerates the document files of a corpus directory written by
+// WriteDir (or any directory tree of .txt files) in deterministic sorted
+// order.
+func ListDir(dir string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".txt") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: list %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("corpus: no .txt documents under %s", dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// OpenDir returns a file-backed source over a corpus directory, optionally
+// throttled by a disk simulator.
+func OpenDir(dir string, disk *pario.DiskSim) (*pario.FileSource, error) {
+	paths, err := ListDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &pario.FileSource{Paths: paths, Disk: disk}, nil
+}
+
+// LoadDir reads an on-disk corpus fully into memory with the given read
+// parallelism.
+func LoadDir(dir string, parallelism int) (*Corpus, error) {
+	src, err := OpenDir(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		Name:  filepath.Base(dir),
+		Docs:  make([][]byte, src.Len()),
+		Names: make([]string, src.Len()),
+	}
+	for i := range c.Names {
+		c.Names[i] = src.Name(i)
+	}
+	if err := pario.ReadAll(src, parallelism, func(i int, content []byte) error {
+		c.Docs[i] = content
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

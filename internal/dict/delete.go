@@ -1,0 +1,361 @@
+package dict
+
+// Deletion for the three dictionary kinds. The TF/IDF operator itself is
+// insert/lookup-only, but a production dictionary needs removal: workflow
+// authors prune stopwords or low-frequency terms between phases, and the
+// property tests exercise the rebalancing paths aggressively.
+
+// Delete removes key from the node tree, returning whether it was present.
+func (t *NodeTreeMap[V]) Delete(key string) bool {
+	z := t.root
+	for z != nil {
+		switch {
+		case key < z.key:
+			z = z.left
+		case key > z.key:
+			z = z.right
+		default:
+			t.keyBytes -= int64(len(z.key))
+			t.count--
+			t.deleteNode(z)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *NodeTreeMap[V]) deleteNode(z *treeNodePtr[V]) {
+	y := z
+	yWasRed := y.red
+	var x, xParent *treeNodePtr[V]
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = z.right
+		for y.left != nil {
+			y = y.left
+		}
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+	}
+	if !yWasRed {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *NodeTreeMap[V]) transplant(u, v *treeNodePtr[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func redPtr[V any](n *treeNodePtr[V]) bool { return n != nil && n.red }
+
+// deleteFixup restores the red-black properties after removing a black
+// node; x (possibly nil, a "double-black" leaf) hangs under parent.
+func (t *NodeTreeMap[V]) deleteFixup(x, parent *treeNodePtr[V]) {
+	for x != t.root && !redPtr(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if redPtr(w) {
+				w.red = false
+				parent.red = true
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if !redPtr(w.left) && !redPtr(w.right) {
+				w.red = true
+				x, parent = parent, parent.parent
+			} else {
+				if !redPtr(w.right) {
+					if w.left != nil {
+						w.left.red = false
+					}
+					w.red = true
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.red = parent.red
+				parent.red = false
+				if w.right != nil {
+					w.right.red = false
+				}
+				t.rotateLeft(parent)
+				x, parent = t.root, nil
+			}
+		} else {
+			w := parent.left
+			if redPtr(w) {
+				w.red = false
+				parent.red = true
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if !redPtr(w.left) && !redPtr(w.right) {
+				w.red = true
+				x, parent = parent, parent.parent
+			} else {
+				if !redPtr(w.left) {
+					if w.right != nil {
+						w.right.red = false
+					}
+					w.red = true
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.red = parent.red
+				parent.red = false
+				if w.left != nil {
+					w.left.red = false
+				}
+				t.rotateRight(parent)
+				x, parent = t.root, nil
+			}
+		}
+	}
+	if x != nil {
+		x.red = false
+	}
+}
+
+// Delete removes key from the hash table, returning whether it was present.
+// The arena stays dense: the last entry is moved into the vacated slot and
+// its chain links are repaired.
+func (h *HashMap[V]) Delete(key string) bool {
+	hv := fnv1aString(key)
+	b := hv & uint64(len(h.buckets)-1)
+	prev := nilNode
+	for n := h.buckets[b]; n != nilNode; n = h.entries[n].next {
+		if h.entries[n].hash == hv && h.entries[n].key == key {
+			// Unlink n from its chain.
+			if prev == nilNode {
+				h.buckets[b] = h.entries[n].next
+			} else {
+				h.entries[prev].next = h.entries[n].next
+			}
+			h.keyBytes -= int64(len(key))
+			h.compact(n)
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+// compact moves the last arena entry into slot n and shrinks the arena.
+func (h *HashMap[V]) compact(n int32) {
+	last := int32(len(h.entries) - 1)
+	if n != last {
+		moved := h.entries[last]
+		h.entries[n] = moved
+		// Repair the single link pointing at `last`.
+		mb := moved.hash & uint64(len(h.buckets)-1)
+		if h.buckets[mb] == last {
+			h.buckets[mb] = n
+		} else {
+			for p := h.buckets[mb]; p != nilNode; p = h.entries[p].next {
+				if h.entries[p].next == last {
+					h.entries[p].next = n
+					break
+				}
+			}
+		}
+	}
+	var zero hashEntry[V]
+	h.entries[last] = zero
+	h.entries = h.entries[:last]
+}
+
+// Delete removes key from the arena tree, returning whether it was present.
+// The node arena stays dense: the last node is moved into the vacated slot
+// and all links to it are repaired.
+func (t *TreeMap[V]) Delete(key string) bool {
+	z := t.find(key)
+	if z == nilNode {
+		return false
+	}
+	t.keyBytes -= int64(len(t.nodes[z].key))
+	t.deleteAt(z)
+	return true
+}
+
+func (t *TreeMap[V]) deleteAt(z int32) {
+	ns := t.nodes
+	y := z
+	yWasRed := ns[y].red
+	var x, xParent int32
+	switch {
+	case ns[z].left == nilNode:
+		x, xParent = ns[z].right, ns[z].parent
+		t.transplantIdx(z, ns[z].right)
+	case ns[z].right == nilNode:
+		x, xParent = ns[z].left, ns[z].parent
+		t.transplantIdx(z, ns[z].left)
+	default:
+		y = ns[z].right
+		for ns[y].left != nilNode {
+			y = ns[y].left
+		}
+		yWasRed = ns[y].red
+		x = ns[y].right
+		if ns[y].parent == z {
+			xParent = y
+		} else {
+			xParent = ns[y].parent
+			t.transplantIdx(y, ns[y].right)
+			ns[y].right = ns[z].right
+			ns[ns[y].right].parent = y
+		}
+		t.transplantIdx(z, y)
+		ns[y].left = ns[z].left
+		ns[ns[y].left].parent = y
+		ns[y].red = ns[z].red
+	}
+	if !yWasRed {
+		t.deleteFixupIdx(x, xParent)
+	}
+	t.compactIdx(z)
+}
+
+func (t *TreeMap[V]) transplantIdx(u, v int32) {
+	ns := t.nodes
+	switch {
+	case ns[u].parent == nilNode:
+		t.root = v
+	case u == ns[ns[u].parent].left:
+		ns[ns[u].parent].left = v
+	default:
+		ns[ns[u].parent].right = v
+	}
+	if v != nilNode {
+		ns[v].parent = ns[u].parent
+	}
+}
+
+func (t *TreeMap[V]) redIdx(n int32) bool { return n != nilNode && t.nodes[n].red }
+
+func (t *TreeMap[V]) deleteFixupIdx(x, parent int32) {
+	ns := t.nodes
+	for x != t.root && !t.redIdx(x) {
+		if parent == nilNode {
+			break
+		}
+		if x == ns[parent].left {
+			w := ns[parent].right
+			if t.redIdx(w) {
+				ns[w].red = false
+				ns[parent].red = true
+				t.rotateLeft(parent)
+				w = ns[parent].right
+			}
+			if !t.redIdx(ns[w].left) && !t.redIdx(ns[w].right) {
+				ns[w].red = true
+				x, parent = parent, ns[parent].parent
+			} else {
+				if !t.redIdx(ns[w].right) {
+					if l := ns[w].left; l != nilNode {
+						ns[l].red = false
+					}
+					ns[w].red = true
+					t.rotateRight(w)
+					w = ns[parent].right
+				}
+				ns[w].red = ns[parent].red
+				ns[parent].red = false
+				if r := ns[w].right; r != nilNode {
+					ns[r].red = false
+				}
+				t.rotateLeft(parent)
+				x, parent = t.root, nilNode
+			}
+		} else {
+			w := ns[parent].left
+			if t.redIdx(w) {
+				ns[w].red = false
+				ns[parent].red = true
+				t.rotateRight(parent)
+				w = ns[parent].left
+			}
+			if !t.redIdx(ns[w].left) && !t.redIdx(ns[w].right) {
+				ns[w].red = true
+				x, parent = parent, ns[parent].parent
+			} else {
+				if !t.redIdx(ns[w].left) {
+					if r := ns[w].right; r != nilNode {
+						ns[r].red = false
+					}
+					ns[w].red = true
+					t.rotateLeft(w)
+					w = ns[parent].left
+				}
+				ns[w].red = ns[parent].red
+				ns[parent].red = false
+				if l := ns[w].left; l != nilNode {
+					ns[l].red = false
+				}
+				t.rotateRight(parent)
+				x, parent = t.root, nilNode
+			}
+		}
+	}
+	if x != nilNode {
+		ns[x].red = false
+	}
+}
+
+// compactIdx moves the last arena node into slot z and shrinks the arena.
+func (t *TreeMap[V]) compactIdx(z int32) {
+	ns := t.nodes
+	last := int32(len(ns) - 1)
+	if z != last {
+		moved := ns[last]
+		ns[z] = moved
+		if moved.parent == nilNode {
+			t.root = z
+		} else if ns[moved.parent].left == last {
+			ns[moved.parent].left = z
+		} else {
+			ns[moved.parent].right = z
+		}
+		if moved.left != nilNode {
+			ns[moved.left].parent = z
+		}
+		if moved.right != nilNode {
+			ns[moved.right].parent = z
+		}
+	}
+	var zero treeNode[V]
+	t.nodes[last] = zero
+	t.nodes = t.nodes[:last]
+	if len(t.nodes) == 0 {
+		t.root = nilNode
+	}
+}

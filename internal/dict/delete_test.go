@@ -1,0 +1,188 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestDeleteBasics(t *testing.T) {
+	for _, k := range kinds() {
+		m := New[int](k, Options{})
+		*m.Ref("a") = 1
+		*m.Ref("b") = 2
+		*m.Ref("c") = 3
+		if !m.Delete("b") {
+			t.Fatalf("%v: existing key not deleted", k)
+		}
+		if m.Delete("b") {
+			t.Fatalf("%v: double delete reported true", k)
+		}
+		if m.Delete("zzz") {
+			t.Fatalf("%v: absent key deleted", k)
+		}
+		if m.Len() != 2 {
+			t.Fatalf("%v: Len = %d", k, m.Len())
+		}
+		if _, ok := m.Get("b"); ok {
+			t.Fatalf("%v: deleted key still found", k)
+		}
+		for key, want := range map[string]int{"a": 1, "c": 3} {
+			if v, ok := m.Get(key); !ok || v != want {
+				t.Fatalf("%v: survivor %q = %d,%v", k, key, v, ok)
+			}
+		}
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	for _, k := range kinds() {
+		m := New[int](k, Options{})
+		for i := 0; i < 100; i++ {
+			*m.Ref(fmt.Sprintf("k%03d", i)) = i
+		}
+		for i := 0; i < 100; i++ {
+			if !m.Delete(fmt.Sprintf("k%03d", i)) {
+				t.Fatalf("%v: k%03d not deleted", k, i)
+			}
+		}
+		if m.Len() != 0 {
+			t.Fatalf("%v: Len = %d after deleting all", k, m.Len())
+		}
+		*m.Ref("fresh") = 42
+		if v, ok := m.Get("fresh"); !ok || v != 42 {
+			t.Fatalf("%v: reuse after emptying failed", k)
+		}
+	}
+}
+
+// TestDeleteRandomizedAgainstReference drives every kind through a long
+// random insert/delete/lookup sequence mirrored in a Go map, checking full
+// agreement and (for the trees) the red-black invariants.
+func TestDeleteRandomizedAgainstReference(t *testing.T) {
+	for _, k := range kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(99))
+			m := New[int](k, Options{})
+			ref := make(map[string]int)
+			keys := make([]string, 400)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key%04d", i)
+			}
+			for step := 0; step < 30_000; step++ {
+				key := keys[r.Intn(len(keys))]
+				switch r.Intn(3) {
+				case 0: // insert/update
+					v := r.Intn(1000)
+					*m.Ref(key) = v
+					ref[key] = v
+				case 1: // delete
+					got := m.Delete(key)
+					_, want := ref[key]
+					if got != want {
+						t.Fatalf("step %d: Delete(%q) = %v, want %v", step, key, got, want)
+					}
+					delete(ref, key)
+				case 2: // lookup
+					v, ok := m.Get(key)
+					want, wantOK := ref[key]
+					if ok != wantOK || (ok && v != want) {
+						t.Fatalf("step %d: Get(%q) = %d,%v want %d,%v", step, key, v, ok, want, wantOK)
+					}
+				}
+				if m.Len() != len(ref) {
+					t.Fatalf("step %d: Len %d != %d", step, m.Len(), len(ref))
+				}
+				if step%1024 == 0 {
+					checkTreeInvariants(t, m)
+				}
+			}
+			checkTreeInvariants(t, m)
+			// Final full sweep.
+			count := 0
+			m.Range(func(key string, v *int) bool {
+				if ref[key] != *v {
+					t.Fatalf("final: %q = %d, want %d", key, *v, ref[key])
+				}
+				count++
+				return true
+			})
+			if count != len(ref) {
+				t.Fatalf("final: ranged %d, want %d", count, len(ref))
+			}
+		})
+	}
+}
+
+func checkTreeInvariants(t *testing.T, m any) {
+	t.Helper()
+	switch tree := m.(type) {
+	case *TreeMap[int]:
+		tree.checkInvariants()
+	case *NodeTreeMap[int]:
+		tree.checkInvariants()
+	}
+}
+
+func TestDeleteDescendingAndAscendingOrder(t *testing.T) {
+	for _, k := range kinds() {
+		for _, ascending := range []bool{true, false} {
+			m := New[int](k, Options{})
+			const n = 2000
+			for i := 0; i < n; i++ {
+				*m.Ref(fmt.Sprintf("%05d", i)) = i
+			}
+			for i := 0; i < n; i++ {
+				j := i
+				if !ascending {
+					j = n - 1 - i
+				}
+				if !m.Delete(fmt.Sprintf("%05d", j)) {
+					t.Fatalf("%v asc=%v: delete %d failed", k, ascending, j)
+				}
+				checkTreeInvariants(t, m)
+			}
+		}
+	}
+}
+
+func TestHashDeletePreservesChains(t *testing.T) {
+	// Force long chains, then delete from the middle of them.
+	m := NewHashMap[int](Options{})
+	const n = 500
+	for i := 0; i < n; i++ {
+		*m.Ref(fmt.Sprintf("x%03d", i)) = i
+	}
+	for i := 0; i < n; i += 3 {
+		if !m.Delete(fmt.Sprintf("x%03d", i)) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(fmt.Sprintf("x%03d", i))
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("deleted %d still present", i)
+			}
+		} else if !ok || v != i {
+			t.Fatalf("survivor %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDeleteFootprintShrinks(t *testing.T) {
+	for _, k := range []Kind{Tree, NodeTree} {
+		m := New[int](k, Options{})
+		for i := 0; i < 1000; i++ {
+			*m.Ref(fmt.Sprintf("key%04d", i)) = i
+		}
+		before := m.Footprint()
+		for i := 0; i < 1000; i++ {
+			m.Delete(fmt.Sprintf("key%04d", i))
+		}
+		if after := m.Footprint(); after >= before {
+			t.Fatalf("%v: footprint did not shrink: %d -> %d", k, before, after)
+		}
+	}
+}

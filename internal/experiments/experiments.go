@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation:
+//
+//	Table 1  — dataset description (documents, bytes, distinct words)
+//	Figure 1 — K-Means self-relative speedup vs threads, both datasets
+//	Figure 2 — TF/IDF self-relative speedup vs threads, both datasets
+//	Figure 3 — TF/IDF→K-Means workflow, discrete vs merged, phase breakdown
+//	Figure 4 — same workflow, std::map vs std::unordered_map dictionaries
+//	Section 3.1 text — optimized K-Means vs WEKA SimpleKMeans
+//
+// Each experiment has a Run function returning a structured result that
+// carries both the measurement and the paper's reference values, plus a
+// Render method producing the plain-text equivalent of the figure.
+//
+// Thread sweeps run in one of two modes (see Config.Mode): Real executes
+// the operators on actual pools of each size and measures wall-clock —
+// meaningful only on a machine with at least as many cores as the sweep's
+// largest point; Sim executes the operators once, sequentially, under
+// instrumentation, and replays the recorded per-task costs on a virtual
+// node (internal/simsched) — the default, and the only option on small
+// hosts. Auto picks Real when the host has enough cores.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hpa/internal/corpus"
+	"hpa/internal/simsched"
+)
+
+// Mode selects how thread sweeps are executed.
+type Mode int
+
+const (
+	// Auto selects Real when runtime.NumCPU() covers the sweep, else Sim.
+	Auto Mode = iota
+	// Sim replays measured task costs on virtual cores.
+	Sim
+	// Real runs actual thread pools and measures wall-clock.
+	Real
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Sim:
+		return "sim"
+	case Real:
+		return "real"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes all experiments.
+type Config struct {
+	// MixScale and NSFScale shrink the Table 1 corpora (1.0 = full paper
+	// scale). Scaled corpora follow Heaps' law for their distinct-word
+	// targets.
+	MixScale, NSFScale float64
+	// Threads is the sweep axis (the paper plots 1..20).
+	Threads []int
+	// K is the cluster count (the paper uses 8).
+	K int
+	// Seed drives corpus generation and clustering deterministically.
+	Seed uint64
+	// Mode selects Real or Sim thread sweeps.
+	Mode Mode
+	// Repeats re-runs each measured configuration this many times and
+	// keeps the fastest run (least interference), stabilizing single-run
+	// phase comparisons on noisy hosts. 0 means 1.
+	Repeats int
+	// Disk is the storage device model used for inputs and intermediates.
+	Disk simsched.Disk
+	// Verbose, when non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+// DefaultConfig returns the configuration used by `go test -bench` and the
+// report tool without flags: corpora scaled to run in seconds, the paper's
+// thread axis, its cluster count, and a 2016-class local disk.
+func DefaultConfig() Config {
+	return Config{
+		MixScale: 0.05,
+		NSFScale: 0.02,
+		Threads:  []int{1, 2, 4, 8, 12, 16, 20},
+		K:        8,
+		Seed:     1,
+		Mode:     Auto,
+		Repeats:  3,
+		Disk:     simsched.Disk{BytesPerSec: 120e6, OpenLatency: 400 * time.Microsecond},
+	}
+}
+
+// FullConfig returns the Table 1 full-scale configuration (minutes of
+// runtime, gigabytes of memory for the Figure 4 hash configuration).
+func FullConfig() Config {
+	c := DefaultConfig()
+	c.MixScale, c.NSFScale = 1, 1
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		fmt.Fprintf(c.Verbose, format+"\n", args...)
+	}
+}
+
+// effectiveMode resolves Auto against the host.
+func (c Config) effectiveMode() Mode {
+	if c.Mode != Auto {
+		return c.Mode
+	}
+	max := 0
+	for _, t := range c.Threads {
+		if t > max {
+			max = t
+		}
+	}
+	if runtime.NumCPU() >= max {
+		return Real
+	}
+	return Sim
+}
+
+// mixSpec and nsfSpec resolve the scaled dataset specifications.
+func (c Config) mixSpec() corpus.Spec { return corpus.Mix().Scaled(c.MixScale) }
+func (c Config) nsfSpec() corpus.Spec { return corpus.NSFAbstracts().Scaled(c.NSFScale) }
+
+// maxThreads returns the largest sweep point.
+func (c Config) maxThreads() int {
+	m := 1
+	for _, t := range c.Threads {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// repeats normalizes Config.Repeats.
+func (c Config) repeats() int {
+	if c.Repeats < 1 {
+		return 1
+	}
+	return c.Repeats
+}
+
+// bestTrace runs the recording function cfg.Repeats times and returns the
+// trace of the fastest run, judged by total recorded CPU.
+func (c Config) bestTrace(record func(rec *simsched.Recorder) error) ([]simsched.Phase, error) {
+	var best []simsched.Phase
+	var bestTotal time.Duration = 1<<63 - 1
+	for i := 0; i < c.repeats(); i++ {
+		rec := simsched.NewRecorder()
+		if err := record(rec); err != nil {
+			return nil, err
+		}
+		phases := rec.Phases()
+		var total time.Duration
+		for _, p := range phases {
+			total += p.TotalCPU()
+		}
+		if total < bestTotal {
+			bestTotal = total
+			best = phases
+		}
+	}
+	return best, nil
+}

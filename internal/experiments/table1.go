@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"hpa/internal/corpus"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+)
+
+// Table1Row is one dataset's paper-vs-measured statistics.
+type Table1Row struct {
+	// Name is the dataset label.
+	Name string
+	// Spec is the (scaled) generation target derived from the paper's
+	// Table 1.
+	Spec corpus.Spec
+	// Measured is what the generator actually produced.
+	Measured corpus.Stats
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 generates both corpora and measures their statistics.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	pool := par.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	res := &Table1Result{}
+	for _, spec := range []corpus.Spec{cfg.mixSpec(), cfg.nsfSpec()} {
+		cfg.logf("table1: generating %s (%d documents)...", spec.Name, spec.Documents)
+		c := corpus.Generate(spec, pool)
+		res.Rows = append(res.Rows, Table1Row{Name: spec.Name, Spec: spec, Measured: c.MeasureStats()})
+	}
+	return res, nil
+}
+
+// Render prints the paper's Table 1 next to the measured reproduction.
+func (r *Table1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Data set description (target = paper's Table 1, scaled)\n\n")
+	t := metrics.NewTable("Input", "Documents", "Bytes", "Distinct words",
+		"(target docs)", "(target bytes)", "(target distinct)")
+	for _, row := range r.Rows {
+		t.AddRow(
+			row.Name,
+			fmt.Sprintf("%d", row.Measured.Documents),
+			metrics.FormatBytes(row.Measured.Bytes),
+			fmt.Sprintf("%d", row.Measured.DistinctWords),
+			fmt.Sprintf("%d", row.Spec.Documents),
+			metrics.FormatBytes(row.Spec.TargetBytes),
+			fmt.Sprintf("%d", row.Spec.TargetDistinct),
+		)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

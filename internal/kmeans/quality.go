@@ -1,0 +1,149 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"hpa/internal/sparse"
+)
+
+// Predict returns the index of the centroid nearest to v — classification
+// of unseen documents against a trained clustering.
+func (r *Result) Predict(v *sparse.Vector) int32 {
+	best, bestD := int32(0), math.Inf(1)
+	vn := v.NormSq()
+	for j := range r.Centroids {
+		cn := 0.0
+		for _, x := range r.Centroids[j] {
+			cn += x * x
+		}
+		d := cn - 2*sparse.DotDense(v, r.Centroids[j]) + vn
+		if d < bestD {
+			bestD = d
+			best = int32(j)
+		}
+	}
+	return best
+}
+
+// DaviesBouldin computes the Davies-Bouldin index of a clustering over the
+// documents it was trained on: the average, over clusters, of the worst
+// ratio of intra-cluster scatter to inter-centroid separation. Lower is
+// better; it is the standard internal quality measure for K-Means output
+// and lets the examples and tests assert that the optimized operator and
+// the baseline produce clusterings of equal quality, not merely equal
+// inertia.
+func DaviesBouldin(docs []sparse.Vector, r *Result) (float64, error) {
+	k := len(r.Centroids)
+	if k == 0 || len(docs) != len(r.Assign) {
+		return 0, fmt.Errorf("kmeans: quality: %d docs, %d assignments, %d centroids",
+			len(docs), len(r.Assign), k)
+	}
+	// Scatter: mean distance of members to their centroid.
+	scatter := make([]float64, k)
+	counts := make([]int64, k)
+	cnorms := make([]float64, k)
+	for j, c := range r.Centroids {
+		for _, x := range c {
+			cnorms[j] += x * x
+		}
+	}
+	for i := range docs {
+		j := r.Assign[i]
+		d := cnorms[j] - 2*sparse.DotDense(&docs[i], r.Centroids[j]) + docs[i].NormSq()
+		if d < 0 {
+			d = 0
+		}
+		scatter[j] += math.Sqrt(d)
+		counts[j]++
+	}
+	for j := range scatter {
+		if counts[j] > 0 {
+			scatter[j] /= float64(counts[j])
+		}
+	}
+	// Separation and the DB ratio.
+	db := 0.0
+	active := 0
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if j == i || counts[j] == 0 {
+				continue
+			}
+			sep := centroidDist(r.Centroids[i], r.Centroids[j])
+			if sep == 0 {
+				continue
+			}
+			if ratio := (scatter[i] + scatter[j]) / sep; ratio > worst {
+				worst = ratio
+			}
+		}
+		db += worst
+		active++
+	}
+	if active == 0 {
+		return 0, nil
+	}
+	return db / float64(active), nil
+}
+
+func centroidDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// TopTerms returns, for each cluster, the indices of the w heaviest
+// centroid components in decreasing weight order — the terms that
+// characterize the cluster when the input was a TF/IDF matrix.
+func (r *Result) TopTerms(w int) [][]uint32 {
+	out := make([][]uint32, len(r.Centroids))
+	for j, c := range r.Centroids {
+		out[j] = topIndices(c, w)
+	}
+	return out
+}
+
+// topIndices selects the w largest components by partial selection.
+func topIndices(c []float64, w int) []uint32 {
+	if w <= 0 {
+		return nil
+	}
+	type iw struct {
+		i uint32
+		v float64
+	}
+	best := make([]iw, 0, w)
+	for i, v := range c {
+		if v <= 0 {
+			continue
+		}
+		if len(best) < w {
+			best = append(best, iw{uint32(i), v})
+			// Sift up into sorted (ascending by v) order.
+			for k := len(best) - 1; k > 0 && best[k].v < best[k-1].v; k-- {
+				best[k], best[k-1] = best[k-1], best[k]
+			}
+			continue
+		}
+		if v <= best[0].v {
+			continue
+		}
+		best[0] = iw{uint32(i), v}
+		for k := 0; k < len(best)-1 && best[k].v > best[k+1].v; k++ {
+			best[k], best[k+1] = best[k+1], best[k]
+		}
+	}
+	out := make([]uint32, len(best))
+	for k := range best {
+		out[len(best)-1-k] = best[k].i // descending
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package par
+
+import "sync"
+
+// taskNode is the unit stored in deques: a task bound to its group so that
+// completion is accounted exactly once.
+type taskNode struct {
+	fn    Task
+	group *Group
+}
+
+func (t *taskNode) execute() {
+	defer t.group.done()
+	t.fn()
+}
+
+// deque is a double-ended work queue. The owning worker pushes and pops at
+// the back (LIFO, preserving locality of recently spawned tasks); thieves
+// steal from the front (FIFO, taking the oldest and typically largest
+// subtrees first), matching the Cilk THE protocol's access pattern.
+//
+// The implementation is a mutex-protected growable ring. The lock is
+// uncontended in the common case (owner-only access) and the critical
+// sections are a few instructions, so this is competitive with lock-free
+// variants at the grain sizes used by this library while remaining obviously
+// correct.
+type deque struct {
+	mu   sync.Mutex
+	buf  []*taskNode
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+const dequeMinCap = 64
+
+func (d *deque) push(t *taskNode) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// pop removes the most recently pushed task (back of the ring).
+func (d *deque) pop() (*taskNode, bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.mu.Unlock()
+	return t, true
+}
+
+// steal removes the oldest task (front of the ring).
+func (d *deque) steal() (*taskNode, bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *deque) empty() bool {
+	d.mu.Lock()
+	e := d.n == 0
+	d.mu.Unlock()
+	return e
+}
+
+func (d *deque) grow() {
+	newCap := len(d.buf) * 2
+	if newCap < dequeMinCap {
+		newCap = dequeMinCap
+	}
+	nb := make([]*taskNode, newCap)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Group is a fork/join region: tasks are spawned into the group and Wait
+// blocks until all of them (including tasks they spawned transitively into
+// the same group) have finished. It plays the role of the implicit sync
+// block around cilk_spawn/cilk_sync.
+//
+// Wait is a helping join: the waiting goroutine executes queued tasks itself
+// rather than idling, so a Group may be used from within a pool worker
+// (nested parallelism) without risking deadlock.
+type Group struct {
+	pool    *Pool
+	pending atomic.Int64
+	seed    uint64
+
+	panicMu  sync.Mutex
+	panicVal any
+	panicSet bool
+}
+
+// NewGroup creates a fork/join group bound to the pool.
+func (p *Pool) NewGroup() *Group {
+	return &Group{pool: p, seed: groupSeq.Add(1)}
+}
+
+// Spawn submits a task to the group. It may be called from any goroutine,
+// including from inside another task of the same group.
+func (g *Group) Spawn(t Task) {
+	g.pending.Add(1)
+	g.pool.inflight.Add(1)
+	g.pool.submit(&taskNode{fn: g.wrap(t), group: g})
+}
+
+// wrap adds panic capture: a panic in any task is recorded and re-raised
+// from Wait on the joining goroutine, mirroring how a Cilk strand's fault
+// surfaces at the sync point.
+func (g *Group) wrap(t Task) Task {
+	return func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.panicMu.Lock()
+				if !g.panicSet {
+					g.panicSet = true
+					g.panicVal = r
+				}
+				g.panicMu.Unlock()
+			}
+		}()
+		t()
+	}
+}
+
+func (g *Group) done() {
+	g.pool.inflight.Add(-1)
+	g.pending.Add(-1)
+}
+
+// Wait blocks until every task spawned into the group has completed,
+// executing queued tasks itself while it waits (work-first join). If any
+// task panicked, Wait re-panics with the first captured value.
+func (g *Group) Wait() {
+	seed := g.seed
+	backoff := 0
+	for g.pending.Load() > 0 {
+		if t, ok := g.pool.stealAny(&seed); ok {
+			t.execute()
+			backoff = 0
+			continue
+		}
+		// Nothing stealable: remaining tasks are executing on workers.
+		// Yield, with a light backoff to avoid burning a core on long tails.
+		backoff++
+		if backoff < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	g.panicMu.Lock()
+	panicked, val := g.panicSet, g.panicVal
+	g.panicSet, g.panicVal = false, nil
+	g.panicMu.Unlock()
+	if panicked {
+		panic(fmt.Sprintf("par: task panicked: %v", val))
+	}
+}
+
+var groupSeq atomic.Uint64

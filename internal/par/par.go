@@ -1,0 +1,179 @@
+// Package par implements Cilk-style intra-node task parallelism: a pool of
+// worker goroutines with per-worker work-stealing deques, fork/join task
+// groups, parallel-for loops with configurable grain size, and reducers in
+// the spirit of Cilk hyperobjects.
+//
+// The paper implements its operators in the Cilkplus extension of C++, where
+// "each thread of computation is bound to a processing core". This package
+// is the Go analogue of that runtime: a Pool of N workers stands in for a
+// Cilk run with N threads, and the thread-count axis of the paper's figures
+// maps 1:1 to Pool sizes.
+//
+// All task bodies must be CPU-bound; a task that blocks stalls its share of
+// the work exactly as a bound Cilk thread would.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work executed by a pool worker.
+type Task func()
+
+// Pool is a fixed-size set of worker goroutines cooperating through work
+// stealing. The zero value is not usable; construct with NewPool. A Pool
+// must be released with Close when no longer needed.
+type Pool struct {
+	workers []*worker
+	n       int
+
+	// idle tracks parked workers so pushes can wake them.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idle     int
+	closed   bool
+
+	// inflight counts submitted-but-unfinished tasks across all groups.
+	inflight atomic.Int64
+
+	rr atomic.Uint64 // round-robin cursor for external submissions
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	dq   deque
+	rng  uint64
+}
+
+// NewPool creates a pool with n workers. n must be at least 1; values above
+// runtime.NumCPU() are allowed (the paper sweeps thread counts past the
+// physical core count) but will not yield additional speedup.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("par: pool size %d < 1", n))
+	}
+	p := &Pool{n: n}
+	p.idleCond = sync.NewCond(&p.idleMu)
+	p.workers = make([]*worker, n)
+	for i := range p.workers {
+		w := &worker{pool: p, id: i, rng: splitmix64(uint64(i) + 0x9e3779b97f4a7c15)}
+		p.workers[i] = w
+	}
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// Default returns a pool sized to the number of logical CPUs. The pool is
+// created on first use and shared process-wide.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = NewPool(runtime.NumCPU()) })
+	return defaultPool
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.n }
+
+// Close shuts the pool down. Outstanding tasks are drained first; submitting
+// new work after Close panics.
+func (p *Pool) Close() {
+	for p.inflight.Load() > 0 {
+		runtime.Gosched()
+	}
+	p.idleMu.Lock()
+	p.closed = true
+	p.idleMu.Unlock()
+	p.idleCond.Broadcast()
+}
+
+// submit places a task on some worker's deque and wakes a parked worker.
+func (p *Pool) submit(t *taskNode) {
+	i := int(p.rr.Add(1)) % p.n
+	p.workers[i].dq.push(t)
+	p.wakeOne()
+}
+
+func (p *Pool) wakeOne() {
+	p.idleMu.Lock()
+	if p.idle > 0 {
+		p.idleCond.Signal()
+	}
+	p.idleMu.Unlock()
+}
+
+// stealAny scans all deques once, starting from a pseudo-random victim, and
+// returns a task if any deque is non-empty.
+func (p *Pool) stealAny(seed *uint64) (*taskNode, bool) {
+	*seed = splitmix64(*seed)
+	start := int(*seed % uint64(p.n))
+	for k := 0; k < p.n; k++ {
+		v := p.workers[(start+k)%p.n]
+		if t, ok := v.dq.steal(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (w *worker) run() {
+	p := w.pool
+	for {
+		// 1. Own deque (LIFO for locality, as in Cilk).
+		if t, ok := w.dq.pop(); ok {
+			t.execute()
+			continue
+		}
+		// 2. Steal (FIFO from victims).
+		if t, ok := p.stealAny(&w.rng); ok {
+			t.execute()
+			continue
+		}
+		// 3. Park until new work arrives.
+		p.idleMu.Lock()
+		if p.closed {
+			p.idleMu.Unlock()
+			return
+		}
+		// Re-check queues under the lock to avoid a lost wakeup: a push
+		// between our scan and parking must be observed.
+		if !p.anyQueued() {
+			p.idle++
+			p.idleCond.Wait()
+			p.idle--
+		}
+		closed := p.closed
+		p.idleMu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+func (p *Pool) anyQueued() bool {
+	for _, w := range p.workers {
+		if !w.dq.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the SplitMix64 mixing function, used for cheap per-worker
+// victim selection.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,278 @@
+package pario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func memSource(n int) *MemSource {
+	m := &MemSource{}
+	for i := 0; i < n; i++ {
+		m.Docs = append(m.Docs, []byte(fmt.Sprintf("document %d content", i)))
+		m.Names = append(m.Names, fmt.Sprintf("doc%03d", i))
+	}
+	return m
+}
+
+func TestReadAllVisitsEveryDocumentOnce(t *testing.T) {
+	for _, par := range []int{1, 3, 8, 100} {
+		src := memSource(37)
+		var visits [37]atomic.Int32
+		err := ReadAll(src, par, func(i int, content []byte) error {
+			visits[i].Add(1)
+			if string(content) != fmt.Sprintf("document %d content", i) {
+				t.Errorf("doc %d wrong content %q", i, content)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for i := range visits {
+			if v := visits[i].Load(); v != 1 {
+				t.Fatalf("par=%d: doc %d visited %d times", par, i, v)
+			}
+		}
+	}
+}
+
+func TestReadAllEmptySource(t *testing.T) {
+	if err := ReadAll(&MemSource{}, 4, func(int, []byte) error {
+		t.Fatal("handler called for empty source")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllHandlerErrorStopsEarly(t *testing.T) {
+	src := memSource(1000)
+	sentinel := errors.New("handler failed")
+	var calls atomic.Int32
+	err := ReadAll(src, 4, func(i int, _ []byte) error {
+		calls.Add(1)
+		if i == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if c := calls.Load(); c > 900 {
+		t.Fatalf("handler called %d times after failure; early stop not effective", c)
+	}
+}
+
+func TestReadAllErrStopIsNotAnError(t *testing.T) {
+	src := memSource(100)
+	err := ReadAll(src, 2, func(i int, _ []byte) error {
+		if i >= 5 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrStop surfaced as error: %v", err)
+	}
+}
+
+type failingSource struct {
+	*MemSource
+	failAt int
+}
+
+func (f *failingSource) Read(i int) ([]byte, error) {
+	if i == f.failAt {
+		return nil, fmt.Errorf("simulated read error at %d", i)
+	}
+	return f.MemSource.Read(i)
+}
+
+func TestReadAllSourceErrorPropagates(t *testing.T) {
+	src := &failingSource{MemSource: memSource(50), failAt: 20}
+	err := ReadAll(src, 4, func(int, []byte) error { return nil })
+	if err == nil || err.Error() != "simulated read error at 20" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileSourceReadsRealFiles(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 5; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("f%d.txt", i))
+		if err := os.WriteFile(p, []byte(fmt.Sprintf("content %d", i)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	src := &FileSource{Paths: paths}
+	if src.Len() != 5 || src.Name(2) != paths[2] {
+		t.Fatalf("Len/Name wrong")
+	}
+	var count atomic.Int32
+	if err := ReadAll(src, 2, func(i int, b []byte) error {
+		if string(b) != fmt.Sprintf("content %d", i) {
+			return fmt.Errorf("doc %d content %q", i, b)
+		}
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Fatalf("read %d files", count.Load())
+	}
+}
+
+func TestFileSourceMissingFile(t *testing.T) {
+	src := &FileSource{Paths: []string{filepath.Join(t.TempDir(), "missing.txt")}}
+	err := ReadAll(src, 1, func(int, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestDiskSimThroughputCap(t *testing.T) {
+	// 1 MB at 10 MB/s must take >= ~100ms regardless of reader count.
+	d := &DiskSim{BytesPerSec: 10e6}
+	const readers = 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.charge(125_000, false) // 1 MB / 8 readers each
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("8 parallel readers finished 1MB in %v; device cap not enforced", el)
+	}
+}
+
+func TestDiskSimOpenLatency(t *testing.T) {
+	d := &DiskSim{BytesPerSec: 1e12, OpenLatency: 20 * time.Millisecond}
+	start := time.Now()
+	d.charge(10, true)
+	d.charge(10, true)
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Fatalf("two opens took %v, want >= ~40ms", el)
+	}
+}
+
+func TestDiskSimNilIsFree(t *testing.T) {
+	var d *DiskSim
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.charge(1e9, true)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("nil DiskSim charged time: %v", el)
+	}
+}
+
+func TestDiskSimIdleDeviceDoesNotAccumulateCredit(t *testing.T) {
+	// After an idle period the device must not allow a burst "for free in
+	// the past": charges start from now, not from the stale free time.
+	d := &DiskSim{BytesPerSec: 1e6}
+	d.charge(100_000, false) // 100ms
+	time.Sleep(150 * time.Millisecond)
+	start := time.Now()
+	d.charge(100_000, false) // another 100ms, must block ~100ms
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("post-idle charge took %v, want ~100ms", el)
+	}
+}
+
+func TestMemSourceTotalBytesAndNames(t *testing.T) {
+	m := memSource(3)
+	want := int64(len("document 0 content") * 3)
+	if got := m.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+	if m.Name(1) != "doc001" {
+		t.Fatalf("Name(1) = %q", m.Name(1))
+	}
+	unnamed := &MemSource{Docs: [][]byte{[]byte("x")}}
+	if unnamed.Name(0) == "" {
+		t.Fatal("fallback name empty")
+	}
+}
+
+func TestParallelInputOverlapsOpenLatency(t *testing.T) {
+	// With per-open latency dominating, K parallel readers should finish
+	// close to K times faster — the essence of Section 3.2.
+	mk := func() *MemSource {
+		m := memSource(32)
+		m.Disk = &DiskSim{BytesPerSec: 1e12, OpenLatency: 5 * time.Millisecond}
+		return m
+	}
+	t1 := timeReadAll(t, mk(), 1)
+	t8 := timeReadAll(t, mk(), 8)
+	if t8 >= t1 {
+		t.Fatalf("parallel input no faster: 1 reader %v, 8 readers %v", t1, t8)
+	}
+}
+
+func timeReadAll(t *testing.T, src Source, par int) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if err := ReadAll(src, par, func(int, []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+func TestReadAllContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	err := ReadAllContext(ctx, memSource(100), 4, func(int, []byte) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("%d handler calls after pre-cancel", calls.Load())
+	}
+}
+
+func TestReadAllContextCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	err := ReadAllContext(ctx, memSource(1000), 2, func(i int, _ []byte) error {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if c := calls.Load(); c > 500 {
+		t.Fatalf("%d documents handled after cancellation", c)
+	}
+}
+
+func TestReadAllContextNormalCompletion(t *testing.T) {
+	var calls atomic.Int32
+	err := ReadAllContext(context.Background(), memSource(50), 3, func(int, []byte) error {
+		calls.Add(1)
+		return nil
+	})
+	if err != nil || calls.Load() != 50 {
+		t.Fatalf("err=%v calls=%d", err, calls.Load())
+	}
+}

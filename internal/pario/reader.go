@@ -1,0 +1,101 @@
+package pario
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ReadAll reads every document of src with at most parallelism concurrent
+// reads and invokes handle(i, content) for each. handle is called
+// concurrently from multiple goroutines (for distinct i); the content slice
+// is owned by the callee. ReadAll returns the first read or handler error
+// and stops issuing new reads after a failure, draining in-flight ones.
+//
+// This is the paper's parallel input: with a single reader, per-file open
+// latency serializes with processing; with several, latencies overlap and
+// the device is kept at its bandwidth limit.
+func ReadAll(src Source, parallelism int, handle func(i int, content []byte) error) error {
+	n := src.Len()
+	if n == 0 {
+		return nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	var (
+		next   int
+		mu     sync.Mutex
+		first  error
+		failed bool
+		wg     sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if !failed {
+			failed = true
+			first = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				content, err := src.Read(i)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := handle(i, content); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errors.Is(first, ErrStop) {
+		return nil
+	}
+	return first
+}
+
+// ErrStop can be returned by a ReadAll handler to stop the scan without
+// reporting a failure to the caller.
+var ErrStop = errors.New("pario: stop")
+
+// ReadAllContext is ReadAll with cooperative cancellation: no new reads are
+// issued once ctx is done, and the context error is returned after
+// in-flight reads drain.
+func ReadAllContext(ctx context.Context, src Source, parallelism int, handle func(i int, content []byte) error) error {
+	err := ReadAll(src, parallelism, func(i int, content []byte) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return handle(i, content)
+	})
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}

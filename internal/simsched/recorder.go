@@ -1,0 +1,81 @@
+package simsched
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder collects a workload trace from an instrumented operator run.
+// Operators call BeginPhase/Task/Serial as they execute; the resulting
+// Phases feed Simulate. Recording runs should execute with one worker and
+// no disk simulator so that measured durations are pure CPU; the Recorder
+// is nevertheless safe for concurrent Task calls.
+//
+// A nil *Recorder is valid and records nothing, so operators can leave
+// their instrumentation unconditional.
+type Recorder struct {
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// BeginPhase starts a new phase; subsequent Task/Serial calls accumulate
+// into it.
+func (r *Recorder) BeginPhase(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phases = append(r.phases, Phase{Name: name})
+	r.mu.Unlock()
+}
+
+// Task records one parallel work unit in the current phase.
+func (r *Recorder) Task(cpu time.Duration, ioBytes int64, open bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.current()
+	p.Tasks = append(p.Tasks, Task{CPU: cpu, IOBytes: ioBytes, IOOpen: open})
+	r.mu.Unlock()
+}
+
+// Serial adds measured serial time (and optional serial I/O) to the
+// current phase.
+func (r *Recorder) Serial(d time.Duration, ioBytes int64, opens int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.current()
+	p.Serial += d
+	p.SerialIOBytes += ioBytes
+	p.SerialIOOpens += opens
+	r.mu.Unlock()
+}
+
+func (r *Recorder) current() *Phase {
+	if len(r.phases) == 0 {
+		r.phases = append(r.phases, Phase{Name: "default"})
+	}
+	return &r.phases[len(r.phases)-1]
+}
+
+// Phases returns the recorded trace.
+func (r *Recorder) Phases() []Phase {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Phase, len(r.phases))
+	copy(out, r.phases)
+	return out
+}
+
+// Enabled reports whether the recorder is non-nil, letting hot loops skip
+// timestamping entirely when tracing is off.
+func (r *Recorder) Enabled() bool { return r != nil }

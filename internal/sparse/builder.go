@@ -1,0 +1,137 @@
+package sparse
+
+import "sort"
+
+// Builder assembles a sparse vector from components appended in arbitrary
+// index order, possibly with duplicates; Build sorts by index and sums
+// duplicates. The builder's buffers are recycled by Reset, so a single
+// builder per worker serves an entire corpus without per-document
+// allocation — the paper's data-structure-recycling optimization applied to
+// vector construction.
+type Builder struct {
+	idx []uint32
+	val []float64
+}
+
+// Add appends a component. Zero values are kept until Build, where the
+// summed value decides whether the component survives.
+func (b *Builder) Add(idx uint32, val float64) {
+	b.idx = append(b.idx, idx)
+	b.val = append(b.val, val)
+}
+
+// Len returns the number of pending components (before deduplication).
+func (b *Builder) Len() int { return len(b.idx) }
+
+// Reset clears the builder, retaining capacity.
+func (b *Builder) Reset() {
+	b.idx = b.idx[:0]
+	b.val = b.val[:0]
+}
+
+// Build sorts, merges duplicates by summation, drops zero sums, and appends
+// the result into dst (which is reset first). dst's buffers are reused when
+// large enough.
+func (b *Builder) Build(dst *Vector) {
+	dst.Reset()
+	if len(b.idx) == 0 {
+		return
+	}
+	// Stable sort: values sharing an index are summed in insertion order,
+	// so Build is bitwise deterministic and matches a dense accumulation
+	// of the same Add sequence.
+	sort.Stable((*builderSort)(b))
+	var curIdx uint32 = b.idx[0]
+	curVal := b.val[0]
+	flush := func() {
+		if curVal != 0 {
+			dst.Idx = append(dst.Idx, curIdx)
+			dst.Val = append(dst.Val, curVal)
+		}
+	}
+	for i := 1; i < len(b.idx); i++ {
+		if b.idx[i] == curIdx {
+			curVal += b.val[i]
+			continue
+		}
+		flush()
+		curIdx, curVal = b.idx[i], b.val[i]
+	}
+	flush()
+}
+
+type builderSort Builder
+
+func (s *builderSort) Len() int           { return len(s.idx) }
+func (s *builderSort) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *builderSort) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// Accumulator is a dense running sum of sparse vectors plus a count,
+// used for K-Means centroid recomputation. One accumulator set per reducer
+// view gives contention-free parallel accumulation; accumulators are
+// allocated once and recycled across iterations with Reset.
+type Accumulator struct {
+	Sum   []float64
+	Count int64
+	dirty []uint32 // indices touched since Reset, for sparse clearing
+}
+
+// NewAccumulator creates an accumulator of the given dense dimension.
+func NewAccumulator(dim int) *Accumulator {
+	return &Accumulator{Sum: make([]float64, dim)}
+}
+
+// Dim returns the dense dimension.
+func (a *Accumulator) Dim() int { return len(a.Sum) }
+
+// Accumulate adds v and increments the count.
+func (a *Accumulator) Accumulate(v *Vector) {
+	for i, idx := range v.Idx {
+		if a.Sum[idx] == 0 {
+			a.dirty = append(a.dirty, idx)
+		}
+		a.Sum[idx] += v.Val[i]
+	}
+	a.Count++
+}
+
+// Merge adds other into a. Both must have the same dimension.
+func (a *Accumulator) Merge(other *Accumulator) {
+	for _, idx := range other.dirty {
+		if x := other.Sum[idx]; x != 0 {
+			if a.Sum[idx] == 0 {
+				a.dirty = append(a.dirty, idx)
+			}
+			a.Sum[idx] += x
+		}
+	}
+	a.Count += other.Count
+}
+
+// Reset zeroes the accumulator, touching only the entries written since the
+// last Reset. For centroid accumulators whose touched set is much smaller
+// than the vocabulary, this is far cheaper than clearing the whole slice.
+func (a *Accumulator) Reset() {
+	for _, idx := range a.dirty {
+		a.Sum[idx] = 0
+	}
+	a.dirty = a.dirty[:0]
+	a.Count = 0
+}
+
+// Mean writes Sum/Count into dst (a dense slice of the same dimension) and
+// reports whether the accumulator was non-empty. dst entries are fully
+// overwritten.
+func (a *Accumulator) Mean(dst []float64) bool {
+	if a.Count == 0 {
+		return false
+	}
+	inv := 1 / float64(a.Count)
+	for i := range dst {
+		dst[i] = a.Sum[i] * inv
+	}
+	return true
+}

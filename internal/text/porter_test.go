@@ -1,0 +1,154 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// porterVectors are examples from Porter's 1980 paper, covering every rule
+// step.
+var porterVectors = map[string]string{
+	// step 1a
+	"caresses": "caress", "ponies": "poni", "ties": "ti", "caress": "caress",
+	"cats": "cat",
+	// step 1b
+	"feed": "feed", "agreed": "agre", "plastered": "plaster", "bled": "bled",
+	"motoring": "motor", "sing": "sing",
+	"conflated": "conflat", "troubled": "troubl", "sized": "size",
+	"hopping": "hop", "tanned": "tan", "falling": "fall", "hissing": "hiss",
+	"fizzed": "fizz", "failing": "fail", "filing": "file",
+	// step 1c
+	"happy": "happi", "sky": "sky",
+	// step 2
+	"relational": "relat", "conditional": "condit", "rational": "ration",
+	"valenci": "valenc", "hesitanci": "hesit", "digitizer": "digit",
+	"radicalli": "radic", "differentli": "differ",
+	"vileli": "vile", "analogousli": "analog", "vietnamization": "vietnam",
+	"predication": "predic", "operator": "oper", "feudalism": "feudal",
+	"decisiveness": "decis", "hopefulness": "hope", "callousness": "callous",
+	"formaliti": "formal", "sensitiviti": "sensit", "sensibiliti": "sensibl",
+	// step 3
+	"triplicate": "triplic", "formative": "form", "formalize": "formal",
+	"electriciti": "electr", "electrical": "electr", "hopeful": "hope",
+	"goodness": "good",
+	// step 4
+	"revival": "reviv", "allowance": "allow", "inference": "infer",
+	"airliner": "airlin", "gyroscopic": "gyroscop", "adjustable": "adjust",
+	"defensible": "defens", "irritant": "irrit", "replacement": "replac",
+	"adjustment": "adjust", "dependent": "depend", "adoption": "adopt",
+	"communism": "commun", "activate": "activ", "angulariti": "angular",
+	"homologous": "homolog", "effective": "effect", "bowdlerize": "bowdler",
+	// step 5
+	"probate": "probat", "rate": "rate", "cease": "ceas", "controll": "control",
+	"roll": "roll",
+	// generic sanity
+	"running": "run", "stemming": "stem", "argued": "argu",
+}
+
+func TestPorterVectors(t *testing.T) {
+	for in, want := range porterVectors {
+		buf := []byte(in)
+		got := string(PorterStem(buf))
+		if got != want {
+			t.Errorf("PorterStem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterShortWordsUntouched(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be", "on"} {
+		if got := string(PorterStem([]byte(w))); got != w {
+			t.Errorf("short word %q stemmed to %q", w, got)
+		}
+	}
+}
+
+func TestPorterNonASCIIUntouched(t *testing.T) {
+	for _, w := range []string{"café", "naïve", "日本語", "don't"} {
+		if got := string(PorterStem([]byte(w))); got != w {
+			t.Errorf("non-ascii %q stemmed to %q", w, got)
+		}
+	}
+}
+
+func TestPorterNeverGrowsAndStaysLower(t *testing.T) {
+	f := func(raw string) bool {
+		w := []byte(strings.ToLower(raw))
+		// Keep only a-z to hit the stemming path often.
+		clean := w[:0]
+		for _, c := range w {
+			if c >= 'a' && c <= 'z' {
+				clean = append(clean, c)
+			}
+		}
+		in := string(clean)
+		out := PorterStem(clean)
+		if len(out) > len(in) {
+			return false
+		}
+		for _, c := range out {
+			if c < 'a' || c > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPorterIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually be stable for these classic cases.
+	for in := range porterVectors {
+		once := string(PorterStem([]byte(in)))
+		twice := string(PorterStem([]byte(once)))
+		// Porter is not formally idempotent, but these vectors are.
+		if twice != once {
+			t.Logf("note: %q -> %q -> %q (non-idempotent vector)", in, once, twice)
+		}
+	}
+}
+
+func TestPorterAllocFree(t *testing.T) {
+	word := []byte("relational")
+	n := testing.AllocsPerRun(100, func() {
+		copy(word, "relational")
+		PorterStem(word[:10])
+	})
+	if n > 0 {
+		t.Fatalf("PorterStem allocates %v per call", n)
+	}
+}
+
+func TestTokenizerWithStemming(t *testing.T) {
+	tk := &Tokenizer{Stem: true}
+	var out []string
+	tk.Tokens([]byte("Relational conditioning operators are effective"), func(tok []byte) {
+		out = append(out, string(tok))
+	})
+	want := []string{"relat", "condit", "oper", "ar", "effect"}
+	if len(out) != len(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v, want %v", out, want)
+		}
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := [][]byte{
+		[]byte("relational"), []byte("conditioning"), []byte("operators"),
+		[]byte("effectiveness"), []byte("analytics"),
+	}
+	buf := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := words[i%len(words)]
+		n := copy(buf, w)
+		PorterStem(buf[:n])
+	}
+}

@@ -1,0 +1,47 @@
+package tfidf
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"hpa/internal/corpus"
+	"hpa/internal/dict"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+)
+
+// TestScaleComparison is a manual experiment helper, enabled with
+// HPA_SCALE_CHECK=<scale>: it prints the 1-thread phase costs of the
+// Figure 4 variants at the given corpus scale.
+func TestScaleComparison(t *testing.T) {
+	sc := os.Getenv("HPA_SCALE_CHECK")
+	if sc == "" {
+		t.Skip("set HPA_SCALE_CHECK=0.3 to run")
+	}
+	f, err := strconv.ParseFloat(sc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.Generate(corpus.Mix().Scaled(f), nil)
+	p := par.NewPool(1)
+	defer p.Close()
+	for _, cfg := range []struct {
+		kind    dict.Kind
+		presize int
+	}{{dict.NodeTree, 0}, {dict.Hash, 4096}, {dict.Tree, 0}} {
+		best := metrics.NewBreakdown()
+		for rep := 0; rep < 2; rep++ {
+			bd := metrics.NewBreakdown()
+			r, err := Run(c.Source(nil), p, Options{DictKind: cfg.kind, DocPresize: cfg.presize, Normalize: true}, bd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 || bd.Total() < best.Total() {
+				best = bd
+			}
+			_ = r
+		}
+		t.Logf("%-10s presize=%-5d %s", cfg.kind, cfg.presize, best)
+	}
+}

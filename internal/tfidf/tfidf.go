@@ -1,0 +1,354 @@
+// Package tfidf implements the paper's text-processing operator: term
+// frequency-inverse document frequency over a document collection
+// (Section 3.2).
+//
+// The implementation follows the paper's two-phase structure exactly:
+//
+//   - Phase 1 ("input+wc"): documents are read and tokenized in parallel;
+//     per-document term frequencies are collected in dedicated dictionaries,
+//     and a global dictionary accumulates, per word, the number of
+//     documents containing it. "The first phase can be executed in parallel
+//     for each of the documents."
+//   - Phase 2 ("transform"): for each document, a sparse TF/IDF score
+//     vector sorted by term ID is built by looking up every word of the
+//     document in the global dictionary. This phase performs only lookups.
+//
+// The dictionary implementation (red-black tree vs hash table) is selected
+// per run — the variable of the paper's Figure 4 — and the resulting scores
+// are bit-identical across dictionary kinds and thread counts.
+package tfidf
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"hpa/internal/dict"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/simsched"
+	"hpa/internal/sparse"
+	"hpa/internal/text"
+)
+
+// Phase labels matching the legends of Figures 3 and 4.
+const (
+	PhaseInputWC   = "input+wc"
+	PhaseTransform = "transform"
+	PhaseOutput    = "tfidf-output"
+)
+
+// Options configures a TF/IDF run.
+type Options struct {
+	// DictKind selects the dictionary implementation for both the
+	// per-document tables and the global table (Figure 4's variable).
+	DictKind dict.Kind
+	// GlobalPresize pre-sizes the global dictionary. The paper pre-sizes
+	// its unordered map "to hold 4K items", far below the final vocabulary,
+	// so the hash table rehashes several times as it grows; 0 keeps that
+	// default.
+	GlobalPresize int
+	// DocPresize pre-sizes each per-document dictionary. The paper's
+	// Figure 4 hash configuration uses 4096 here too, which is what makes
+	// one retained table per document balloon to gigabytes.
+	DocPresize int
+	// Shards is the number of lock striped shards of the global dictionary
+	// (0 selects 64). Sharding is the Go analogue of whatever concurrent
+	// merging the Cilk code performs; it does not change results.
+	Shards int
+	// Stopwords optionally filters tokens.
+	Stopwords *text.StopwordSet
+	// MinWordLen drops shorter tokens.
+	MinWordLen int
+	// Stem applies Porter stemming to tokens, shrinking the vocabulary.
+	Stem bool
+	// Normalize scales each document vector to unit Euclidean norm, as the
+	// paper does before clustering ("based on their normalized TF/IDF
+	// scores").
+	Normalize bool
+	// Recorder, when non-nil, collects a simsched trace (one task per
+	// document, serial sections measured) for virtual-time scaling
+	// experiments.
+	Recorder *simsched.Recorder
+	// Ctx, when non-nil, cancels the run cooperatively: phase 1 stops
+	// issuing document reads once the context is done (in-flight documents
+	// drain), and phase 2 is not started. Run returns the context error.
+	Ctx context.Context
+}
+
+const defaultGlobalPresize = 4096
+
+// TermInfo is the global dictionary value: how many documents contain the
+// word, and the term's final ID (assigned after phase 1 in lexicographic
+// word order).
+type TermInfo struct {
+	DF uint32
+	ID uint32
+}
+
+// Result is the operator output.
+type Result struct {
+	// Terms maps term ID to word; IDs are lexicographically ordered, so
+	// Terms is sorted.
+	Terms []string
+	// DF maps term ID to document frequency.
+	DF []uint32
+	// NumDocs is the number of documents processed.
+	NumDocs int
+	// Vectors holds one sparse TF/IDF vector per document, sorted by term
+	// ID (unit-normalized when Options.Normalize is set).
+	Vectors []sparse.Vector
+	// DocNames holds the document names in document order.
+	DocNames []string
+	// DictFootprint is the summed estimated footprint of every dictionary
+	// alive at the end of phase 1 — the quantity behind the paper's
+	// "420 MB with the map ... 12.8 GB using the unordered map".
+	DictFootprint int64
+	// GlobalStats carries the global dictionary's internal counters
+	// (rehashes for Hash, rotations for Tree), summed over shards.
+	GlobalStats dict.Stats
+}
+
+// Dim returns the vocabulary size (vector dimensionality).
+func (r *Result) Dim() int { return len(r.Terms) }
+
+// shardedDict is the global word → TermInfo dictionary: lock-striped
+// shards, each an independent dictionary of the configured kind.
+//
+// Shards are selected by the HIGH bits of the word hash. The hash-table
+// dictionary inside each shard indexes buckets with the LOW bits of the
+// same hash function; sharding on low bits would leave every key in a
+// shard agreeing on those bits, collapsing the shard's table to 1/shards
+// of its buckets and multiplying chain lengths by the shard count.
+type shardedDict struct {
+	shards    []shard
+	shardBits uint
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  dict.Map[TermInfo]
+	_  [40]byte // pad to a cache line to avoid false sharing between shards
+}
+
+func newShardedDict(kind dict.Kind, shardCount, presize int) *shardedDict {
+	n := 1
+	bits := uint(0)
+	for n < shardCount {
+		n <<= 1
+		bits++
+	}
+	sd := &shardedDict{shards: make([]shard, n), shardBits: bits}
+	per := presize / n
+	for i := range sd.shards {
+		sd.shards[i].m = dict.New[TermInfo](kind, dict.Options{Presize: per})
+	}
+	return sd
+}
+
+// shardOf selects a shard from the hash's high bits (see type comment).
+func (sd *shardedDict) shardOf(word string) *shard {
+	if sd.shardBits == 0 {
+		return &sd.shards[0]
+	}
+	return &sd.shards[dict.HashString(word)>>(64-sd.shardBits)]
+}
+
+// bumpDF increments the document frequency of word, inserting it if new.
+// The key string is shared with the caller's dictionary storage.
+func (sd *shardedDict) bumpDF(word string) {
+	s := sd.shardOf(word)
+	s.mu.Lock()
+	s.m.Ref(word).DF++
+	s.mu.Unlock()
+}
+
+// get is a read-only lookup, safe without locks once mutation has ceased.
+func (sd *shardedDict) get(word string) (TermInfo, bool) {
+	return sd.shardOf(word).m.Get(word)
+}
+
+func (sd *shardedDict) len() int {
+	n := 0
+	for i := range sd.shards {
+		n += sd.shards[i].m.Len()
+	}
+	return n
+}
+
+func (sd *shardedDict) footprint() int64 {
+	var f int64
+	for i := range sd.shards {
+		f += sd.shards[i].m.Footprint()
+	}
+	return f
+}
+
+func (sd *shardedDict) stats() dict.Stats {
+	var st dict.Stats
+	for i := range sd.shards {
+		s := sd.shards[i].m.Stats()
+		st.Rehashes += s.Rehashes
+		st.Rotations += s.Rotations
+		st.Capacity += s.Capacity
+	}
+	return st
+}
+
+// Run executes the TF/IDF operator over src using the pool's workers for
+// both parallel input and parallel transformation. Phase durations are
+// accumulated into bd (which may be nil).
+func Run(src pario.Source, pool *par.Pool, opts Options, bd *metrics.Breakdown) (*Result, error) {
+	if bd == nil {
+		bd = metrics.NewBreakdown()
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 64
+	}
+	if opts.GlobalPresize <= 0 {
+		opts.GlobalPresize = defaultGlobalPresize
+	}
+	n := src.Len()
+	res := &Result{NumDocs: n}
+
+	docDicts := make([]dict.Map[uint32], n)
+	global := newShardedDict(opts.DictKind, opts.Shards, opts.GlobalPresize)
+
+	// Phase 1: parallel input + word count.
+	rec := opts.Recorder
+	var phase1Err error
+	bd.Time(PhaseInputWC, func() {
+		rec.BeginPhase(PhaseInputWC)
+		strands := par.NewReducer(func() *text.Tokenizer {
+			return &text.Tokenizer{MinLen: opts.MinWordLen, Stopwords: opts.Stopwords, Stem: opts.Stem}
+		}, nil)
+		read := func(handler func(i int, content []byte) error) error {
+			if opts.Ctx != nil {
+				return pario.ReadAllContext(opts.Ctx, src, pool.Workers(), handler)
+			}
+			return pario.ReadAll(src, pool.Workers(), handler)
+		}
+		phase1Err = read(func(i int, content []byte) error {
+			var start time.Time
+			if rec.Enabled() {
+				start = time.Now()
+			}
+			tk := strands.Claim()
+			d := dict.New[uint32](opts.DictKind, dict.Options{Presize: opts.DocPresize})
+			tk.Tokens(content, func(tok []byte) {
+				*d.RefBytes(tok)++
+			})
+			// One DF bump per distinct word of this document. The key
+			// string is shared with the per-document dictionary.
+			d.Range(func(word string, _ *uint32) bool {
+				global.bumpDF(word)
+				return true
+			})
+			docDicts[i] = d
+			strands.Release(tk)
+			if rec.Enabled() {
+				rec.Task(time.Since(start), int64(len(content)), true)
+			}
+			return nil
+		})
+	})
+	if phase1Err != nil {
+		return nil, fmt.Errorf("tfidf: %w", phase1Err)
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tfidf: %w", err)
+		}
+	}
+
+	// Phase 2: term table finalization (serial) + parallel transform.
+	bd.Time(PhaseTransform, func() {
+		rec.BeginPhase(PhaseTransform)
+		var serialStart time.Time
+		if rec.Enabled() {
+			serialStart = time.Now()
+		}
+		res.finalizeTerms(global)
+		if rec.Enabled() {
+			rec.Serial(time.Since(serialStart), 0, 0)
+		}
+
+		res.Vectors = make([]sparse.Vector, n)
+		res.DocNames = make([]string, n)
+		builders := par.NewReducer(func() *sparse.Builder { return &sparse.Builder{} },
+			func(b *sparse.Builder) { b.Reset() })
+		logN := math.Log(float64(n))
+		pool.For(0, n, 0, func(i int) {
+			var start time.Time
+			if rec.Enabled() {
+				start = time.Now()
+			}
+			b := builders.Claim()
+			b.Reset()
+			docDicts[i].Range(func(word string, tf *uint32) bool {
+				info, ok := global.get(word)
+				if !ok {
+					panic("tfidf: word vanished from global dictionary")
+				}
+				// Classic TF-IDF: tf * ln(N/df). Words present in every
+				// document score zero and drop out of the vector.
+				idf := logN - math.Log(float64(info.DF))
+				if score := float64(*tf) * idf; score != 0 {
+					b.Add(info.ID, score)
+				}
+				return true
+			})
+			// Distinct words → distinct IDs: the fast sort path applies,
+			// and dictionaries iterating in key order (the tree kinds)
+			// arrive pre-sorted and skip sorting entirely.
+			b.BuildDistinct(&res.Vectors[i])
+			if opts.Normalize {
+				res.Vectors[i].Normalize()
+			}
+			res.DocNames[i] = src.Name(i)
+			builders.Release(b)
+			if rec.Enabled() {
+				rec.Task(time.Since(start), 0, false)
+			}
+		})
+
+		// Peak dictionary memory: every per-document table plus the global
+		// table is alive here.
+		var fp int64
+		for _, d := range docDicts {
+			fp += d.Footprint()
+		}
+		res.DictFootprint = fp + global.footprint()
+		res.GlobalStats = global.stats()
+	})
+	return res, nil
+}
+
+// finalizeTerms assigns term IDs in lexicographic word order and fills
+// Terms/DF. IDs are written back into the global dictionary so that the
+// transform phase can resolve (word → ID, DF) with a single lookup.
+func (r *Result) finalizeTerms(global *shardedDict) {
+	type entry struct {
+		word string
+		info *TermInfo
+	}
+	entries := make([]entry, 0, global.len())
+	for i := range global.shards {
+		global.shards[i].m.Range(func(word string, v *TermInfo) bool {
+			entries = append(entries, entry{word, v})
+			return true
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].word < entries[j].word })
+	r.Terms = make([]string, len(entries))
+	r.DF = make([]uint32, len(entries))
+	for i, e := range entries {
+		e.info.ID = uint32(i)
+		r.Terms[i] = e.word
+		r.DF[i] = e.info.DF
+	}
+}

@@ -1,0 +1,256 @@
+package workflow
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hpa/internal/kmeans"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// PhaseOutput is the final phase of Figures 3 and 4: writing the cluster
+// assignment of every document, sequentially ("the output phase is hard to
+// parallelize").
+const PhaseOutput = "output"
+
+// Matrix is a term-document score matrix: the in-memory form of the
+// intermediate dataset between TF/IDF and K-Means.
+type Matrix struct {
+	// Terms maps column (term ID) to word.
+	Terms []string
+	// Vectors holds one sparse row per document.
+	Vectors []sparse.Vector
+	// DocNames identifies documents; may be synthesized when the matrix
+	// was loaded from ARFF (the format stores no names).
+	DocNames []string
+}
+
+// Dim returns the vocabulary size.
+func (m *Matrix) Dim() int { return len(m.Terms) }
+
+// ARFFRef points at a materialized matrix on disk.
+type ARFFRef struct {
+	// Path of the ARFF file.
+	Path string
+	// DocNames carried alongside (ARFF cannot store them); used only to
+	// label final output.
+	DocNames []string
+	// Bytes written.
+	Bytes int64
+}
+
+// Clustering pairs K-Means output with document names.
+type Clustering struct {
+	// Result is the K-Means outcome.
+	Result *kmeans.Result
+	// DocNames labels documents in output.
+	DocNames []string
+	// TFIDF carries the upstream operator result when the pipeline ran
+	// fused (nil when the matrix came from disk).
+	TFIDF *tfidf.Result
+}
+
+// TFIDFOp computes TF/IDF vectors from a document source.
+type TFIDFOp struct {
+	// Opts configures the operator; Recorder is overridden from the
+	// context.
+	Opts tfidf.Options
+}
+
+// Name implements Operator.
+func (o *TFIDFOp) Name() string { return "tfidf" }
+
+// Run implements Operator: pario.Source -> *tfidf.Result.
+func (o *TFIDFOp) Run(ctx *Context, in Value) (Value, error) {
+	src, ok := in.(pario.Source)
+	if !ok {
+		return nil, fmt.Errorf("%w: tfidf wants pario.Source, got %T", ErrType, in)
+	}
+	opts := o.Opts
+	opts.Recorder = ctx.Recorder
+	opts.Ctx = ctx.Ctx
+	return tfidf.Run(src, ctx.Pool, opts, ctx.Breakdown)
+}
+
+// MaterializeARFF writes the TF/IDF result to an ARFF file in the scratch
+// directory — the "tfidf-output" phase of the discrete workflow.
+type MaterializeARFF struct {
+	// Filename within ctx.ScratchDir (default "tfidf.arff").
+	Filename string
+}
+
+func (*MaterializeARFF) isMaterializer() {}
+
+// Name implements Operator.
+func (o *MaterializeARFF) Name() string { return "materialize-arff" }
+
+// Run implements Operator: *tfidf.Result -> *ARFFRef.
+func (o *MaterializeARFF) Run(ctx *Context, in Value) (Value, error) {
+	res, ok := in.(*tfidf.Result)
+	if !ok {
+		return nil, fmt.Errorf("%w: materialize wants *tfidf.Result, got %T", ErrType, in)
+	}
+	name := o.Filename
+	if name == "" {
+		name = "tfidf.arff"
+	}
+	path := filepath.Join(ctx.ScratchDir, name)
+	n, err := res.WriteARFF(path, ctx.Disk, ctx.Breakdown, ctx.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	return &ARFFRef{Path: path, DocNames: res.DocNames, Bytes: n}, nil
+}
+
+// LoadARFF reads a materialized matrix back — the "kmeans-input" phase of
+// the discrete workflow.
+type LoadARFF struct{}
+
+func (*LoadARFF) isLoader() {}
+
+// Name implements Operator.
+func (o *LoadARFF) Name() string { return "load-arff" }
+
+// Run implements Operator: *ARFFRef -> *Matrix.
+func (o *LoadARFF) Run(ctx *Context, in Value) (Value, error) {
+	ref, ok := in.(*ARFFRef)
+	if !ok {
+		return nil, fmt.Errorf("%w: load wants *ARFFRef, got %T", ErrType, in)
+	}
+	terms, rows, err := tfidf.ReadARFF(ref.Path, ctx.Disk, ctx.Breakdown, ctx.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{Terms: terms, Vectors: rows, DocNames: ref.DocNames}, nil
+}
+
+// KMeansOp clusters the matrix. It accepts either the fused in-memory
+// *tfidf.Result or a *Matrix loaded from disk.
+type KMeansOp struct {
+	// Opts configures clustering; Recorder is overridden from the context.
+	Opts kmeans.Options
+}
+
+// Name implements Operator.
+func (o *KMeansOp) Name() string { return "kmeans" }
+
+// Run implements Operator: *tfidf.Result | *Matrix -> *Clustering.
+func (o *KMeansOp) Run(ctx *Context, in Value) (Value, error) {
+	var (
+		vectors []sparse.Vector
+		dim     int
+		names   []string
+		up      *tfidf.Result
+	)
+	switch v := in.(type) {
+	case *tfidf.Result:
+		vectors, dim, names, up = v.Vectors, v.Dim(), v.DocNames, v
+	case *Matrix:
+		vectors, dim, names = v.Vectors, v.Dim(), v.DocNames
+	default:
+		return nil, fmt.Errorf("%w: kmeans wants *tfidf.Result or *Matrix, got %T", ErrType, in)
+	}
+	opts := o.Opts
+	opts.Recorder = ctx.Recorder
+	res, err := kmeans.Run(vectors, dim, ctx.Pool, opts, ctx.Breakdown)
+	if err != nil {
+		return nil, err
+	}
+	if names == nil {
+		names = make([]string, len(vectors))
+		for i := range names {
+			names[i] = fmt.Sprintf("doc%07d", i)
+		}
+	}
+	return &Clustering{Result: res, DocNames: names, TFIDF: up}, nil
+}
+
+// WriteAssignments emits the final "output" phase: one "name<TAB>cluster"
+// line per document, written sequentially and charged to the device.
+type WriteAssignments struct {
+	// Filename within ctx.ScratchDir (default "clusters.tsv").
+	Filename string
+}
+
+// Name implements Operator.
+func (o *WriteAssignments) Name() string { return "output" }
+
+// Run implements Operator: *Clustering -> *Clustering (pass-through).
+func (o *WriteAssignments) Run(ctx *Context, in Value) (Value, error) {
+	cl, ok := in.(*Clustering)
+	if !ok {
+		return nil, fmt.Errorf("%w: output wants *Clustering, got %T", ErrType, in)
+	}
+	name := o.Filename
+	if name == "" {
+		name = "clusters.tsv"
+	}
+	path := filepath.Join(ctx.ScratchDir, name)
+	err := ctx.Breakdown.TimeErr(PhaseOutput, func() error {
+		ctx.Recorder.BeginPhase(PhaseOutput)
+		start := time.Now()
+		n, err := writeAssignments(path, cl)
+		ctx.Disk.ChargeRead(n, true)
+		ctx.Recorder.Serial(time.Since(start), n, 1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+func writeAssignments(path string, cl *Clustering) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var n int64
+	for i, a := range cl.Result.Assign {
+		line := fmt.Sprintf("%s\t%d\n", cl.DocNames[i], a)
+		n += int64(len(line))
+		if _, err := w.WriteString(line); err != nil {
+			f.Close()
+			return n, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}
+
+// TopTermLabels returns, for each cluster, the words of the w heaviest
+// centroid components — a human-readable label for the cluster. It
+// requires term names, which are available when the pipeline ran fused
+// (the TF/IDF result is retained); for discrete runs pass the terms read
+// from the ARFF header to LabelWithTerms.
+func (c *Clustering) TopTermLabels(w int) ([][]string, bool) {
+	if c.TFIDF == nil {
+		return nil, false
+	}
+	return c.LabelWithTerms(c.TFIDF.Terms, w), true
+}
+
+// LabelWithTerms maps the top-w centroid components of every cluster to
+// words using the provided term table.
+func (c *Clustering) LabelWithTerms(terms []string, w int) [][]string {
+	top := c.Result.TopTerms(w)
+	out := make([][]string, len(top))
+	for j, ids := range top {
+		out[j] = make([]string, 0, len(ids))
+		for _, id := range ids {
+			if int(id) < len(terms) {
+				out[j] = append(out[j], terms[id])
+			}
+		}
+	}
+	return out
+}

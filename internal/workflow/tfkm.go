@@ -1,0 +1,113 @@
+package workflow
+
+import (
+	"fmt"
+
+	"hpa/internal/dict"
+	"hpa/internal/kmeans"
+	"hpa/internal/metrics"
+	"hpa/internal/pario"
+	"hpa/internal/tfidf"
+)
+
+// Mode selects between the paper's two executions of the TF/IDF→K-Means
+// workflow (Figure 3).
+type Mode int
+
+const (
+	// Discrete runs TF/IDF and K-Means as separate operators communicating
+	// through an ARFF file on disk.
+	Discrete Mode = iota
+	// Merged fuses the two operators into one image; the TF/IDF scores
+	// stay in memory.
+	Merged
+)
+
+// String returns the paper's label for the mode.
+func (m Mode) String() string {
+	switch m {
+	case Discrete:
+		return "discrete"
+	case Merged:
+		return "merged"
+	default:
+		return "unknown"
+	}
+}
+
+// TFKMConfig configures the TF/IDF→K-Means workflow.
+type TFKMConfig struct {
+	// Mode selects discrete or merged execution.
+	Mode Mode
+	// TFIDF configures the text operator.
+	TFIDF tfidf.Options
+	// KMeans configures the clustering operator.
+	KMeans kmeans.Options
+}
+
+// TFKMPipeline constructs the workflow. The discrete pipeline contains the
+// materialize/load pair; Merged is exactly Fuse(discrete).
+func TFKMPipeline(cfg TFKMConfig) *Pipeline {
+	p := NewPipeline(
+		&TFIDFOp{Opts: cfg.TFIDF},
+		&MaterializeARFF{},
+		&LoadARFF{},
+		&KMeansOp{Opts: cfg.KMeans},
+		&WriteAssignments{},
+	)
+	if cfg.Mode == Merged {
+		return Fuse(p)
+	}
+	return p
+}
+
+// TFKMReport is the outcome of a workflow run.
+type TFKMReport struct {
+	// Clustering is the final dataset.
+	Clustering *Clustering
+	// Breakdown holds per-phase times: input+wc, [tfidf-output,
+	// kmeans-input,] transform, kmeans, output.
+	Breakdown *metrics.Breakdown
+	// DictFootprint is the TF/IDF dictionary memory (Figure 4's
+	// measurement); zero in discrete mode after the operator exits only if
+	// the result was dropped — it is captured before that.
+	DictFootprint int64
+	// DictStats carries the global dictionary's counters (rehashes for the
+	// hash kind, rotations for the tree kind).
+	DictStats dict.Stats
+}
+
+// RunTFKM executes the workflow over src in the given context.
+func RunTFKM(src pario.Source, ctx *Context, cfg TFKMConfig) (*TFKMReport, error) {
+	if ctx.Breakdown == nil {
+		ctx.Breakdown = metrics.NewBreakdown()
+	}
+	pipe := TFKMPipeline(cfg)
+
+	// Capture the dictionary footprint when the TF/IDF operator finishes,
+	// regardless of mode — in discrete mode the result is dropped once
+	// materialized.
+	var foot int64
+	var stats dict.Stats
+	prevObserve := ctx.Observe
+	ctx.Observe = func(op Operator, out Value) {
+		if r, ok := out.(*tfidf.Result); ok {
+			foot = r.DictFootprint
+			stats = r.GlobalStats
+		}
+		if prevObserve != nil {
+			prevObserve(op, out)
+		}
+	}
+	defer func() { ctx.Observe = prevObserve }()
+
+	out, err := pipe.Run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	cl, ok := out.(*Clustering)
+	if !ok {
+		return nil, fmt.Errorf("workflow: pipeline produced %T", out)
+	}
+	return &TFKMReport{Clustering: cl, Breakdown: ctx.Breakdown, DictFootprint: foot, DictStats: stats}, nil
+}

@@ -1,0 +1,207 @@
+package workflow
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"hpa/internal/dict"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/text"
+)
+
+// WordCounts is the output of WordCountOp: corpus-wide term frequencies.
+type WordCounts struct {
+	// Words and Counts are parallel, ordered by descending count (ties by
+	// word).
+	Words  []string
+	Counts []uint64
+	// TotalTokens is the token count across the corpus.
+	TotalTokens uint64
+}
+
+// Top returns the n most frequent words.
+func (w *WordCounts) Top(n int) []string {
+	if n > len(w.Words) {
+		n = len(w.Words)
+	}
+	return w.Words[:n]
+}
+
+// Count returns the frequency of a word (0 if absent).
+func (w *WordCounts) Count(word string) uint64 {
+	for i, wd := range w.Words {
+		if wd == word {
+			return w.Counts[i]
+		}
+	}
+	return 0
+}
+
+// WordCountOp computes corpus-wide word frequencies — the canonical first
+// analytics operator, included as a second instantiation of the workflow
+// engine beyond TF/IDF→K-Means. Phase structure mirrors the paper's
+// input+wc: parallel per-document tokenize-and-count into per-strand
+// dictionaries, merged once at the end (a classic reducer).
+type WordCountOp struct {
+	// DictKind selects the per-strand dictionary implementation.
+	DictKind dict.Kind
+	// Stopwords, MinWordLen and Stem configure tokenization.
+	Stopwords  *text.StopwordSet
+	MinWordLen int
+	Stem       bool
+}
+
+// Name implements Operator.
+func (o *WordCountOp) Name() string { return "wordcount" }
+
+// Run implements Operator: pario.Source -> *WordCounts.
+func (o *WordCountOp) Run(ctx *Context, in Value) (Value, error) {
+	src, ok := in.(pario.Source)
+	if !ok {
+		return nil, fmt.Errorf("%w: wordcount wants pario.Source, got %T", ErrType, in)
+	}
+	type strand struct {
+		tk *text.Tokenizer
+		m  dict.Map[uint64]
+		n  uint64
+	}
+	strands := par.NewReducer(func() *strand {
+		return &strand{
+			tk: &text.Tokenizer{MinLen: o.MinWordLen, Stopwords: o.Stopwords, Stem: o.Stem},
+			m:  dict.New[uint64](o.DictKind, dict.Options{}),
+		}
+	}, nil)
+
+	var out *WordCounts
+	err := ctx.Breakdown.TimeErr(tfidfPhaseInputWC, func() error {
+		read := func(h func(int, []byte) error) error {
+			if ctx.Ctx != nil {
+				return pario.ReadAllContext(ctx.Ctx, src, ctx.Pool.Workers(), h)
+			}
+			return pario.ReadAll(src, ctx.Pool.Workers(), h)
+		}
+		if err := read(func(i int, content []byte) error {
+			s := strands.Claim()
+			s.tk.Tokens(content, func(tok []byte) {
+				*s.m.RefBytes(tok)++
+				s.n++
+			})
+			strands.Release(s)
+			return nil
+		}); err != nil {
+			return err
+		}
+
+		// Merge per-strand dictionaries (serial: strand count is the peak
+		// concurrency, not the corpus size).
+		merged := dict.New[uint64](o.DictKind, dict.Options{})
+		var total uint64
+		for _, s := range strands.Views() {
+			total += s.n
+			s.m.Range(func(word string, c *uint64) bool {
+				*merged.Ref(word) += *c
+				return true
+			})
+		}
+		out = &WordCounts{
+			Words:       make([]string, 0, merged.Len()),
+			Counts:      make([]uint64, 0, merged.Len()),
+			TotalTokens: total,
+		}
+		merged.Range(func(word string, c *uint64) bool {
+			out.Words = append(out.Words, word)
+			out.Counts = append(out.Counts, *c)
+			return true
+		})
+		sort.Sort(&byCountDesc{out})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tfidfPhaseInputWC mirrors tfidf.PhaseInputWC without an import cycle.
+const tfidfPhaseInputWC = "input+wc"
+
+type byCountDesc struct{ w *WordCounts }
+
+func (b *byCountDesc) Len() int { return len(b.w.Words) }
+func (b *byCountDesc) Less(i, j int) bool {
+	if b.w.Counts[i] != b.w.Counts[j] {
+		return b.w.Counts[i] > b.w.Counts[j]
+	}
+	return b.w.Words[i] < b.w.Words[j]
+}
+func (b *byCountDesc) Swap(i, j int) {
+	b.w.Words[i], b.w.Words[j] = b.w.Words[j], b.w.Words[i]
+	b.w.Counts[i], b.w.Counts[j] = b.w.Counts[j], b.w.Counts[i]
+}
+
+// WriteWordCounts emits the final output phase of the word-count workflow:
+// "word<TAB>count" lines, most frequent first, sequential.
+type WriteWordCounts struct {
+	// Filename within ctx.ScratchDir (default "wordcounts.tsv").
+	Filename string
+	// Limit caps the number of emitted words (0 = all).
+	Limit int
+}
+
+// Name implements Operator.
+func (o *WriteWordCounts) Name() string { return "output" }
+
+// Run implements Operator: *WordCounts -> *WordCounts (pass-through).
+func (o *WriteWordCounts) Run(ctx *Context, in Value) (Value, error) {
+	wc, ok := in.(*WordCounts)
+	if !ok {
+		return nil, fmt.Errorf("%w: output wants *WordCounts, got %T", ErrType, in)
+	}
+	name := o.Filename
+	if name == "" {
+		name = "wordcounts.tsv"
+	}
+	path := filepath.Join(ctx.ScratchDir, name)
+	err := ctx.Breakdown.TimeErr(PhaseOutput, func() error {
+		start := time.Now()
+		n, err := writeCounts(path, wc, o.Limit)
+		ctx.Disk.ChargeRead(n, true)
+		ctx.Recorder.Serial(time.Since(start), n, 1)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wc, nil
+}
+
+func writeCounts(path string, wc *WordCounts, limit int) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var n int64
+	end := len(wc.Words)
+	if limit > 0 && limit < end {
+		end = limit
+	}
+	for i := 0; i < end; i++ {
+		line := fmt.Sprintf("%s\t%d\n", wc.Words[i], wc.Counts[i])
+		n += int64(len(line))
+		if _, err := w.WriteString(line); err != nil {
+			f.Close()
+			return n, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}

@@ -1,0 +1,129 @@
+package workflow
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpa/internal/dict"
+	"hpa/internal/pario"
+	"hpa/internal/text"
+)
+
+func wcSource(docs ...string) *pario.MemSource {
+	m := &pario.MemSource{}
+	for _, d := range docs {
+		m.Docs = append(m.Docs, []byte(d))
+	}
+	return m
+}
+
+func TestWordCountHandComputed(t *testing.T) {
+	ctx := testCtx(t, 2)
+	p := NewPipeline(&WordCountOp{DictKind: dict.Tree})
+	out, err := p.Run(ctx, pario.Source(wcSource(
+		"the cat sat on the mat",
+		"the dog",
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := out.(*WordCounts)
+	if wc.TotalTokens != 8 {
+		t.Fatalf("total tokens %d, want 8", wc.TotalTokens)
+	}
+	if wc.Words[0] != "the" || wc.Counts[0] != 3 {
+		t.Fatalf("top word %q:%d, want the:3", wc.Words[0], wc.Counts[0])
+	}
+	if wc.Count("cat") != 1 || wc.Count("absent") != 0 {
+		t.Fatalf("counts wrong: cat=%d", wc.Count("cat"))
+	}
+	if got := wc.Top(2); len(got) != 2 || got[0] != "the" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+}
+
+func TestWordCountMatchesBruteForceAcrossKindsAndWorkers(t *testing.T) {
+	c := testCorpus()
+	// Brute force with a plain map.
+	want := map[string]uint64{}
+	tk := &text.Tokenizer{}
+	var wantTotal uint64
+	for _, d := range c.Docs {
+		tk.Tokens(d, func(tok []byte) {
+			want[string(tok)]++
+			wantTotal++
+		})
+	}
+	for _, kind := range []dict.Kind{dict.Tree, dict.Hash, dict.NodeTree} {
+		for _, workers := range []int{1, 4} {
+			ctx := testCtx(t, workers)
+			out, err := NewPipeline(&WordCountOp{DictKind: kind}).Run(ctx, pario.Source(c.Source(nil)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc := out.(*WordCounts)
+			if wc.TotalTokens != wantTotal {
+				t.Fatalf("%v/%d: total %d want %d", kind, workers, wc.TotalTokens, wantTotal)
+			}
+			if len(wc.Words) != len(want) {
+				t.Fatalf("%v/%d: %d distinct, want %d", kind, workers, len(wc.Words), len(want))
+			}
+			for i, w := range wc.Words {
+				if wc.Counts[i] != want[w] {
+					t.Fatalf("%v/%d: %q=%d want %d", kind, workers, w, wc.Counts[i], want[w])
+				}
+			}
+		}
+	}
+}
+
+func TestWordCountSortedDescending(t *testing.T) {
+	ctx := testCtx(t, 2)
+	out, err := NewPipeline(&WordCountOp{DictKind: dict.Hash}).Run(ctx, pario.Source(testCorpus().Source(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := out.(*WordCounts)
+	for i := 1; i < len(wc.Counts); i++ {
+		if wc.Counts[i] > wc.Counts[i-1] {
+			t.Fatalf("counts not descending at %d", i)
+		}
+		if wc.Counts[i] == wc.Counts[i-1] && wc.Words[i] < wc.Words[i-1] {
+			t.Fatalf("tie not word-ordered at %d", i)
+		}
+	}
+}
+
+func TestWordCountPipelineWithOutput(t *testing.T) {
+	ctx := testCtx(t, 2)
+	p := NewPipeline(
+		&WordCountOp{DictKind: dict.Tree, Stopwords: text.English()},
+		&WriteWordCounts{Limit: 10},
+	)
+	if _, err := p.Run(ctx, pario.Source(testCorpus().Source(nil))); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(ctx.ScratchDir, "wordcounts.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines, want 10 (limit)", len(lines))
+	}
+	if ctx.Breakdown.Get(PhaseOutput) == 0 || ctx.Breakdown.Get("input+wc") == 0 {
+		t.Fatalf("phases missing: %v", ctx.Breakdown)
+	}
+}
+
+func TestWordCountTypeError(t *testing.T) {
+	ctx := testCtx(t, 1)
+	if _, err := (&WordCountOp{}).Run(ctx, 42); err == nil {
+		t.Fatal("accepted int input")
+	}
+	if _, err := (&WriteWordCounts{}).Run(ctx, "x"); err == nil {
+		t.Fatal("accepted string input")
+	}
+}

@@ -1,0 +1,142 @@
+// Package workflow implements the paper's third optimization, workflow
+// fusion (Section 3.3): a small operator-pipeline engine in which operators
+// either communicate through files on disk (the "discrete" execution of
+// Figure 3, with the intermediate TF/IDF scores materialized as ARFF) or
+// are fused into a single executable image passing data in memory (the
+// "merged" execution).
+//
+// Fusion is a graph transform: a pipeline containing an explicit
+// materialize/load operator pair around an edge is rewritten by Fuse into
+// one without them. Running the original pipeline and the fused pipeline
+// therefore measures exactly the cost the paper attributes to intermediate
+// I/O — the operators on either side are the same code.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/simsched"
+)
+
+// Value is a dataset flowing along a pipeline edge. Concrete types used by
+// the built-in operators: pario.Source (documents), *tfidf.Result,
+// *Matrix (term-document score matrix), *ARFFRef (a materialized matrix on
+// disk) and *Clustering.
+type Value any
+
+// Context carries the execution environment through a pipeline run.
+type Context struct {
+	// Pool supplies intra-node parallelism to every operator.
+	Pool *par.Pool
+	// Disk models the storage device for inputs and intermediates; nil
+	// means unthrottled.
+	Disk *pario.DiskSim
+	// Breakdown accumulates per-phase wall-clock time (Figure 3/4's
+	// stacked bars). Never nil after NewContext.
+	Breakdown *metrics.Breakdown
+	// Recorder optionally collects a simsched trace of the whole workflow.
+	Recorder *simsched.Recorder
+	// ScratchDir hosts intermediate files of discrete pipelines.
+	ScratchDir string
+	// Observe, when non-nil, is called after each operator with its output
+	// dataset — used for progress reporting and for capturing intermediate
+	// measurements (e.g. dictionary footprints) without altering the plan.
+	Observe func(op Operator, out Value)
+	// Ctx, when non-nil, cancels the run cooperatively: the pipeline stops
+	// before the next operator once the context is done, and
+	// cancellation-aware operators (TF/IDF input) abort mid-phase.
+	Ctx context.Context
+}
+
+// NewContext returns a context with an empty breakdown.
+func NewContext(pool *par.Pool) *Context {
+	return &Context{Pool: pool, Breakdown: metrics.NewBreakdown()}
+}
+
+// Operator is one workflow stage.
+type Operator interface {
+	// Name identifies the operator in errors and plans.
+	Name() string
+	// Run transforms the input dataset into the output dataset.
+	Run(ctx *Context, in Value) (Value, error)
+}
+
+// Pipeline is a linear operator chain.
+type Pipeline struct {
+	Ops []Operator
+}
+
+// NewPipeline builds a pipeline from operators in execution order.
+func NewPipeline(ops ...Operator) *Pipeline { return &Pipeline{Ops: ops} }
+
+// Run threads the input through every operator.
+func (p *Pipeline) Run(ctx *Context, in Value) (Value, error) {
+	if ctx.Breakdown == nil {
+		ctx.Breakdown = metrics.NewBreakdown()
+	}
+	v := in
+	for _, op := range p.Ops {
+		if ctx.Ctx != nil {
+			if err := ctx.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("workflow: before operator %s: %w", op.Name(), err)
+			}
+		}
+		var err error
+		v, err = op.Run(ctx, v)
+		if err != nil {
+			return nil, fmt.Errorf("workflow: operator %s: %w", op.Name(), err)
+		}
+		if ctx.Observe != nil {
+			ctx.Observe(op, v)
+		}
+	}
+	return v, nil
+}
+
+// String renders the plan, marking materialization boundaries.
+func (p *Pipeline) String() string {
+	s := ""
+	for i, op := range p.Ops {
+		if i > 0 {
+			s += " -> "
+		}
+		s += op.Name()
+	}
+	return s
+}
+
+// materializer is implemented by operators that write their input to disk
+// for a later loader; loader by operators that read it back. Fuse cancels
+// adjacent pairs.
+type materializer interface{ isMaterializer() }
+type loader interface{ isLoader() }
+
+// Fuse returns a copy of the pipeline with every adjacent
+// materializer/loader pair removed — the paper's fusion of discrete
+// operators into "single binaries that encapsulate a complex workflow". The
+// input pipeline is unchanged.
+func Fuse(p *Pipeline) *Pipeline {
+	out := &Pipeline{}
+	i := 0
+	for i < len(p.Ops) {
+		if i+1 < len(p.Ops) {
+			_, isM := p.Ops[i].(materializer)
+			_, isL := p.Ops[i+1].(loader)
+			if isM && isL {
+				i += 2 // cancel the pair: data stays in memory
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, p.Ops[i])
+		i++
+	}
+	return out
+}
+
+// ErrType reports a dataset type mismatch between pipeline stages.
+var ErrType = errors.New("workflow: dataset type mismatch")

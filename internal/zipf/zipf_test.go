@@ -1,0 +1,240 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDecorrelated(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from adjacent seeds", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck-at-zero stream")
+	}
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(5)
+	var sum, sumsq float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestSamplerCDFMonotoneAndNormalized(t *testing.T) {
+	z := NewSampler(1000, 1.07, 2.7)
+	prev := 0.0
+	for i, c := range z.cdf {
+		if c < prev {
+			t.Fatalf("cdf not monotone at %d: %v < %v", i, c, prev)
+		}
+		prev = c
+	}
+	if z.cdf[len(z.cdf)-1] != 1 {
+		t.Fatalf("cdf tail = %v, want 1", z.cdf[len(z.cdf)-1])
+	}
+}
+
+func TestSamplerProbabilitiesSumToOne(t *testing.T) {
+	z := NewSampler(500, 1.0, 0)
+	sum := 0.0
+	for k := 0; k < z.V(); k++ {
+		sum += z.P(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum P(k) = %v, want 1", sum)
+	}
+}
+
+func TestSamplerRankOrdering(t *testing.T) {
+	z := NewSampler(100, 1.2, 0)
+	for k := 1; k < z.V(); k++ {
+		if z.P(k) > z.P(k-1) {
+			t.Fatalf("P(%d)=%v > P(%d)=%v: not rank-decreasing", k, z.P(k), k-1, z.P(k-1))
+		}
+	}
+}
+
+func TestSamplerEmpiricalFrequencies(t *testing.T) {
+	z := NewSampler(50, 1.0, 0)
+	r := NewRNG(99)
+	counts := make([]int, z.V())
+	const n = 500_000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 0; k < 10; k++ {
+		got := float64(counts[k]) / n
+		want := z.P(k)
+		if math.Abs(got-want) > 0.15*want+0.001 {
+			t.Fatalf("rank %d empirical freq %v, want ~%v", k, got, want)
+		}
+	}
+}
+
+func TestSamplerBoundsPanic(t *testing.T) {
+	for _, c := range []struct {
+		v int
+		s float64
+	}{{0, 1}, {10, 0}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSampler(%d, %v, 0) did not panic", c.v, c.s)
+				}
+			}()
+			NewSampler(c.v, c.s, 0)
+		}()
+	}
+}
+
+func TestExpectedDistinctBounds(t *testing.T) {
+	z := NewSampler(1000, 1.05, 1)
+	if d := z.ExpectedDistinct(0); d != 0 {
+		t.Fatalf("ExpectedDistinct(0) = %v, want 0", d)
+	}
+	d1 := z.ExpectedDistinct(1_000)
+	d2 := z.ExpectedDistinct(100_000)
+	if !(d1 > 0 && d1 < d2 && d2 <= 1000) {
+		t.Fatalf("ExpectedDistinct not monotone/bounded: %v, %v", d1, d2)
+	}
+}
+
+func TestExpectedDistinctMatchesEmpirical(t *testing.T) {
+	z := NewSampler(2000, 1.07, 2)
+	r := NewRNG(123)
+	const n = 20_000
+	seen := make([]bool, z.V())
+	distinct := 0
+	for i := 0; i < n; i++ {
+		k := z.Sample(r)
+		if !seen[k] {
+			seen[k] = true
+			distinct++
+		}
+	}
+	want := z.ExpectedDistinct(n)
+	if math.Abs(float64(distinct)-want) > 0.05*want {
+		t.Fatalf("empirical distinct %d vs expected %.0f (>5%% off)", distinct, want)
+	}
+}
+
+func TestWordTableDistinct(t *testing.T) {
+	const v = 20_000
+	w := NewWordTable(v)
+	seen := make(map[string]int, v)
+	for i := 0; i < v; i++ {
+		word := w.Word(i)
+		if word == "" {
+			t.Fatalf("rank %d has empty word", i)
+		}
+		if prev, dup := seen[word]; dup {
+			t.Fatalf("ranks %d and %d share word %q", prev, i, word)
+		}
+		seen[word] = i
+	}
+}
+
+func TestWordTableLowercaseAlpha(t *testing.T) {
+	w := NewWordTable(5000)
+	for i := 0; i < w.Len(); i++ {
+		for _, c := range w.Word(i) {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q contains non-lowercase-letter %q", w.Word(i), c)
+			}
+		}
+	}
+}
+
+func TestWordTableHotRanksShort(t *testing.T) {
+	w := NewWordTable(100_000)
+	if len(w.Word(0)) > len(w.Word(99_999)) {
+		// lengths must be non-decreasing-ish: spot check extremes
+		t.Fatalf("rank 0 word %q longer than tail word %q", w.Word(0), w.Word(99_999))
+	}
+}
+
+func TestAvgLenReasonable(t *testing.T) {
+	z := NewSampler(10_000, 1.05, 1)
+	w := NewWordTable(10_000)
+	avg := w.AvgLen(z)
+	if avg < 2 || avg > 8 {
+		t.Fatalf("frequency-weighted average word length %v outside [2,8]", avg)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	z := NewSampler(270_000, 1.07, 2.7)
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}
