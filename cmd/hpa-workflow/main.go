@@ -8,9 +8,11 @@
 //	hpa-workflow -in CORPUSDIR [-mode merged|discrete] [-threads N]
 //	             [-dict map|u-map|map-arena] [-presize 0] [-k 8] [-seed 1]
 //	             [-scratch DIR] [-disksim off|hdd] [-sweep 1,4,8,12,16]
+//	             [-explain]
 //
 // With -sweep, the workflow runs once per thread count and prints a
-// Figure 3-style table.
+// Figure 3-style table. With -explain, the validated plan DAG is printed
+// (materialize/load edges marked =[arff]=>) and nothing runs.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		scratch  = flag.String("scratch", "", "scratch directory (default: temp)")
 		diskSim  = flag.String("disksim", "off", "storage model: off or hdd")
 		sweep    = flag.String("sweep", "", "comma-separated thread counts for a Figure 3-style sweep")
+		explain  = flag.Bool("explain", false, "print the validated plan DAG and exit")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -95,6 +98,19 @@ func main() {
 			Normalize:  true,
 		},
 		KMeans: kmeans.Options{K: *k, Seed: *seed},
+	}
+
+	if *explain {
+		src, err := corpus.OpenDir(*in, nil)
+		if err != nil {
+			fatal(err)
+		}
+		plan := workflow.TFKMPlan(src, cfg)
+		if err := plan.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Println(plan.Explain())
+		return
 	}
 
 	threadList := []int{*threads}

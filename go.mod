@@ -1,0 +1,3 @@
+module hpa
+
+go 1.24

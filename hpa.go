@@ -5,10 +5,15 @@
 //
 // The library provides:
 //
-//   - analytics operators: TF/IDF text vectorization and K-Means
-//     clustering, both parallelized over a Cilk-style work-stealing pool;
-//   - a workflow engine in which operators either communicate through
-//     ARFF files on disk or are fused into a single in-memory pipeline;
+//   - analytics operators: TF/IDF text vectorization, word counting and
+//     K-Means clustering, parallelized over a Cilk-style work-stealing pool;
+//   - a typed DAG plan engine (validate -> rewrite -> execute): workflows
+//     are graphs of named operator nodes with declared port types, checked
+//     by Validate before anything runs, transformed by rewrite rules —
+//     fusion cancels materialize/load edges so operators pass data in
+//     memory instead of through ARFF files, shared-scan dedup merges
+//     identical corpus scans — and executed with independent branches
+//     running concurrently on the pool;
 //   - selectable dictionary data structures (red-black tree vs hash
 //     table) whose trade-offs differ per workflow phase;
 //   - parallel file input with an optional storage-device simulator;
@@ -17,6 +22,8 @@
 //     on machines with fewer cores than the sweep.
 //
 // # Quick start
+//
+// The paper's TF/IDF→K-Means workflow in one call:
 //
 //	pool := hpa.NewPool(8)
 //	defer pool.Close()
@@ -28,6 +35,29 @@
 //	    TFIDF:  hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true},
 //	    KMeans: hpa.KMeansOptions{K: 8},
 //	})
+//
+// # Branching plans
+//
+// Plans express workflows the linear Pipeline could not: one corpus scan
+// feeding several operators, results fanning out to multiple sinks. Build
+// the graph, validate, optionally rewrite, run:
+//
+//	plan := hpa.NewPlan().
+//	    Add("scan", &hpa.SourceOp{Src: corpus.Source(nil)}).
+//	    Add("wordcount", &hpa.WordCountOp{DictKind: hpa.TreeDict}).
+//	    Add("tfidf", &hpa.TFIDFOp{Opts: hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true}}).
+//	    Add("kmeans", &hpa.KMeansOp{Opts: hpa.KMeansOptions{K: 8}}).
+//	    Add("archive", &hpa.MaterializeARFF{}).
+//	    Connect("scan", "wordcount").
+//	    Connect("scan", "tfidf").
+//	    Connect("tfidf", "kmeans").
+//	    Connect("tfidf", "archive")
+//	if err := plan.Validate(); err != nil { ... } // typed edges, no cycles
+//	outs, err := plan.Run(ctx)                    // branches run concurrently
+//
+// The word-count and K-Means branches execute concurrently on the pool, and
+// outs holds one dataset per sink node. Apply rewrite rules with
+// plan.Apply(hpa.FuseRule(), hpa.SharedScanRule()).
 //
 // The subpackages under internal/ implement the pieces; this package is the
 // supported surface.
@@ -158,12 +188,27 @@ type Breakdown = metrics.Breakdown
 // Workflow engine surface.
 type (
 	// WorkflowContext carries pool, device model, metrics and scratch
-	// space through a pipeline run.
+	// space through a plan run.
 	WorkflowContext = workflow.Context
-	// Pipeline is a linear operator chain.
+	// Plan is a typed DAG of named operator nodes: validate with
+	// Plan.Validate, transform with Plan.Apply, execute with Plan.Run.
+	Plan = workflow.Plan
+	// PlanEdge connects a node's output to another node's input port.
+	PlanEdge = workflow.Edge
+	// Rewriter is a declarative plan-to-plan transformation rule.
+	Rewriter = workflow.Rewriter
+	// Pipeline is a linear operator chain, kept as a thin adapter that
+	// compiles to a single-chain Plan.
 	Pipeline = workflow.Pipeline
 	// Operator is one workflow stage.
 	Operator = workflow.Operator
+	// TypedOperator is an Operator that declares its input/output port
+	// types for build-time validation.
+	TypedOperator = workflow.TypedOperator
+	// MultiOperator is an Operator with more than one input port.
+	MultiOperator = workflow.MultiOperator
+	// Vectorized is the matrix-shaped dataset contract KMeansOp accepts.
+	Vectorized = workflow.Vectorized
 	// TFKMConfig configures the TF/IDF→K-Means workflow.
 	TFKMConfig = workflow.TFKMConfig
 	// TFKMReport is the workflow outcome with its phase breakdown.
@@ -180,8 +225,11 @@ const (
 	Merged   = workflow.Merged
 )
 
-// Built-in operators, for assembling custom pipelines with NewPipeline.
+// Built-in operators, for assembling custom plans with NewPlan (or linear
+// chains with NewPipeline).
 type (
+	// SourceOp injects a document source into a plan as a scan node.
+	SourceOp = workflow.SourceOp
 	// TFIDFOp vectorizes a document source.
 	TFIDFOp = workflow.TFIDFOp
 	// KMeansOp clusters a matrix or TF/IDF result.
@@ -202,6 +250,18 @@ type (
 	Matrix = workflow.Matrix
 )
 
+// NewPlan returns an empty plan; chain Add and Connect to build the DAG.
+func NewPlan() *Plan { return workflow.NewPlan() }
+
+// FuseRule returns the fusion rewriter: materialize -> load edges anywhere
+// in the plan are canceled so the intermediate dataset stays in memory —
+// the paper's workflow-fusion optimization as a graph rewrite rule.
+func FuseRule() Rewriter { return workflow.FuseRule() }
+
+// SharedScanRule returns the scan-deduplication rewriter: several scans of
+// the same Source collapse into one node so the corpus is read once.
+func SharedScanRule() Rewriter { return workflow.SharedScanRule() }
+
 // NewPipeline builds a pipeline from operators in execution order.
 func NewPipeline(ops ...Operator) *Pipeline { return workflow.NewPipeline(ops...) }
 
@@ -219,13 +279,18 @@ func RunTFIDFKMeans(src Source, ctx *WorkflowContext, cfg TFKMConfig) (*TFKMRepo
 	return workflow.RunTFKM(src, ctx, cfg)
 }
 
-// FusePipeline removes adjacent materialize/load operator pairs — the
-// paper's workflow-fusion optimization as a graph transform.
+// FusePipeline removes materialize/load operator pairs from a linear chain
+// — the paper's workflow-fusion optimization, applied through FuseRule on
+// the pipeline's compiled plan.
 func FusePipeline(p *Pipeline) *Pipeline { return workflow.Fuse(p) }
 
 // NewTFKMPipeline constructs the TF/IDF→K-Means pipeline for the config;
 // Merged mode returns the fused plan.
 func NewTFKMPipeline(cfg TFKMConfig) *Pipeline { return workflow.TFKMPipeline(cfg) }
+
+// NewTFKMPlan constructs the TF/IDF→K-Means workflow over src as a Plan;
+// Merged mode returns the discrete plan with FuseRule applied.
+func NewTFKMPlan(src Source, cfg TFKMConfig) *Plan { return workflow.TFKMPlan(src, cfg) }
 
 // Similarity search (cosine top-k retrieval over TF/IDF vectors).
 type (

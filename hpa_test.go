@@ -113,6 +113,66 @@ func TestPublicBaselineAgreesWithOptimized(t *testing.T) {
 	}
 }
 
+func TestPublicBranchingPlan(t *testing.T) {
+	pool := hpa.NewPool(4)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.002), pool)
+	src := c.Source(nil)
+
+	// One scan fans out to word-count and TF/IDF; the TF/IDF result fans
+	// out to K-Means and an ARFF archive. Two scan nodes collapse into one
+	// via the shared-scan rule.
+	plan := hpa.NewPlan().
+		Add("scan-wc", &hpa.SourceOp{Src: src}).
+		Add("scan-tfidf", &hpa.SourceOp{Src: src}).
+		Add("wordcount", &hpa.WordCountOp{DictKind: hpa.TreeDict}).
+		Add("tfidf", &hpa.TFIDFOp{Opts: hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true}}).
+		Add("kmeans", &hpa.KMeansOp{Opts: hpa.KMeansOptions{K: 4, Seed: 2}}).
+		Add("archive", &hpa.MaterializeARFF{}).
+		Connect("scan-wc", "wordcount").
+		Connect("scan-tfidf", "tfidf").
+		Connect("tfidf", "kmeans").
+		Connect("tfidf", "archive")
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan = plan.Apply(hpa.SharedScanRule(), hpa.FuseRule())
+	if got := len(plan.Nodes()); got != 5 {
+		t.Fatalf("%d nodes after shared-scan dedup: %v", got, plan.Nodes())
+	}
+
+	ctx := hpa.NewWorkflowContext(pool)
+	ctx.ScratchDir = t.TempDir()
+	outs, err := plan.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc, ok := outs["wordcount"].(*hpa.WordCounts); !ok || wc.TotalTokens == 0 {
+		t.Fatalf("wordcount sink = %T", outs["wordcount"])
+	}
+	if cl, ok := outs["kmeans"].(*hpa.Clustering); !ok || len(cl.Result.Assign) != c.Len() {
+		t.Fatalf("kmeans sink = %T", outs["kmeans"])
+	}
+	if _, err := os.Stat(filepath.Join(ctx.ScratchDir, "tfidf.arff")); err != nil {
+		t.Fatalf("archive missing: %v", err)
+	}
+}
+
+func TestPublicPlanValidateCatchesBadEdge(t *testing.T) {
+	pool := hpa.NewPool(1)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.MixSpec().Scaled(0.001), pool)
+	plan := hpa.NewPlan().
+		Add("scan", &hpa.SourceOp{Src: c.Source(nil)}).
+		Add("wordcount", &hpa.WordCountOp{DictKind: hpa.TreeDict}).
+		Add("kmeans", &hpa.KMeansOp{Opts: hpa.KMeansOptions{K: 2}}).
+		Connect("scan", "wordcount").
+		Connect("wordcount", "kmeans") // WordCounts is not clusterable
+	if err := plan.Validate(); err == nil {
+		t.Fatal("type-mismatched edge validated")
+	}
+}
+
 func TestPublicFusePipeline(t *testing.T) {
 	p := hpa.NewTFKMPipeline(hpa.TFKMConfig{Mode: hpa.Discrete})
 	fused := hpa.FusePipeline(p)

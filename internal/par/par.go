@@ -125,6 +125,22 @@ func (p *Pool) stealAny(seed *uint64) (*taskNode, bool) {
 	return nil, false
 }
 
+// Help executes one queued task on the calling goroutine, if any is
+// queued, and reports whether it ran one. External schedulers waiting for
+// work that executes in the pool call Help in their wait loop so that
+// waiting from inside a pool task cannot deadlock: the waiting goroutine
+// works instead of idling, exactly like Group.Wait's helping join.
+func (p *Pool) Help() bool {
+	seed := splitmix64(helpSeq.Add(1))
+	if t, ok := p.stealAny(&seed); ok {
+		t.execute()
+		return true
+	}
+	return false
+}
+
+var helpSeq atomic.Uint64
+
 func (w *worker) run() {
 	p := w.pool
 	for {

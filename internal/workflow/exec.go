@@ -1,0 +1,200 @@
+package workflow
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hpa/internal/metrics"
+)
+
+// nodeDone is one node's completion report, delivered to the scheduling
+// goroutine over a buffered channel (sends never block a pool worker).
+type nodeDone struct {
+	idx int
+	out Value
+	bd  *metrics.Breakdown
+	err error
+}
+
+// Run validates the plan and executes it. Independent branches run
+// concurrently: every node whose inputs are all available is spawned as a
+// task on ctx.Pool, so branch-level parallelism and the operators'
+// intra-node parallelism share the same workers, exactly as concurrently
+// launched Cilk programs would share a machine. While nodes are in flight
+// the scheduling goroutine helps the pool (a helping join, like
+// par.Group.Wait), so Run may itself be called from inside a pool task
+// without risking deadlock.
+//
+// Each node runs against a private Breakdown; when the run finishes the
+// per-node breakdowns are merged into ctx.Breakdown in topological order,
+// so phase keys and their order are deterministic regardless of how the
+// branches interleaved. Observe is invoked from the scheduling goroutine
+// (serialized) after each node completes. ctx.Ctx cancels cooperatively:
+// nodes not yet started are abandoned once the context is done.
+//
+// When a simsched Recorder is attached, nodes run one at a time in
+// topological order: the Recorder attributes Task/Serial samples to the
+// most recently begun phase, so overlapping nodes would corrupt the trace
+// (recording runs measure serial pure-CPU durations by design).
+//
+// The returned map holds the output dataset of every sink (a node with no
+// outgoing edges), keyed by node name. Intermediate outputs are released
+// as soon as their last consumer has received them.
+func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
+	if ctx.Breakdown == nil {
+		ctx.Breakdown = metrics.NewBreakdown()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := p.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	idx := make(map[string]int, len(order))
+	for i, n := range order {
+		idx[n.name] = i
+	}
+	consumers := make([][]Edge, len(order)) // outgoing edges per node index
+	for _, e := range p.edges {
+		i := idx[e.From]
+		consumers[i] = append(consumers[i], e)
+	}
+	type nodeState struct {
+		ins     []Value // gathered port values
+		missing int     // ports still unfilled
+	}
+	states := make([]nodeState, len(order))
+	for i, n := range order {
+		arity := len(inPorts(n.op))
+		states[i] = nodeState{ins: make([]Value, arity), missing: arity}
+	}
+
+	done := make(chan nodeDone, len(order))
+	g := ctx.Pool.NewGroup()
+	running := 0
+	spawn := func(i int) {
+		running++
+		n, in := order[i], states[i].ins
+		states[i].ins = nil // the task owns the slice now; free it with the task
+		g.Spawn(func() {
+			d := nodeDone{idx: i}
+			defer func() {
+				if r := recover(); r != nil {
+					d.err = fmt.Errorf("workflow: operator %s panicked: %v", n.op.Name(), r)
+				}
+				done <- d
+			}()
+			if ctx.Ctx != nil {
+				if err := ctx.Ctx.Err(); err != nil {
+					d.err = fmt.Errorf("workflow: before operator %s: %w", n.op.Name(), err)
+					return
+				}
+			}
+			nctx := *ctx
+			nctx.Breakdown = metrics.NewBreakdown()
+			nctx.Observe = nil
+			d.bd = nctx.Breakdown
+			if mo, ok := n.op.(MultiOperator); ok && len(in) > 1 {
+				d.out, d.err = mo.RunAll(&nctx, in)
+			} else {
+				var single Value
+				if len(in) > 0 {
+					single = in[0]
+				}
+				d.out, d.err = n.op.Run(&nctx, single)
+			}
+			if d.err != nil {
+				d.err = fmt.Errorf("workflow: operator %s: %w", n.op.Name(), d.err)
+			}
+		})
+	}
+
+	serial := ctx.Recorder.Enabled()
+	var ready []int // nodes whose inputs are complete, awaiting dispatch
+	dispatch := func() {
+		for len(ready) > 0 && !(serial && running > 0) {
+			i := ready[0]
+			ready = ready[1:]
+			spawn(i)
+		}
+	}
+	for i, n := range order {
+		if len(inPorts(n.op)) == 0 {
+			ready = append(ready, i)
+		}
+	}
+	dispatch()
+
+	// receive waits for the next completion, executing queued pool tasks
+	// while it waits so a Run nested inside a pool task cannot deadlock.
+	receive := func() nodeDone {
+		backoff := 0
+		for {
+			select {
+			case d := <-done:
+				return d
+			default:
+			}
+			if ctx.Pool.Help() {
+				backoff = 0
+				continue
+			}
+			backoff++
+			if backoff < 16 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(10 * time.Microsecond)
+			}
+		}
+	}
+
+	sinks := make(map[string]Value)
+	breakdowns := make([]*metrics.Breakdown, len(order))
+	var firstErr error
+	for running > 0 {
+		d := receive()
+		running--
+		breakdowns[d.idx] = d.bd
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // a branch failed: stop scheduling, drain in-flight nodes
+		}
+		n := order[d.idx]
+		if ctx.Observe != nil {
+			if _, hidden := n.op.(synthetic); !hidden {
+				ctx.Observe(n.op, d.out)
+			}
+		}
+		if len(consumers[d.idx]) == 0 {
+			sinks[n.name] = d.out
+		}
+		for _, e := range consumers[d.idx] {
+			ci := idx[e.To]
+			states[ci].ins[e.Port] = d.out
+			states[ci].missing--
+			if states[ci].missing == 0 {
+				ready = append(ready, ci)
+			}
+		}
+		dispatch()
+	}
+	g.Wait()
+
+	for _, bd := range breakdowns {
+		if bd != nil {
+			ctx.Breakdown.Merge(bd)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sinks, nil
+}

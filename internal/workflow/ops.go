@@ -5,12 +5,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"time"
 
 	"hpa/internal/kmeans"
 	"hpa/internal/pario"
 	"hpa/internal/sparse"
 	"hpa/internal/tfidf"
+)
+
+// Reflected dataset types of the built-in operators' ports.
+var (
+	tfidfResultType = reflect.TypeOf((*tfidf.Result)(nil))
+	arffRefType     = reflect.TypeOf((*ARFFRef)(nil))
+	matrixType      = reflect.TypeOf((*Matrix)(nil))
+	clusteringType  = reflect.TypeOf((*Clustering)(nil))
+	wordCountsType  = reflect.TypeOf((*WordCounts)(nil))
 )
 
 // PhaseOutput is the final phase of Figures 3 and 4: writing the cluster
@@ -65,6 +75,12 @@ type TFIDFOp struct {
 // Name implements Operator.
 func (o *TFIDFOp) Name() string { return "tfidf" }
 
+// Inputs implements TypedOperator.
+func (o *TFIDFOp) Inputs() []reflect.Type { return []reflect.Type{sourceType} }
+
+// Output implements TypedOperator.
+func (o *TFIDFOp) Output() reflect.Type { return tfidfResultType }
+
 // Run implements Operator: pario.Source -> *tfidf.Result.
 func (o *TFIDFOp) Run(ctx *Context, in Value) (Value, error) {
 	src, ok := in.(pario.Source)
@@ -88,6 +104,12 @@ func (*MaterializeARFF) isMaterializer() {}
 
 // Name implements Operator.
 func (o *MaterializeARFF) Name() string { return "materialize-arff" }
+
+// Inputs implements TypedOperator.
+func (o *MaterializeARFF) Inputs() []reflect.Type { return []reflect.Type{tfidfResultType} }
+
+// Output implements TypedOperator.
+func (o *MaterializeARFF) Output() reflect.Type { return arffRefType }
 
 // Run implements Operator: *tfidf.Result -> *ARFFRef.
 func (o *MaterializeARFF) Run(ctx *Context, in Value) (Value, error) {
@@ -116,6 +138,12 @@ func (*LoadARFF) isLoader() {}
 // Name implements Operator.
 func (o *LoadARFF) Name() string { return "load-arff" }
 
+// Inputs implements TypedOperator.
+func (o *LoadARFF) Inputs() []reflect.Type { return []reflect.Type{arffRefType} }
+
+// Output implements TypedOperator.
+func (o *LoadARFF) Output() reflect.Type { return matrixType }
+
 // Run implements Operator: *ARFFRef -> *Matrix.
 func (o *LoadARFF) Run(ctx *Context, in Value) (Value, error) {
 	ref, ok := in.(*ARFFRef)
@@ -138,6 +166,13 @@ type KMeansOp struct {
 
 // Name implements Operator.
 func (o *KMeansOp) Name() string { return "kmeans" }
+
+// Inputs implements TypedOperator: the port accepts any Vectorized dataset,
+// so both the fused *tfidf.Result and a *Matrix loaded from disk connect.
+func (o *KMeansOp) Inputs() []reflect.Type { return []reflect.Type{vectorizedType} }
+
+// Output implements TypedOperator.
+func (o *KMeansOp) Output() reflect.Type { return clusteringType }
 
 // Run implements Operator: *tfidf.Result | *Matrix -> *Clustering.
 func (o *KMeansOp) Run(ctx *Context, in Value) (Value, error) {
@@ -179,6 +214,12 @@ type WriteAssignments struct {
 
 // Name implements Operator.
 func (o *WriteAssignments) Name() string { return "output" }
+
+// Inputs implements TypedOperator.
+func (o *WriteAssignments) Inputs() []reflect.Type { return []reflect.Type{clusteringType} }
+
+// Output implements TypedOperator.
+func (o *WriteAssignments) Output() reflect.Type { return clusteringType }
 
 // Run implements Operator: *Clustering -> *Clustering (pass-through).
 func (o *WriteAssignments) Run(ctx *Context, in Value) (Value, error) {

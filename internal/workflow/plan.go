@@ -1,0 +1,399 @@
+package workflow
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"hpa/internal/pario"
+)
+
+// TypedOperator is implemented by operators that declare their input and
+// output ports, enabling Plan.Validate to type-check a plan before anything
+// runs. Inputs returns one type per input port (nil or empty for a source
+// operator); Output returns the dataset type the operator produces. A port
+// type may be an interface type, in which case any producer whose output
+// implements it connects.
+//
+// Operators that do not implement TypedOperator are treated as having a
+// single dynamically-typed input and a dynamically-typed output; their edges
+// always validate and mismatches surface at run time, as in the original
+// linear Pipeline.
+type TypedOperator interface {
+	Operator
+	Inputs() []reflect.Type
+	Output() reflect.Type
+}
+
+// MultiOperator is implemented by operators with more than one input port.
+// The executor gathers the value of every port before calling RunAll; ins[i]
+// is the dataset delivered to port i. Operator.Run is never called for a
+// node whose declared arity exceeds one.
+type MultiOperator interface {
+	Operator
+	RunAll(ctx *Context, ins []Value) (Value, error)
+}
+
+// Vectorized is the dataset contract accepted by KMeansOp: a matrix-shaped
+// dataset exposing its term dimensionality. Both *tfidf.Result (the fused
+// in-memory intermediate) and *Matrix (loaded back from ARFF) implement it.
+type Vectorized interface{ Dim() int }
+
+// synthetic marks operators the engine inserts on its own (the literal
+// input node the Pipeline adapter prepends). They are invisible to Observe.
+type synthetic interface{ isSynthetic() }
+
+// scanner is implemented by source operators whose work can be shared: two
+// zero-input nodes with equal ScanKey read the same underlying data, so the
+// SharedScanRule rewrites consumers of one onto the other.
+type scanner interface{ ScanKey() any }
+
+// Reflected port types used by the built-in operators.
+var (
+	anyType        = reflect.TypeOf((*Value)(nil)).Elem()
+	sourceType     = reflect.TypeOf((*pario.Source)(nil)).Elem()
+	vectorizedType = reflect.TypeOf((*Vectorized)(nil)).Elem()
+)
+
+// SourceOp injects a document source into a plan: a scan node with no input
+// ports that emits its Source. Plans with several scans of the same Source
+// can be deduplicated by SharedScanRule.
+type SourceOp struct {
+	// Src is the document source to emit.
+	Src pario.Source
+}
+
+// Name implements Operator.
+func (o *SourceOp) Name() string { return "source" }
+
+// Run implements Operator: () -> pario.Source.
+func (o *SourceOp) Run(ctx *Context, _ Value) (Value, error) { return o.Src, nil }
+
+// Inputs implements TypedOperator: a scan has no input ports.
+func (o *SourceOp) Inputs() []reflect.Type { return nil }
+
+// Output implements TypedOperator.
+func (o *SourceOp) Output() reflect.Type { return sourceType }
+
+// ScanKey implements scanner: scans of the same Source are interchangeable.
+func (o *SourceOp) ScanKey() any { return o.Src }
+
+// literalOp feeds the external input value of a Pipeline run into its
+// compiled plan. It is synthetic: Observe does not see it.
+type literalOp struct{ v Value }
+
+func (o *literalOp) Name() string                       { return "input" }
+func (o *literalOp) Run(*Context, Value) (Value, error) { return o.v, nil }
+func (o *literalOp) Inputs() []reflect.Type             { return nil }
+func (o *literalOp) isSynthetic()                       {}
+func (o *literalOp) Output() reflect.Type {
+	if o.v == nil {
+		return anyType
+	}
+	return reflect.TypeOf(o.v)
+}
+
+// Edge connects the output of node From to input port Port of node To.
+type Edge struct {
+	From, To string
+	Port     int
+}
+
+// Node is one named stage of a Plan.
+type Node struct {
+	name string
+	op   Operator
+}
+
+// Name returns the node's plan-unique name.
+func (n *Node) Name() string { return n.name }
+
+// Op returns the operator the node wraps.
+func (n *Node) Op() Operator { return n.op }
+
+// Plan is a directed acyclic graph of named operator nodes — the
+// generalization of the linear Pipeline to real workflows: one corpus scan
+// can feed both word-count and TF/IDF, a TF/IDF result can fan out to
+// K-Means and an ARFF archive at once.
+//
+// Build a plan fluently with NewPlan().Add(...).Connect(...), then Validate
+// (or just Run, which validates first). Structural and type errors recorded
+// during building are reported by Validate, so the builder methods never
+// fail mid-chain. Rewriters (FuseRule, SharedScanRule) transform a plan
+// before execution; Run schedules independent branches concurrently on the
+// context's pool.
+type Plan struct {
+	nodes map[string]*Node
+	order []string // node names in Add order, for deterministic traversal
+	edges []Edge
+	errs  []error // deferred builder errors, surfaced by Validate
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{nodes: make(map[string]*Node)}
+}
+
+// Add registers a named operator node and returns the plan for chaining.
+// Names must be unique within the plan; violations surface in Validate.
+func (p *Plan) Add(name string, op Operator) *Plan {
+	switch {
+	case name == "":
+		p.errs = append(p.errs, fmt.Errorf("workflow: Add with empty node name"))
+	case op == nil:
+		p.errs = append(p.errs, fmt.Errorf("workflow: node %s: nil operator", name))
+	case p.nodes[name] != nil:
+		p.errs = append(p.errs, fmt.Errorf("workflow: node %s added twice", name))
+	default:
+		p.nodes[name] = &Node{name: name, op: op}
+		p.order = append(p.order, name)
+	}
+	return p
+}
+
+// Connect wires the output of from into input port 0 of to. Nodes may be
+// added after they are referenced; existence is checked by Validate.
+func (p *Plan) Connect(from, to string) *Plan { return p.ConnectPort(from, to, 0) }
+
+// ConnectPort wires the output of from into the given input port of to.
+func (p *Plan) ConnectPort(from, to string, port int) *Plan {
+	if port < 0 {
+		p.errs = append(p.errs, fmt.Errorf("workflow: edge %s -> %s: negative port %d", from, to, port))
+		return p
+	}
+	p.edges = append(p.edges, Edge{From: from, To: to, Port: port})
+	return p
+}
+
+// Nodes returns the node names in Add order.
+func (p *Plan) Nodes() []string {
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// Node returns the named node (nil if absent).
+func (p *Plan) Node(name string) *Node { return p.nodes[name] }
+
+// Edges returns a copy of the plan's edges.
+func (p *Plan) Edges() []Edge {
+	out := make([]Edge, len(p.edges))
+	copy(out, p.edges)
+	return out
+}
+
+// inPorts returns the declared input port types of an operator; operators
+// without declared ports get a single dynamically-typed input.
+func inPorts(op Operator) []reflect.Type {
+	if t, ok := op.(TypedOperator); ok {
+		return t.Inputs()
+	}
+	return []reflect.Type{anyType}
+}
+
+// outPort returns the declared output type (dynamic if undeclared).
+func outPort(op Operator) reflect.Type {
+	if t, ok := op.(TypedOperator); ok {
+		return t.Output()
+	}
+	return anyType
+}
+
+// portAssignable reports whether a producer of type from can feed a port of
+// type to. Dynamically-typed ends always connect (checked at run time).
+func portAssignable(from, to reflect.Type) bool {
+	if from == anyType || to == anyType {
+		return true
+	}
+	return from.AssignableTo(to)
+}
+
+// Validate type-checks the plan before anything runs, replacing the linear
+// engine's scattered runtime ErrType failures. It rejects, in order of
+// detection: builder errors (duplicate or empty names, nil operators),
+// edges referencing unknown nodes, ports out of range, input ports that are
+// unconnected or connected twice, cycles, multi-port nodes whose operator
+// cannot accept several inputs, and edges whose producer output type is not
+// assignable to the consumer port type (wrapped in ErrType).
+func (p *Plan) Validate() error {
+	if len(p.errs) > 0 {
+		return p.errs[0]
+	}
+	// Edge endpoints, port ranges and double connections.
+	filled := make(map[string][]bool, len(p.nodes))
+	for name, n := range p.nodes {
+		filled[name] = make([]bool, len(inPorts(n.op)))
+	}
+	for _, e := range p.edges {
+		if p.nodes[e.From] == nil {
+			return fmt.Errorf("workflow: edge %s -> %s: unknown node %s", e.From, e.To, e.From)
+		}
+		to := p.nodes[e.To]
+		if to == nil {
+			return fmt.Errorf("workflow: edge %s -> %s: unknown node %s", e.From, e.To, e.To)
+		}
+		ports := filled[e.To]
+		if e.Port >= len(ports) {
+			return fmt.Errorf("workflow: edge %s -> %s: node %s (%s) has %d input port(s), no port %d",
+				e.From, e.To, e.To, to.op.Name(), len(ports), e.Port)
+		}
+		if ports[e.Port] {
+			return fmt.Errorf("workflow: node %s: input port %d connected twice", e.To, e.Port)
+		}
+		ports[e.Port] = true
+	}
+	// Dangling input ports and multi-input capability.
+	for _, name := range p.order {
+		n := p.nodes[name]
+		ports := filled[name]
+		for i, ok := range ports {
+			if !ok {
+				return fmt.Errorf("workflow: node %s (%s): input port %d is not connected", name, n.op.Name(), i)
+			}
+		}
+		if len(ports) > 1 {
+			if _, ok := n.op.(MultiOperator); !ok {
+				return fmt.Errorf("workflow: node %s (%s): %d input ports but operator does not implement MultiOperator",
+					name, n.op.Name(), len(ports))
+			}
+		}
+	}
+	// Cycles.
+	if _, err := p.topoOrder(); err != nil {
+		return err
+	}
+	// Edge types.
+	for _, e := range p.edges {
+		from, to := p.nodes[e.From], p.nodes[e.To]
+		ft, tt := outPort(from.op), inPorts(to.op)[e.Port]
+		if !portAssignable(ft, tt) {
+			return fmt.Errorf("%w: edge %s -> %s: %s produces %v but %s port %d wants %v",
+				ErrType, e.From, e.To, from.op.Name(), ft, to.op.Name(), e.Port, tt)
+		}
+	}
+	return nil
+}
+
+// topoOrder returns the nodes in a deterministic topological order (ready
+// nodes are taken in Add order), or an error naming the cycle members.
+func (p *Plan) topoOrder() ([]*Node, error) {
+	indeg := make(map[string]int, len(p.nodes))
+	for _, e := range p.edges {
+		if p.nodes[e.From] == nil || p.nodes[e.To] == nil {
+			return nil, fmt.Errorf("workflow: edge %s -> %s references an unknown node", e.From, e.To)
+		}
+		indeg[e.To]++
+	}
+	order := make([]*Node, 0, len(p.nodes))
+	done := make(map[string]bool, len(p.nodes))
+	for len(order) < len(p.nodes) {
+		progressed := false
+		for _, name := range p.order {
+			if done[name] || indeg[name] > 0 {
+				continue
+			}
+			done[name] = true
+			progressed = true
+			order = append(order, p.nodes[name])
+			for _, e := range p.edges {
+				if e.From == name {
+					indeg[e.To]--
+				}
+			}
+		}
+		if !progressed {
+			var cyc []string
+			for _, name := range p.order {
+				if !done[name] {
+					cyc = append(cyc, name)
+				}
+			}
+			return nil, fmt.Errorf("workflow: plan has a cycle through %s", strings.Join(cyc, ", "))
+		}
+	}
+	return order, nil
+}
+
+// consumersOf returns the edges leaving the named node.
+func (p *Plan) consumersOf(name string) []Edge {
+	var out []Edge
+	for _, e := range p.edges {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// producerOf returns the edge feeding the given input port, if any.
+func (p *Plan) producerOf(name string, port int) (Edge, bool) {
+	for _, e := range p.edges {
+		if e.To == name && e.Port == port {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// materializationArrow renders the edge connector: materialize -> load
+// edges — the boundary fusion cancels — are marked =[arff]=>, all others
+// are plain arrows.
+func materializationArrow(from, to Operator) string {
+	if _, m := from.(materializer); m {
+		if _, l := to.(loader); l {
+			return "=[arff]=>"
+		}
+	}
+	return "->"
+}
+
+// Explain renders the plan one edge per line in topological order, marking
+// materialize/load edges the way Pipeline.String marks materialization
+// boundaries:
+//
+//	scan -> tfidf
+//	tfidf -> materialize-arff
+//	materialize-arff =[arff]=> load-arff
+//	load-arff -> kmeans
+//
+// Nodes without edges are listed alone. Invalid plans are rendered
+// best-effort in Add order.
+func (p *Plan) Explain() string {
+	order, err := p.topoOrder()
+	if err != nil {
+		order = make([]*Node, 0, len(p.order))
+		for _, name := range p.order {
+			order = append(order, p.nodes[name])
+		}
+	}
+	var sb strings.Builder
+	for _, n := range order {
+		cons := p.consumersOf(n.name)
+		if len(cons) == 0 {
+			if isolated(p, n.name) {
+				fmt.Fprintf(&sb, "%s\n", n.name)
+			}
+			continue
+		}
+		for _, e := range cons {
+			to := p.nodes[e.To]
+			arrow := materializationArrow(n.op, to.op)
+			if e.Port != 0 {
+				fmt.Fprintf(&sb, "%s %s %s:%d\n", e.From, arrow, e.To, e.Port)
+			} else {
+				fmt.Fprintf(&sb, "%s %s %s\n", e.From, arrow, e.To)
+			}
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// isolated reports whether a node has no edges at all.
+func isolated(p *Plan, name string) bool {
+	for _, e := range p.edges {
+		if e.From == name || e.To == name {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package workflow
+
+import "reflect"
+
+// Rewriter is a declarative plan-to-plan transformation, applied to a
+// validated DAG before execution. Rewrite returns the transformed plan and
+// whether anything changed; implementations must treat the input plan as
+// immutable and return it unchanged (false) when the rule does not apply.
+//
+// Workflow fusion — the paper's Section 3.3 optimization — is one rewrite
+// rule among several (FuseRule); SharedScanRule deduplicates identical
+// source scans.
+type Rewriter interface {
+	// Name identifies the rule in diagnostics.
+	Name() string
+	// Rewrite applies the rule once; callers iterate to a fixpoint.
+	Rewrite(p *Plan) (*Plan, bool)
+}
+
+// Apply runs each rewriter to its fixpoint, in order, and returns the
+// rewritten plan. The receiver is never mutated.
+func (p *Plan) Apply(rules ...Rewriter) *Plan {
+	out := p
+	for _, r := range rules {
+		for {
+			next, changed := r.Rewrite(out)
+			if !changed {
+				break
+			}
+			out = next
+		}
+	}
+	return out
+}
+
+// FuseRule returns the fusion rewriter: every materialize -> load edge
+// anywhere in the graph is canceled, reconnecting the materializer's
+// producer directly to the loader's consumers so the intermediate dataset
+// stays in memory. This is the paper's fusion of discrete operators into
+// "single binaries that encapsulate a complex workflow", generalized from
+// the linear engine's adjacent-pair scan to arbitrary DAGs.
+//
+// A materializer kept alive by other consumers (for example an ARFF archive
+// that is also a sink) survives; only the loader and, when nothing else
+// reads it, the materializer are removed. The pair is canceled only when
+// the bypass type-checks: the producer's output must be assignable to every
+// consumer port the loader fed.
+func FuseRule() Rewriter { return fuseRule{} }
+
+type fuseRule struct{}
+
+func (fuseRule) Name() string { return "fuse" }
+
+func (fuseRule) Rewrite(p *Plan) (*Plan, bool) {
+	for _, e := range p.edges {
+		fromN, toN := p.nodes[e.From], p.nodes[e.To]
+		if fromN == nil || toN == nil {
+			continue
+		}
+		if _, ok := fromN.op.(materializer); !ok {
+			continue
+		}
+		if _, ok := toN.op.(loader); !ok {
+			continue
+		}
+		if next, ok := cancelPair(p, e); ok {
+			return next, true
+		}
+	}
+	return p, false
+}
+
+// cancelPair removes the materialize/load pair around edge e (m -> l),
+// rewiring l's consumers to m's producer. It declines (returns false) when
+// the bypass would not type-check.
+func cancelPair(p *Plan, e Edge) (*Plan, bool) {
+	m, l := e.From, e.To
+	producer, hasProducer := p.producerOf(m, 0)
+	consumers := p.consumersOf(l)
+	if hasProducer {
+		out := outPort(p.nodes[producer.From].op)
+		for _, ce := range consumers {
+			want := inPorts(p.nodes[ce.To].op)[ce.Port]
+			if !portAssignable(out, want) {
+				return nil, false
+			}
+		}
+	}
+	// The materializer survives if anything else consumes its reference.
+	dropM := true
+	for _, me := range p.consumersOf(m) {
+		if me != e {
+			dropM = false
+			break
+		}
+	}
+
+	next := NewPlan()
+	for _, name := range p.order {
+		if name == l || (dropM && name == m) {
+			continue
+		}
+		next.Add(name, p.nodes[name].op)
+	}
+	for _, old := range p.edges {
+		switch {
+		case old == e: // the canceled pair
+		case old.To == l: // other feeds into the loader (none for port 0)
+		case old.From == l: // loader consumers are rewired below
+		case dropM && old.To == m: // producer -> materializer
+		default:
+			next.edges = append(next.edges, old)
+		}
+	}
+	if hasProducer {
+		for _, ce := range consumers {
+			next.edges = append(next.edges, Edge{From: producer.From, To: ce.To, Port: ce.Port})
+		}
+	}
+	next.errs = append(next.errs, p.errs...)
+	return next, true
+}
+
+// SharedScanRule returns the scan-deduplication rewriter: when several
+// zero-input nodes scan the same underlying data (equal scanner.ScanKey),
+// all consumers are rewired onto the first such node and the duplicates are
+// removed, so a corpus feeding word-count and TF/IDF through two separate
+// SourceOp nodes is read once.
+func SharedScanRule() Rewriter { return sharedScanRule{} }
+
+type sharedScanRule struct{}
+
+func (sharedScanRule) Name() string { return "shared-scan" }
+
+func (sharedScanRule) Rewrite(p *Plan) (*Plan, bool) {
+	canonical := make(map[any]string)
+	replace := make(map[string]string) // duplicate node -> canonical node
+	for _, name := range p.order {
+		op := p.nodes[name].op
+		s, ok := op.(scanner)
+		if !ok || len(inPorts(op)) != 0 {
+			continue
+		}
+		key := s.ScanKey()
+		if key == nil || !reflect.TypeOf(key).Comparable() {
+			continue
+		}
+		if first, ok := canonical[key]; ok {
+			replace[name] = first
+		} else {
+			canonical[key] = name
+		}
+	}
+	if len(replace) == 0 {
+		return p, false
+	}
+	next := NewPlan()
+	for _, name := range p.order {
+		if _, dup := replace[name]; dup {
+			continue
+		}
+		next.Add(name, p.nodes[name].op)
+	}
+	for _, e := range p.edges {
+		if to, dup := replace[e.From]; dup {
+			e.From = to
+		}
+		next.edges = append(next.edges, e)
+	}
+	next.errs = append(next.errs, p.errs...)
+	return next, true
+}

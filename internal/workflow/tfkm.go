@@ -45,8 +45,9 @@ type TFKMConfig struct {
 	KMeans kmeans.Options
 }
 
-// TFKMPipeline constructs the workflow. The discrete pipeline contains the
-// materialize/load pair; Merged is exactly Fuse(discrete).
+// TFKMPipeline constructs the workflow as a linear chain. The discrete
+// pipeline contains the materialize/load pair; Merged is exactly
+// Fuse(discrete).
 func TFKMPipeline(cfg TFKMConfig) *Pipeline {
 	p := NewPipeline(
 		&TFIDFOp{Opts: cfg.TFIDF},
@@ -57,6 +58,28 @@ func TFKMPipeline(cfg TFKMConfig) *Pipeline {
 	)
 	if cfg.Mode == Merged {
 		return Fuse(p)
+	}
+	return p
+}
+
+// TFKMPlan constructs the workflow over src as a Plan. The discrete plan
+// contains the materialize/load pair; Merged is exactly the discrete plan
+// with the fusion rule applied.
+func TFKMPlan(src pario.Source, cfg TFKMConfig) *Plan {
+	p := NewPlan().
+		Add("scan", &SourceOp{Src: src}).
+		Add("tfidf", &TFIDFOp{Opts: cfg.TFIDF}).
+		Add("materialize-arff", &MaterializeARFF{}).
+		Add("load-arff", &LoadARFF{}).
+		Add("kmeans", &KMeansOp{Opts: cfg.KMeans}).
+		Add("output", &WriteAssignments{}).
+		Connect("scan", "tfidf").
+		Connect("tfidf", "materialize-arff").
+		Connect("materialize-arff", "load-arff").
+		Connect("load-arff", "kmeans").
+		Connect("kmeans", "output")
+	if cfg.Mode == Merged {
+		return p.Apply(FuseRule())
 	}
 	return p
 }
@@ -82,7 +105,7 @@ func RunTFKM(src pario.Source, ctx *Context, cfg TFKMConfig) (*TFKMReport, error
 	if ctx.Breakdown == nil {
 		ctx.Breakdown = metrics.NewBreakdown()
 	}
-	pipe := TFKMPipeline(cfg)
+	plan := TFKMPlan(src, cfg)
 
 	// Capture the dictionary footprint when the TF/IDF operator finishes,
 	// regardless of mode — in discrete mode the result is dropped once
@@ -101,13 +124,13 @@ func RunTFKM(src pario.Source, ctx *Context, cfg TFKMConfig) (*TFKMReport, error
 	}
 	defer func() { ctx.Observe = prevObserve }()
 
-	out, err := pipe.Run(ctx, src)
+	outs, err := plan.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cl, ok := out.(*Clustering)
+	cl, ok := outs["output"].(*Clustering)
 	if !ok {
-		return nil, fmt.Errorf("workflow: pipeline produced %T", out)
+		return nil, fmt.Errorf("workflow: plan produced %T", outs["output"])
 	}
 	return &TFKMReport{Clustering: cl, Breakdown: ctx.Breakdown, DictFootprint: foot, DictStats: stats}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"time"
 
@@ -58,6 +59,12 @@ type WordCountOp struct {
 
 // Name implements Operator.
 func (o *WordCountOp) Name() string { return "wordcount" }
+
+// Inputs implements TypedOperator.
+func (o *WordCountOp) Inputs() []reflect.Type { return []reflect.Type{sourceType} }
+
+// Output implements TypedOperator.
+func (o *WordCountOp) Output() reflect.Type { return wordCountsType }
 
 // Run implements Operator: pario.Source -> *WordCounts.
 func (o *WordCountOp) Run(ctx *Context, in Value) (Value, error) {
@@ -155,6 +162,12 @@ type WriteWordCounts struct {
 
 // Name implements Operator.
 func (o *WriteWordCounts) Name() string { return "output" }
+
+// Inputs implements TypedOperator.
+func (o *WriteWordCounts) Inputs() []reflect.Type { return []reflect.Type{wordCountsType} }
+
+// Output implements TypedOperator.
+func (o *WriteWordCounts) Output() reflect.Type { return wordCountsType }
 
 // Run implements Operator: *WordCounts -> *WordCounts (pass-through).
 func (o *WriteWordCounts) Run(ctx *Context, in Value) (Value, error) {

@@ -1,21 +1,53 @@
 // Package workflow implements the paper's third optimization, workflow
-// fusion (Section 3.3): a small operator-pipeline engine in which operators
-// either communicate through files on disk (the "discrete" execution of
-// Figure 3, with the intermediate TF/IDF scores materialized as ARFF) or
-// are fused into a single executable image passing data in memory (the
-// "merged" execution).
+// fusion (Section 3.3), on top of a typed DAG plan engine. Operators either
+// communicate through files on disk (the "discrete" execution of Figure 3,
+// with the intermediate TF/IDF scores materialized as ARFF) or are fused
+// into a single executable image passing data in memory (the "merged"
+// execution).
 //
-// Fusion is a graph transform: a pipeline containing an explicit
-// materialize/load operator pair around an edge is rewritten by Fuse into
-// one without them. Running the original pipeline and the fused pipeline
-// therefore measures exactly the cost the paper attributes to intermediate
-// I/O — the operators on either side are the same code.
+// A workflow is a Plan: a DAG of named nodes, each wrapping an Operator
+// with declared input/output port types (TypedOperator). Three layers sit
+// on top of the graph:
+//
+//   - validation: Plan.Validate type-checks every edge and rejects cycles
+//     and dangling ports before anything runs;
+//   - rewriting: Rewriter rules transform a validated plan — FuseRule
+//     cancels materialize/load edges anywhere in the graph, and
+//     SharedScanRule deduplicates identical source scans;
+//   - execution: Plan.Run schedules independent branches concurrently on
+//     the context's pool, accumulating per-node phase times into the
+//     context Breakdown in deterministic topological order.
+//
+// A branching plan the old linear engine could not express:
+//
+//	plan := NewPlan().
+//	    Add("scan", &SourceOp{Src: src}).
+//	    Add("wordcount", &WordCountOp{}).
+//	    Add("tfidf", &TFIDFOp{}).
+//	    Add("kmeans", &KMeansOp{}).
+//	    Add("archive", &MaterializeARFF{}).
+//	    Connect("scan", "wordcount").
+//	    Connect("scan", "tfidf").
+//	    Connect("tfidf", "kmeans").
+//	    Connect("tfidf", "archive")
+//	outs, err := plan.Run(ctx) // word-count, K-Means and the archive run off one scan
+//
+// Fusion is a graph rewrite: a plan containing an explicit materialize/load
+// operator pair around an edge is rewritten by FuseRule into one without
+// them. Running the original plan and the fused plan therefore measures
+// exactly the cost the paper attributes to intermediate I/O — the operators
+// on either side are the same code.
+//
+// The linear Pipeline of earlier versions survives as a thin adapter that
+// compiles to a single-chain Plan, so existing callers keep working
+// unchanged.
 package workflow
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"hpa/internal/metrics"
 	"hpa/internal/par"
@@ -23,15 +55,16 @@ import (
 	"hpa/internal/simsched"
 )
 
-// Value is a dataset flowing along a pipeline edge. Concrete types used by
-// the built-in operators: pario.Source (documents), *tfidf.Result,
-// *Matrix (term-document score matrix), *ARFFRef (a materialized matrix on
-// disk) and *Clustering.
+// Value is a dataset flowing along a plan edge. Concrete types used by the
+// built-in operators: pario.Source (documents), *tfidf.Result, *Matrix
+// (term-document score matrix), *ARFFRef (a materialized matrix on disk),
+// *WordCounts and *Clustering.
 type Value any
 
-// Context carries the execution environment through a pipeline run.
+// Context carries the execution environment through a plan run.
 type Context struct {
-	// Pool supplies intra-node parallelism to every operator.
+	// Pool supplies intra-node parallelism to every operator and schedules
+	// independent plan branches.
 	Pool *par.Pool
 	// Disk models the storage device for inputs and intermediates; nil
 	// means unthrottled.
@@ -41,14 +74,15 @@ type Context struct {
 	Breakdown *metrics.Breakdown
 	// Recorder optionally collects a simsched trace of the whole workflow.
 	Recorder *simsched.Recorder
-	// ScratchDir hosts intermediate files of discrete pipelines.
+	// ScratchDir hosts intermediate files of discrete workflows.
 	ScratchDir string
 	// Observe, when non-nil, is called after each operator with its output
 	// dataset — used for progress reporting and for capturing intermediate
 	// measurements (e.g. dictionary footprints) without altering the plan.
+	// Plan.Run serializes the calls on the scheduling goroutine.
 	Observe func(op Operator, out Value)
-	// Ctx, when non-nil, cancels the run cooperatively: the pipeline stops
-	// before the next operator once the context is done, and
+	// Ctx, when non-nil, cancels the run cooperatively: nodes not yet
+	// started are abandoned once the context is done, and
 	// cancellation-aware operators (TF/IDF input) abort mid-phase.
 	Ctx context.Context
 }
@@ -66,7 +100,8 @@ type Operator interface {
 	Run(ctx *Context, in Value) (Value, error)
 }
 
-// Pipeline is a linear operator chain.
+// Pipeline is a linear operator chain — the original workflow API, kept as
+// a thin adapter that compiles to a single-chain Plan.
 type Pipeline struct {
 	Ops []Operator
 }
@@ -74,69 +109,112 @@ type Pipeline struct {
 // NewPipeline builds a pipeline from operators in execution order.
 func NewPipeline(ops ...Operator) *Pipeline { return &Pipeline{Ops: ops} }
 
-// Run threads the input through every operator.
+// ToPlan compiles the pipeline to an equivalent single-chain Plan. Node
+// names are the operator names, suffixed #2, #3, ... on collision.
+func (p *Pipeline) ToPlan() *Plan {
+	plan, _ := p.compile()
+	return plan
+}
+
+// compile builds the chain plan and returns it with the node names in
+// chain order.
+func (p *Pipeline) compile() (*Plan, []string) {
+	plan := NewPlan()
+	names := make([]string, 0, len(p.Ops))
+	used := make(map[string]int, len(p.Ops))
+	for _, op := range p.Ops {
+		name := op.Name()
+		used[name]++
+		if n := used[name]; n > 1 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		plan.Add(name, op)
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		plan.Connect(names[i-1], names[i])
+	}
+	return plan, names
+}
+
+// Run threads the input through every operator by compiling the chain to a
+// Plan (with a synthetic node feeding in) and executing it. Validation runs
+// first, so type mismatches between stages are reported before any operator
+// does work.
 func (p *Pipeline) Run(ctx *Context, in Value) (Value, error) {
 	if ctx.Breakdown == nil {
 		ctx.Breakdown = metrics.NewBreakdown()
 	}
-	v := in
-	for _, op := range p.Ops {
-		if ctx.Ctx != nil {
-			if err := ctx.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("workflow: before operator %s: %w", op.Name(), err)
-			}
-		}
-		var err error
-		v, err = op.Run(ctx, v)
-		if err != nil {
-			return nil, fmt.Errorf("workflow: operator %s: %w", op.Name(), err)
-		}
-		if ctx.Observe != nil {
-			ctx.Observe(op, v)
-		}
+	if len(p.Ops) == 0 {
+		return in, nil
 	}
-	return v, nil
+	plan, names := p.compile()
+	const inputNode = "#input"
+	plan.Add(inputNode, &literalOp{v: in})
+	plan.Connect(inputNode, names[0])
+	outs, err := plan.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return outs[names[len(names)-1]], nil
 }
 
-// String renders the plan, marking materialization boundaries.
+// String renders the plan, marking materialization boundaries: an adjacent
+// materialize/load pair — the boundary Fuse cancels — is collapsed into a
+// =[arff]=> arrow between its neighbors, so the discrete TF/IDF→K-Means
+// chain renders as "tfidf =[arff]=> kmeans -> output" while the fused chain
+// is "tfidf -> kmeans -> output".
 func (p *Pipeline) String() string {
-	s := ""
-	for i, op := range p.Ops {
-		if i > 0 {
-			s += " -> "
-		}
-		s += op.Name()
-	}
-	return s
-}
-
-// materializer is implemented by operators that write their input to disk
-// for a later loader; loader by operators that read it back. Fuse cancels
-// adjacent pairs.
-type materializer interface{ isMaterializer() }
-type loader interface{ isLoader() }
-
-// Fuse returns a copy of the pipeline with every adjacent
-// materializer/loader pair removed — the paper's fusion of discrete
-// operators into "single binaries that encapsulate a complex workflow". The
-// input pipeline is unchanged.
-func Fuse(p *Pipeline) *Pipeline {
-	out := &Pipeline{}
+	var sb strings.Builder
+	arrow := " -> "
+	printed := false
 	i := 0
 	for i < len(p.Ops) {
 		if i+1 < len(p.Ops) {
 			_, isM := p.Ops[i].(materializer)
 			_, isL := p.Ops[i+1].(loader)
 			if isM && isL {
-				i += 2 // cancel the pair: data stays in memory
+				arrow = " =[arff]=> "
+				i += 2
 				continue
 			}
 		}
-		out.Ops = append(out.Ops, p.Ops[i])
+		if printed {
+			sb.WriteString(arrow)
+		}
+		sb.WriteString(p.Ops[i].Name())
+		printed = true
+		arrow = " -> "
 		i++
+	}
+	return sb.String()
+}
+
+// materializer is implemented by operators that write their input to disk
+// for a later loader; loader by operators that read it back. FuseRule
+// cancels materialize -> load edges.
+type materializer interface{ isMaterializer() }
+type loader interface{ isLoader() }
+
+// Fuse returns a copy of the pipeline with every materialize/load pair
+// removed — the paper's fusion of discrete operators into "single binaries
+// that encapsulate a complex workflow". It compiles the chain to a Plan,
+// applies FuseRule and linearizes the result; the input pipeline is
+// unchanged.
+func Fuse(p *Pipeline) *Pipeline {
+	plan := p.ToPlan().Apply(FuseRule())
+	order, err := plan.topoOrder()
+	if err != nil {
+		// A pipeline chain cannot cycle; defensive fallback.
+		return NewPipeline(p.Ops...)
+	}
+	out := &Pipeline{}
+	for _, n := range order {
+		out.Ops = append(out.Ops, n.op)
 	}
 	return out
 }
 
-// ErrType reports a dataset type mismatch between pipeline stages.
+// ErrType reports a dataset type mismatch between workflow stages, whether
+// detected by Plan.Validate at build time or by an operator at run time.
 var ErrType = errors.New("workflow: dataset type mismatch")

@@ -40,7 +40,9 @@ func baseCfg(mode Mode) TFKMConfig {
 func TestPipelinePlanShapes(t *testing.T) {
 	d := TFKMPipeline(baseCfg(Discrete))
 	m := TFKMPipeline(baseCfg(Merged))
-	if got := d.String(); got != "tfidf -> materialize-arff -> load-arff -> kmeans -> output" {
+	// The materialize/load pair renders as a marked materialization
+	// boundary; the fused chain has no boundary left.
+	if got := d.String(); got != "tfidf =[arff]=> kmeans -> output" {
 		t.Fatalf("discrete plan: %s", got)
 	}
 	if got := m.String(); got != "tfidf -> kmeans -> output" {
@@ -218,8 +220,14 @@ func TestObserverSeesEveryOperator(t *testing.T) {
 	if _, err := RunTFKM(testCorpus().Source(nil), ctx, baseCfg(Merged)); err != nil {
 		t.Fatal(err)
 	}
-	if len(seen) != 3 {
-		t.Fatalf("observer saw %v", seen)
+	want := []string{"source", "tfidf", "kmeans", "output"}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observer saw %v, want %v", seen, want)
+		}
 	}
 }
 
