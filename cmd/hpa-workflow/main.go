@@ -6,13 +6,20 @@
 // Usage:
 //
 //	hpa-workflow -in CORPUSDIR [-mode merged|discrete] [-threads N]
-//	             [-dict map|u-map|map-arena] [-presize 0] [-k 8] [-seed 1]
-//	             [-scratch DIR] [-disksim off|hdd] [-sweep 1,4,8,12,16]
-//	             [-explain]
+//	             [-shards 0] [-dict map|u-map|map-arena] [-presize 0]
+//	             [-k 8] [-seed 1] [-scratch DIR] [-disksim off|hdd]
+//	             [-sweep 1,4,8,12,16] [-explain]
+//
+// -shards selects partitioned streaming execution: the corpus scan is
+// split into N document shards that flow through per-shard map kernels and
+// explicit reductions (0 = auto, 2×GOMAXPROCS shards so work stealing can
+// rebalance stragglers; -1 = the bulk-synchronous whole-operator plan).
+// Results are bit-identical at any shard count.
 //
 // With -sweep, the workflow runs once per thread count and prints a
 // Figure 3-style table. With -explain, the validated plan DAG is printed
-// (materialize/load edges marked =[arff]=>) and nothing runs.
+// (materialize/load edges marked =[arff]=>, shard edges -[xN]->) and
+// nothing runs.
 package main
 
 import (
@@ -43,6 +50,7 @@ func main() {
 		in       = flag.String("in", "", "corpus directory (required)")
 		mode     = flag.String("mode", "merged", "workflow mode: merged or discrete")
 		threads  = flag.Int("threads", runtime.NumCPU(), "worker threads")
+		shards   = flag.Int("shards", 0, "corpus shards for partitioned execution (0 = auto, 2*GOMAXPROCS; -1 = bulk-synchronous)")
 		dictKind = flag.String("dict", "map-arena", "dictionary: map, u-map, map-arena")
 		presize  = flag.Int("presize", 0, "per-document dictionary presize")
 		k        = flag.Int("k", 8, "number of clusters")
@@ -90,8 +98,17 @@ func main() {
 		scratchDir = dir
 	}
 
+	cfgShards := 0
+	switch {
+	case *shards == 0:
+		cfgShards = -1 // auto: PartitionOp resolves to GOMAXPROCS
+	case *shards > 0:
+		cfgShards = *shards
+	} // *shards < 0 keeps the bulk-synchronous plan
+
 	cfg := workflow.TFKMConfig{
-		Mode: wmode,
+		Mode:   wmode,
+		Shards: cfgShards,
 		TFIDF: tfidf.Options{
 			DictKind:   kind,
 			DocPresize: *presize,

@@ -127,6 +127,16 @@ type FileSource = pario.FileSource
 // MemSource serves documents from memory.
 type MemSource = pario.MemSource
 
+// SubSource is a contiguous document range of a Source — one shard of a
+// partitioned corpus scan.
+type SubSource = pario.SubSource
+
+// PartitionSource returns shard p (of shards) of src, with deterministic
+// contiguous boundaries.
+func PartitionSource(src Source, shards, p int) *SubSource {
+	return pario.Partition(src, shards, p)
+}
+
 // DiskSim models a storage device (throughput cap + per-open latency).
 type DiskSim = pario.DiskSim
 
@@ -207,6 +217,18 @@ type (
 	TypedOperator = workflow.TypedOperator
 	// MultiOperator is an Operator with more than one input port.
 	MultiOperator = workflow.MultiOperator
+	// Partitioned is the sharded dataset contract (partition count plus
+	// per-partition payloads in deterministic index order).
+	Partitioned = workflow.Partitioned
+	// Partitions is the gathered form of a partitioned dataset.
+	Partitions = workflow.Partitions
+	// Splitter is an Operator that shards its input (one Split per shard).
+	Splitter = workflow.Splitter
+	// PartitionKernel is a map Operator run once per shard.
+	PartitionKernel = workflow.PartitionKernel
+	// StreamReducer is a reduction Operator absorbing shards as they
+	// complete.
+	StreamReducer = workflow.StreamReducer
 	// Vectorized is the matrix-shaped dataset contract KMeansOp accepts.
 	Vectorized = workflow.Vectorized
 	// TFKMConfig configures the TF/IDF→K-Means workflow.
@@ -248,6 +270,23 @@ type (
 	WriteWordCounts = workflow.WriteWordCounts
 	// Matrix is the in-memory term-document dataset between operators.
 	Matrix = workflow.Matrix
+	// PartitionOp shards a document source into contiguous SubSources.
+	PartitionOp = workflow.PartitionOp
+	// TFMapOp is the per-shard phase-1 (input+wc) kernel of TF/IDF.
+	TFMapOp = workflow.TFMapOp
+	// DFReduceOp tree-merges shard document frequencies into the global
+	// term table.
+	DFReduceOp = workflow.DFReduceOp
+	// TransformOp is the per-shard phase-2 (transform) kernel of TF/IDF.
+	TransformOp = workflow.TransformOp
+	// GatherOp streams vector shards into the final TF/IDF result.
+	GatherOp = workflow.GatherOp
+	// WordCountMapOp counts words within one corpus shard.
+	WordCountMapOp = workflow.WordCountMapOp
+	// WordCountReduceOp tree-merges shard word counts.
+	WordCountReduceOp = workflow.WordCountReduceOp
+	// WCShard is one shard's word counts.
+	WCShard = workflow.WCShard
 )
 
 // NewPlan returns an empty plan; chain Add and Connect to build the DAG.
@@ -261,6 +300,14 @@ func FuseRule() Rewriter { return workflow.FuseRule() }
 // SharedScanRule returns the scan-deduplication rewriter: several scans of
 // the same Source collapse into one node so the corpus is read once.
 func SharedScanRule() Rewriter { return workflow.SharedScanRule() }
+
+// PartitionRule returns the sharding rewriter: operators fed by a document
+// scan expand into per-shard map kernels plus explicit reductions, with a
+// PartitionOp carving the corpus into the given number of shards (0 =
+// auto, 2×GOMAXPROCS so work stealing can rebalance straggler shards).
+// The executor then schedules partition tasks, so one shard can be several
+// stages ahead of another; results stay bit-identical at any shard count.
+func PartitionRule(shards int) Rewriter { return workflow.PartitionRule(shards) }
 
 // NewPipeline builds a pipeline from operators in execution order.
 func NewPipeline(ops ...Operator) *Pipeline { return workflow.NewPipeline(ops...) }

@@ -146,6 +146,23 @@ func (c *Corpus) Source(disk *pario.DiskSim) *pario.MemSource {
 	return &pario.MemSource{Names: c.Names, Docs: c.Docs, Disk: disk}
 }
 
+// ShardSources carves the corpus into the given number of contiguous
+// document shards (pario.PartitionRange boundaries — the same ranges a
+// workflow PartitionOp would emit), each reading through one shared source
+// so all shards contend for the same simulated device. Useful for driving
+// per-shard kernels directly, outside a plan.
+func (c *Corpus) ShardSources(shards int, disk *pario.DiskSim) []*pario.SubSource {
+	if shards < 1 {
+		shards = 1
+	}
+	src := c.Source(disk)
+	out := make([]*pario.SubSource, shards)
+	for p := range out {
+		out[p] = pario.Partition(src, shards, p)
+	}
+	return out
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

@@ -53,6 +53,13 @@ type Options struct {
 	// Recorder, when non-nil, collects a simsched trace: one task per
 	// assignment chunk per iteration plus the serial centroid update.
 	Recorder *simsched.Recorder
+	// DocNorms optionally supplies the squared Euclidean norm of every
+	// document, in document order. The partitioned TF/IDF gather stage
+	// computes norms shard-by-shard as shards arrive, so assignment can
+	// start without re-walking the whole corpus. Ignored unless its length
+	// matches the document count; the slice is used directly and must not
+	// be mutated while clustering runs.
+	DocNorms []float64
 	// Empty selects how clusters that lose all members are handled.
 	Empty EmptyPolicy
 }
@@ -143,9 +150,13 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = 128
 	}
+	docNorms := opts.DocNorms
+	if len(docNorms) != len(docs) {
+		docNorms = nil
+	}
 	c := &Clusterer{
 		docs:      docs,
-		docNorms:  make([]float64, len(docs)),
+		docNorms:  docNorms,
 		dim:       dim,
 		pool:      pool,
 		opts:      opts,
@@ -158,8 +169,11 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 	for i := range c.centroids {
 		c.centroids[i] = make([]float64, dim)
 	}
-	for i := range docs {
-		c.docNorms[i] = docs[i].NormSq()
+	if c.docNorms == nil {
+		c.docNorms = make([]float64, len(docs))
+		for i := range docs {
+			c.docNorms[i] = docs[i].NormSq()
+		}
 	}
 	for i := range c.assign {
 		c.assign[i] = -1

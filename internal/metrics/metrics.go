@@ -18,9 +18,25 @@ import (
 //
 // A Breakdown is not safe for concurrent use; phases in this library are
 // sequential sections of the workflow (the parallelism is inside a phase).
+//
+// A phase may be recorded either as a plain duration (Add/Time) or as a
+// wall-clock interval (AddSpan/TimeSpan). Intervals recorded for the same
+// phase merge by span union — earliest start to latest end — instead of by
+// summing, which is how the partitioned executor aggregates per-shard
+// timings: N shards running the "input+wc" kernel concurrently contribute
+// the phase's wall-clock span, not N times it, so the Figure 3/4 stacked
+// bars keep their meaning under sharded execution. ResolveSpans collapses
+// intervals into plain durations once a node's shards have all been merged.
 type Breakdown struct {
 	order []string
 	times map[string]time.Duration
+	spans map[string]phaseSpan
+}
+
+// phaseSpan is the union [start, end] of every interval recorded so far for
+// one phase.
+type phaseSpan struct {
+	start, end time.Time
 }
 
 // NewBreakdown returns an empty breakdown.
@@ -28,9 +44,18 @@ func NewBreakdown() *Breakdown {
 	return &Breakdown{times: make(map[string]time.Duration)}
 }
 
+// seen reports whether the phase is already in recording order.
+func (b *Breakdown) seen(phase string) bool {
+	if _, ok := b.times[phase]; ok {
+		return true
+	}
+	_, ok := b.spans[phase]
+	return ok
+}
+
 // Add accumulates d into the named phase.
 func (b *Breakdown) Add(phase string, d time.Duration) {
-	if _, ok := b.times[phase]; !ok {
+	if !b.seen(phase) {
 		b.order = append(b.order, phase)
 	}
 	b.times[phase] += d
@@ -52,8 +77,66 @@ func (b *Breakdown) TimeErr(phase string, fn func() error) error {
 	return err
 }
 
-// Get returns the accumulated duration for a phase (zero if absent).
-func (b *Breakdown) Get(phase string) time.Duration { return b.times[phase] }
+// AddSpan records the wall-clock interval [start, end] for the named phase.
+// Intervals for the same phase union rather than sum: overlapping shards of
+// one parallel phase count once.
+func (b *Breakdown) AddSpan(phase string, start, end time.Time) {
+	if !b.seen(phase) {
+		b.order = append(b.order, phase)
+	}
+	if b.spans == nil {
+		b.spans = make(map[string]phaseSpan)
+	}
+	s, ok := b.spans[phase]
+	if !ok {
+		b.spans[phase] = phaseSpan{start: start, end: end}
+		return
+	}
+	if start.Before(s.start) {
+		s.start = start
+	}
+	if end.After(s.end) {
+		s.end = end
+	}
+	b.spans[phase] = s
+}
+
+// TimeSpan runs fn and records its wall-clock interval for the named phase.
+func (b *Breakdown) TimeSpan(phase string, fn func()) {
+	start := time.Now()
+	fn()
+	b.AddSpan(phase, start, time.Now())
+}
+
+// TimeSpanErr is TimeSpan for functions that can fail; the interval is
+// recorded either way.
+func (b *Breakdown) TimeSpanErr(phase string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	b.AddSpan(phase, start, time.Now())
+	return err
+}
+
+// ResolveSpans converts every recorded interval into a plain duration and
+// drops the interval bookkeeping. The partitioned executor calls this after
+// merging the per-shard breakdowns of one node, so that node-level times
+// then combine additively with other nodes, exactly as before sharding.
+func (b *Breakdown) ResolveSpans() {
+	for phase, s := range b.spans {
+		b.times[phase] += s.end.Sub(s.start)
+	}
+	b.spans = nil
+}
+
+// Get returns the accumulated duration for a phase (zero if absent), the
+// union span of any unresolved intervals included.
+func (b *Breakdown) Get(phase string) time.Duration {
+	d := b.times[phase]
+	if s, ok := b.spans[phase]; ok {
+		d += s.end.Sub(s.start)
+	}
+	return d
+}
 
 // Phases returns the phase names in first-recorded order.
 func (b *Breakdown) Phases() []string {
@@ -65,16 +148,24 @@ func (b *Breakdown) Phases() []string {
 // Total returns the sum over all phases.
 func (b *Breakdown) Total() time.Duration {
 	var t time.Duration
-	for _, d := range b.times {
-		t += d
+	for _, p := range b.order {
+		t += b.Get(p)
 	}
 	return t
 }
 
-// Merge adds every phase of other into b.
+// Merge adds every duration of other into b and unions its unresolved
+// intervals.
 func (b *Breakdown) Merge(other *Breakdown) {
 	for _, p := range other.order {
-		b.Add(p, other.times[p])
+		if d, ok := other.times[p]; ok && d != 0 {
+			b.Add(p, d)
+		} else if _, spanOnly := other.spans[p]; !spanOnly {
+			b.Add(p, d) // keep zero-duration phases in recording order
+		}
+		if s, ok := other.spans[p]; ok {
+			b.AddSpan(p, s.start, s.end)
+		}
 	}
 }
 
@@ -85,7 +176,7 @@ func (b *Breakdown) String() string {
 		if i > 0 {
 			sb.WriteByte(' ')
 		}
-		fmt.Fprintf(&sb, "%s=%s", p, b.times[p].Round(time.Millisecond))
+		fmt.Fprintf(&sb, "%s=%s", p, b.Get(p).Round(time.Millisecond))
 	}
 	fmt.Fprintf(&sb, " total=%s", b.Total().Round(time.Millisecond))
 	return sb.String()

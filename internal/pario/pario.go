@@ -143,3 +143,41 @@ func (m *MemSource) TotalBytes() int64 {
 	}
 	return t
 }
+
+// SubSource is a contiguous [Lo, Hi) view of a Source: one shard of a
+// partitioned corpus scan. It reads through to the underlying source (and
+// therefore shares its DiskSim contention), so slicing a corpus into
+// SubSources costs nothing until the shards are actually read.
+type SubSource struct {
+	// Src is the underlying source.
+	Src Source
+	// Lo and Hi delimit the document index range [Lo, Hi) of the shard.
+	Lo, Hi int
+}
+
+// Len implements Source.
+func (s *SubSource) Len() int { return s.Hi - s.Lo }
+
+// Name implements Source.
+func (s *SubSource) Name(i int) string { return s.Src.Name(s.Lo + i) }
+
+// Read implements Source.
+func (s *SubSource) Read(i int) ([]byte, error) { return s.Src.Read(s.Lo + i) }
+
+// PartitionRange returns the [lo, hi) document range of shard p out of
+// shards over n documents. Ranges are contiguous, cover [0, n) exactly,
+// differ in size by at most one document, and depend only on (n, shards, p)
+// — never on worker counts or timing — so any derived computation is
+// deterministic for a fixed shard count.
+func PartitionRange(n, shards, p int) (lo, hi int) {
+	if shards < 1 {
+		shards = 1
+	}
+	return n * p / shards, n * (p + 1) / shards
+}
+
+// Partition returns shard p of src as a SubSource using PartitionRange.
+func Partition(src Source, shards, p int) *SubSource {
+	lo, hi := PartitionRange(src.Len(), shards, p)
+	return &SubSource{Src: src, Lo: lo, Hi: hi}
+}

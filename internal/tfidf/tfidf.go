@@ -108,6 +108,10 @@ type Result struct {
 	// alive at the end of phase 1 — the quantity behind the paper's
 	// "420 MB with the map ... 12.8 GB using the unordered map".
 	DictFootprint int64
+	// Norms, when non-nil, holds the squared Euclidean norm of every
+	// vector. The partitioned gather stage fills it shard-by-shard so
+	// K-Means can skip its own norm pass (kmeans.Options.DocNorms).
+	Norms []float64
 	// GlobalStats carries the global dictionary's internal counters
 	// (rehashes for Hash, rotations for Tree), summed over shards.
 	GlobalStats dict.Stats
@@ -282,33 +286,14 @@ func Run(src pario.Source, pool *par.Pool, opts Options, bd *metrics.Breakdown) 
 		builders := par.NewReducer(func() *sparse.Builder { return &sparse.Builder{} },
 			func(b *sparse.Builder) { b.Reset() })
 		logN := math.Log(float64(n))
+		lookup := global.get
 		pool.For(0, n, 0, func(i int) {
 			var start time.Time
 			if rec.Enabled() {
 				start = time.Now()
 			}
 			b := builders.Claim()
-			b.Reset()
-			docDicts[i].Range(func(word string, tf *uint32) bool {
-				info, ok := global.get(word)
-				if !ok {
-					panic("tfidf: word vanished from global dictionary")
-				}
-				// Classic TF-IDF: tf * ln(N/df). Words present in every
-				// document score zero and drop out of the vector.
-				idf := logN - math.Log(float64(info.DF))
-				if score := float64(*tf) * idf; score != 0 {
-					b.Add(info.ID, score)
-				}
-				return true
-			})
-			// Distinct words → distinct IDs: the fast sort path applies,
-			// and dictionaries iterating in key order (the tree kinds)
-			// arrive pre-sorted and skip sorting entirely.
-			b.BuildDistinct(&res.Vectors[i])
-			if opts.Normalize {
-				res.Vectors[i].Normalize()
-			}
+			scoreDoc(docDicts[i], lookup, logN, opts.Normalize, b, &res.Vectors[i])
 			res.DocNames[i] = src.Name(i)
 			builders.Release(b)
 			if rec.Enabled() {

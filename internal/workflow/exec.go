@@ -8,39 +8,95 @@ import (
 	"hpa/internal/metrics"
 )
 
-// nodeDone is one node's completion report, delivered to the scheduling
-// goroutine over a buffered channel (sends never block a pool worker).
-type nodeDone struct {
-	idx int
-	out Value
-	bd  *metrics.Breakdown
-	err error
+// taskDone is one partition task's completion report, delivered to the
+// scheduling goroutine over a buffered channel (sends never block a pool
+// worker).
+type taskDone struct {
+	node, part int
+	out        Value
+	bd         *metrics.Breakdown
+	err        error
 }
 
-// Run validates the plan and executes it. Independent branches run
-// concurrently: every node whose inputs are all available is spawned as a
-// task on ctx.Pool, so branch-level parallelism and the operators'
-// intra-node parallelism share the same workers, exactly as concurrently
-// launched Cilk programs would share a machine. While nodes are in flight
-// the scheduling goroutine helps the pool (a helping join, like
-// par.Group.Wait), so Run may itself be called from inside a pool task
-// without risking deadlock.
+// taskRef identifies a dispatchable partition task.
+type taskRef struct {
+	node, part int
+}
+
+// pendingPart buffers a shard that reached a stream reducer before its
+// scalar inputs did.
+type pendingPart struct {
+	idx  int
+	part Value
+}
+
+// execState tracks one node through a run.
+type execState struct {
+	ins     []Value // gathered port values
+	missing int     // gathered ports still unfilled (excludes port 0 for map/stream nodes)
+
+	// Map-node bookkeeping: shard payloads of the port-0 input.
+	parts     []Value
+	partReady []bool
+	spawned   []bool
+
+	// Output bookkeeping.
+	outParts []Value // one slot per partition (scalar nodes use one)
+	outLeft  int     // partitions not yet produced
+
+	// Stream-reduction bookkeeping.
+	rstate   any
+	began    bool
+	pending  []pendingPart
+	absorbed int
+	nodeBD   *metrics.Breakdown // begin/absorb time of a stream reducer
+
+	bds    []*metrics.Breakdown // per-task breakdowns, by partition
+	failed bool
+}
+
+// Run validates the plan and executes it as a set of partition tasks on
+// ctx.Pool. The unit of scheduling is (node, partition), not the node:
 //
-// Each node runs against a private Breakdown; when the run finishes the
-// per-node breakdowns are merged into ctx.Breakdown in topological order,
-// so phase keys and their order are deterministic regardless of how the
-// branches interleaved. Observe is invoked from the scheduling goroutine
-// (serialized) after each node completes. ctx.Ctx cancels cooperatively:
-// nodes not yet started are abandoned once the context is done.
+//   - a scalar node runs as one task once every input port holds its
+//     (gathered) value;
+//   - a Splitter node runs one Split task per shard;
+//   - a PartitionKernel node whose port-0 producer is partitioned runs one
+//     RunPartition task per shard, each dispatched the moment its shard of
+//     the input and the remaining (scalar) ports are ready — so shard 3 can
+//     be counting words while shard 1 is already being transformed, with no
+//     bulk-synchronous barrier between map stages;
+//   - a StreamReducer node absorbs shards in completion order on the
+//     scheduling goroutine and finishes as one task after the last;
+//   - every other node consuming a partitioned output receives the
+//     gathered *Partitions (shards in index order) once all shards exist.
 //
-// When a simsched Recorder is attached, nodes run one at a time in
-// topological order: the Recorder attributes Task/Serial samples to the
-// most recently begun phase, so overlapping nodes would corrupt the trace
-// (recording runs measure serial pure-CPU durations by design).
+// While tasks are in flight the scheduling goroutine helps the pool (a
+// helping join, like par.Group.Wait), so Run may itself be called from
+// inside a pool task without risking deadlock. Intermediate outputs are
+// released as soon as every consumer edge has received them; outputs with
+// several consumers are handed to each edge before the executor drops its
+// reference, so a diamond plan (one scan feeding two consumers) never
+// loses data to early release.
+//
+// Each task runs against a private Breakdown. When the run finishes, the
+// per-task breakdowns of one node are merged — per-shard phase intervals
+// union into the phase's wall-clock span rather than summing — and the
+// node totals are then merged into ctx.Breakdown in topological order, so
+// phase keys and their order are deterministic regardless of how shards
+// interleaved, and Figure 3/4 accounting keeps its meaning. Observe is
+// invoked from the scheduling goroutine (serialized) after each node
+// completes, with the gathered value for partitioned nodes. ctx.Ctx
+// cancels cooperatively: tasks not yet started are abandoned once the
+// context is done.
+//
+// When a simsched Recorder is attached, tasks run one at a time in
+// dependency order: the Recorder attributes samples to the most recently
+// begun phase, so overlapping tasks would corrupt the trace.
 //
 // The returned map holds the output dataset of every sink (a node with no
-// outgoing edges), keyed by node name. Intermediate outputs are released
-// as soon as their last consumer has received them.
+// outgoing edges), keyed by node name; partitioned sinks yield a
+// *Partitions.
 func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 	if ctx.Breakdown == nil {
 		ctx.Breakdown = metrics.NewBreakdown()
@@ -57,30 +113,78 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 	for i, n := range order {
 		idx[n.name] = i
 	}
+	infoByName := p.partitionInfo(order)
+	info := make([]pinfo, len(order))
+	for i, n := range order {
+		info[i] = infoByName[n.name]
+	}
 	consumers := make([][]Edge, len(order)) // outgoing edges per node index
 	for _, e := range p.edges {
 		i := idx[e.From]
 		consumers[i] = append(consumers[i], e)
 	}
-	type nodeState struct {
-		ins     []Value // gathered port values
-		missing int     // ports still unfilled
-	}
-	states := make([]nodeState, len(order))
-	for i, n := range order {
-		arity := len(inPorts(n.op))
-		states[i] = nodeState{ins: make([]Value, arity), missing: arity}
+	perPart := make([][]bool, len(order)) // consumer edge takes shards, not the gathered value
+	totalTasks := 0
+	for i := range order {
+		perPart[i] = make([]bool, len(consumers[i]))
+		for j, e := range consumers[i] {
+			perPart[i][j] = consumesPerPart(infoByName, p, e)
+		}
+		totalTasks += info[i].nparts + 1 // + a possible stream finish task
 	}
 
-	done := make(chan nodeDone, len(order))
+	states := make([]execState, len(order))
+	for i, n := range order {
+		arity := len(inPorts(n.op))
+		st := &states[i]
+		st.ins = make([]Value, arity)
+		st.missing = arity
+		np := info[i].nparts
+		switch info[i].class {
+		case classMap:
+			st.missing-- // port 0 arrives shard-by-shard
+			st.parts = make([]Value, np)
+			st.partReady = make([]bool, np)
+			st.spawned = make([]bool, np)
+		case classStream:
+			st.missing-- // port 0 arrives shard-by-shard
+		}
+		st.outParts = make([]Value, np)
+		st.outLeft = np
+		st.bds = make([]*metrics.Breakdown, np+1)
+	}
+
+	done := make(chan taskDone, totalTasks)
 	g := ctx.Pool.NewGroup()
 	running := 0
-	spawn := func(i int) {
+	var firstErr error
+
+	// spawn launches one partition task. What the task calls depends on the
+	// node class; every task gets a private context and breakdown and
+	// reports on the done channel.
+	spawn := func(t taskRef) {
 		running++
-		n, in := order[i], states[i].ins
-		states[i].ins = nil // the task owns the slice now; free it with the task
+		i, part := t.node, t.part
+		n, pi, st := order[i], info[i], &states[i]
+		var ins []Value
+		switch pi.class {
+		case classMap:
+			ins = make([]Value, len(st.ins))
+			copy(ins, st.ins)
+			ins[0] = st.parts[part]
+			st.parts[part] = nil // the task owns the shard now
+			st.spawned[part] = true
+		case classStream:
+			// Finish task: no inputs beyond the reduction state.
+		default:
+			ins = st.ins
+			if pi.class == classScalar || part == pi.nparts-1 {
+				st.ins = nil // the task(s) own the values now
+			}
+		}
+		rstate := st.rstate
 		g.Spawn(func() {
-			d := nodeDone{idx: i}
+			d := taskDone{node: i, part: part}
 			defer func() {
 				if r := recover(); r != nil {
 					d.err = fmt.Errorf("workflow: operator %s panicked: %v", n.op.Name(), r)
@@ -97,14 +201,23 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			nctx.Breakdown = metrics.NewBreakdown()
 			nctx.Observe = nil
 			d.bd = nctx.Breakdown
-			if mo, ok := n.op.(MultiOperator); ok && len(in) > 1 {
-				d.out, d.err = mo.RunAll(&nctx, in)
-			} else {
-				var single Value
-				if len(in) > 0 {
-					single = in[0]
+			switch pi.class {
+			case classSplit:
+				d.out, d.err = n.op.(Splitter).Split(&nctx, ins, part, pi.nparts)
+			case classMap:
+				d.out, d.err = n.op.(PartitionKernel).RunPartition(&nctx, ins, part, pi.nparts)
+			case classStream:
+				d.out, d.err = n.op.(StreamReducer).FinishReduce(&nctx, rstate)
+			default:
+				if mo, ok := n.op.(MultiOperator); ok && len(ins) > 1 {
+					d.out, d.err = mo.RunAll(&nctx, ins)
+				} else {
+					var single Value
+					if len(ins) > 0 {
+						single = ins[0]
+					}
+					d.out, d.err = n.op.Run(&nctx, single)
 				}
-				d.out, d.err = n.op.Run(&nctx, single)
 			}
 			if d.err != nil {
 				d.err = fmt.Errorf("workflow: operator %s: %w", n.op.Name(), d.err)
@@ -113,24 +226,178 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 	}
 
 	serial := ctx.Recorder.Enabled()
-	var ready []int // nodes whose inputs are complete, awaiting dispatch
+	var ready []taskRef // tasks whose inputs are complete, awaiting dispatch
 	dispatch := func() {
-		for len(ready) > 0 && !(serial && running > 0) {
-			i := ready[0]
+		for len(ready) > 0 && firstErr == nil && !(serial && running > 0) {
+			t := ready[0]
 			ready = ready[1:]
-			spawn(i)
+			spawn(t)
 		}
 	}
+
+	// nodeCtx builds the scheduling-goroutine context a stream reducer's
+	// Begin/Absorb callbacks run against.
+	nodeCtx := func(i int) *Context {
+		st := &states[i]
+		if st.nodeBD == nil {
+			st.nodeBD = metrics.NewBreakdown()
+		}
+		nctx := *ctx
+		nctx.Breakdown = st.nodeBD
+		nctx.Observe = nil
+		return &nctx
+	}
+
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// recovering converts a panic in a scheduling-goroutine callback
+	// (BeginReduce/AbsorbPartition) into an operator error, matching the
+	// recovery pool tasks get.
+	recovering := func(name string, fn func() error) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("workflow: operator %s panicked: %v", name, r)
+			}
+		}()
+		if err := fn(); err != nil {
+			return fmt.Errorf("workflow: operator %s: %w", name, err)
+		}
+		return nil
+	}
+
+	// absorb hands one shard to a stream reducer (serialized here on the
+	// scheduling goroutine) and enqueues the finish task after the last.
+	absorb := func(i int, part Value, partIdx int) {
+		n, st := order[i], &states[i]
+		if st.failed {
+			return
+		}
+		err := recovering(n.op.Name(), func() error {
+			return n.op.(StreamReducer).AbsorbPartition(nodeCtx(i), st.rstate, part, partIdx)
+		})
+		if err != nil {
+			st.failed = true
+			fail(err)
+			return
+		}
+		st.absorbed++
+		total := info[idx[p.producerOf0(n.name)]].nparts
+		if st.absorbed == total {
+			ready = append(ready, taskRef{node: i, part: 0})
+		}
+	}
+
+	// inputsReady fires when a node's gathered ports are all filled.
+	inputsReady := func(i int) {
+		n, pi, st := order[i], info[i], &states[i]
+		switch pi.class {
+		case classScalar:
+			ready = append(ready, taskRef{node: i, part: 0})
+		case classSplit:
+			for q := 0; q < pi.nparts; q++ {
+				ready = append(ready, taskRef{node: i, part: q})
+			}
+		case classMap:
+			for q := 0; q < pi.nparts; q++ {
+				if st.partReady[q] && !st.spawned[q] {
+					ready = append(ready, taskRef{node: i, part: q})
+				}
+			}
+		case classStream:
+			err := recovering(n.op.Name(), func() error {
+				state, err := n.op.(StreamReducer).BeginReduce(nodeCtx(i), info[idx[p.producerOf0(n.name)]].nparts, st.ins)
+				st.rstate = state
+				return err
+			})
+			if err != nil {
+				st.failed = true
+				fail(err)
+				return
+			}
+			st.began = true
+			for _, pp := range st.pending {
+				absorb(i, pp.part, pp.idx)
+			}
+			st.pending = nil
+		}
+	}
+
+	// deliverGathered fills one input port with a complete value.
+	deliverGathered := func(e Edge, v Value) {
+		ci := idx[e.To]
+		st := &states[ci]
+		st.ins[e.Port] = v
+		st.missing--
+		if st.missing == 0 {
+			inputsReady(ci)
+		}
+	}
+
+	// deliverPart routes shard q of a partitioned producer to a per-part
+	// consumer.
+	deliverPart := func(e Edge, q int, v Value) {
+		ci := idx[e.To]
+		st := &states[ci]
+		switch info[ci].class {
+		case classMap:
+			st.parts[q] = v
+			st.partReady[q] = true
+			if st.missing == 0 && !st.spawned[q] {
+				ready = append(ready, taskRef{node: ci, part: q})
+			}
+		case classStream:
+			if st.began {
+				absorb(ci, v, q)
+			} else {
+				st.pending = append(st.pending, pendingPart{idx: q, part: v})
+			}
+		}
+	}
+
+	// nodeComplete runs once a node's last partition is produced: Observe,
+	// gathered deliveries, sink recording, and release of the executor's
+	// references (per-edge delivery has already happened for shard
+	// consumers, so nothing is dropped early).
+	sinks := make(map[string]Value)
+	nodeComplete := func(i int) {
+		n, pi, st := order[i], info[i], &states[i]
+		var v Value
+		if pi.partitioned() {
+			v = &Partitions{Parts: st.outParts}
+		} else {
+			v = st.outParts[0]
+		}
+		if ctx.Observe != nil {
+			if _, hidden := n.op.(synthetic); !hidden {
+				ctx.Observe(n.op, v)
+			}
+		}
+		if len(consumers[i]) == 0 {
+			sinks[n.name] = v
+		}
+		for j, e := range consumers[i] {
+			if !perPart[i][j] {
+				deliverGathered(e, v)
+			}
+		}
+		st.outParts = nil // consumers hold their own references now
+	}
+
 	for i, n := range order {
 		if len(inPorts(n.op)) == 0 {
-			ready = append(ready, i)
+			states[i].missing = 0
+			inputsReady(i)
 		}
 	}
 	dispatch()
 
 	// receive waits for the next completion, executing queued pool tasks
 	// while it waits so a Run nested inside a pool task cannot deadlock.
-	receive := func() nodeDone {
+	receive := func() taskDone {
 		backoff := 0
 		for {
 			select {
@@ -151,50 +418,73 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		}
 	}
 
-	sinks := make(map[string]Value)
-	breakdowns := make([]*metrics.Breakdown, len(order))
-	var firstErr error
 	for running > 0 {
 		d := receive()
 		running--
-		breakdowns[d.idx] = d.bd
+		st := &states[d.node]
+		slot := d.part
+		if info[d.node].class == classStream {
+			slot = info[d.node].nparts // finish-task breakdown rides in the extra slot
+		}
+		if st.bds[slot] == nil {
+			st.bds[slot] = d.bd
+		}
 		if d.err != nil {
-			if firstErr == nil {
-				firstErr = d.err
-			}
+			st.failed = true
+			fail(d.err)
 			continue
 		}
 		if firstErr != nil {
-			continue // a branch failed: stop scheduling, drain in-flight nodes
+			continue // a branch failed: stop scheduling, drain in-flight tasks
 		}
-		n := order[d.idx]
-		if ctx.Observe != nil {
-			if _, hidden := n.op.(synthetic); !hidden {
-				ctx.Observe(n.op, d.out)
+		if info[d.node].partitioned() {
+			st.outParts[d.part] = d.out
+			st.outLeft--
+			for j, e := range consumers[d.node] {
+				if perPart[d.node][j] {
+					deliverPart(e, d.part, d.out)
+				}
 			}
-		}
-		if len(consumers[d.idx]) == 0 {
-			sinks[n.name] = d.out
-		}
-		for _, e := range consumers[d.idx] {
-			ci := idx[e.To]
-			states[ci].ins[e.Port] = d.out
-			states[ci].missing--
-			if states[ci].missing == 0 {
-				ready = append(ready, ci)
+			if st.outLeft == 0 {
+				nodeComplete(d.node)
 			}
+		} else {
+			st.outParts[0] = d.out
+			st.outLeft = 0
+			nodeComplete(d.node)
 		}
 		dispatch()
 	}
 	g.Wait()
 
-	for _, bd := range breakdowns {
-		if bd != nil {
-			ctx.Breakdown.Merge(bd)
+	// Merge per-task breakdowns: shards of one node union their phase
+	// spans into wall-clock time, then node totals add into ctx.Breakdown
+	// in topological order.
+	for i := range order {
+		st := &states[i]
+		nodeBD := metrics.NewBreakdown()
+		if st.nodeBD != nil {
+			nodeBD.Merge(st.nodeBD)
 		}
+		for _, bd := range st.bds {
+			if bd != nil {
+				nodeBD.Merge(bd)
+			}
+		}
+		nodeBD.ResolveSpans()
+		ctx.Breakdown.Merge(nodeBD)
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return sinks, nil
+}
+
+// producerOf0 returns the name of the node feeding the given node's port 0
+// (empty if none) — a convenience for the executor's stream-reduce paths.
+func (p *Plan) producerOf0(name string) string {
+	if e, ok := p.producerOf(name, 0); ok {
+		return e.From
+	}
+	return ""
 }

@@ -93,6 +93,30 @@ func (o *TFIDFOp) Run(ctx *Context, in Value) (Value, error) {
 	return tfidf.Run(src, ctx.Pool, opts, ctx.Breakdown)
 }
 
+// partitionFragment implements partitionable: under PartitionRule the
+// monolithic operator becomes phase-1 map shards, the document-frequency
+// tree-merge reduction, phase-2 transform shards, and the streaming
+// gather.
+func (o *TFIDFOp) partitionFragment() fragment {
+	return fragment{
+		nodes: []fragNode{
+			{suffix: "map", op: &TFMapOp{Opts: o.Opts}},
+			{suffix: "df", op: &DFReduceOp{Opts: o.Opts}},
+			{suffix: "transform", op: &TransformOp{Opts: o.Opts}},
+			{suffix: "gather", op: &GatherOp{Opts: o.Opts}},
+		},
+		edges: []Edge{
+			{From: "map", To: "df", Port: 0},
+			{From: "map", To: "transform", Port: 0},
+			{From: "df", To: "transform", Port: 1},
+			{From: "transform", To: "gather", Port: 0},
+			{From: "df", To: "gather", Port: 1},
+		},
+		in:  "map",
+		out: "gather",
+	}
+}
+
 // MaterializeARFF writes the TF/IDF result to an ARFF file in the scratch
 // directory — the "tfidf-output" phase of the discrete workflow.
 type MaterializeARFF struct {
@@ -180,11 +204,12 @@ func (o *KMeansOp) Run(ctx *Context, in Value) (Value, error) {
 		vectors []sparse.Vector
 		dim     int
 		names   []string
+		norms   []float64
 		up      *tfidf.Result
 	)
 	switch v := in.(type) {
 	case *tfidf.Result:
-		vectors, dim, names, up = v.Vectors, v.Dim(), v.DocNames, v
+		vectors, dim, names, norms, up = v.Vectors, v.Dim(), v.DocNames, v.Norms, v
 	case *Matrix:
 		vectors, dim, names = v.Vectors, v.Dim(), v.DocNames
 	default:
@@ -192,6 +217,9 @@ func (o *KMeansOp) Run(ctx *Context, in Value) (Value, error) {
 	}
 	opts := o.Opts
 	opts.Recorder = ctx.Recorder
+	if opts.DocNorms == nil {
+		opts.DocNorms = norms
+	}
 	res, err := kmeans.Run(vectors, dim, ctx.Pool, opts, ctx.Breakdown)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,66 @@
+package workflow
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"hpa/internal/corpus"
+	"hpa/internal/dict"
+	"hpa/internal/par"
+	"hpa/internal/tfidf"
+)
+
+// BenchmarkPlanPartitioned compares the scan→tfidf dataflow under the
+// bulk-synchronous executor (one monolithic operator node) against
+// partitioned streaming execution at 1 and N shards. On GOMAXPROCS>1 the
+// partitioned plan wins on the phase-1 path: shard-local document-frequency
+// dictionaries replace the lock-striped global table and the final merge
+// runs as a parallel tree (par.TreeReduce) instead of a serial
+// finalization; on a single processor the same merge is pure overhead, so
+// the 1-shard and bulk variants bound it. Run with
+//
+//	go test ./internal/workflow -run '^$' -bench PlanPartitioned -benchtime 5x
+//
+// and record the output as the BENCH_*.json baseline for regression
+// comparisons.
+func BenchmarkPlanPartitioned(b *testing.B) {
+	c := corpus.Generate(corpus.Mix().Scaled(0.05), nil)
+	auto := (&PartitionOp{}).PartitionCount()
+	cases := []struct {
+		name   string
+		shards int
+	}{
+		{"bulk", 0},
+		{"shards=1", 1},
+		{fmt.Sprintf("shards=%d(auto)", auto), -1},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			pool := par.NewPool(runtime.GOMAXPROCS(0))
+			defer pool.Close()
+			b.SetBytes(c.Bytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := NewPlan().
+					Add("scan", &SourceOp{Src: c.Source(nil)}).
+					Add("tfidf", &TFIDFOp{Opts: tfidf.Options{DictKind: dict.Tree, Normalize: true}}).
+					Connect("scan", "tfidf")
+				switch {
+				case bc.shards > 0:
+					plan = plan.Apply(PartitionRule(bc.shards))
+				case bc.shards < 0:
+					plan = plan.Apply(PartitionRule(0)) // auto
+				}
+				ctx := NewContext(pool)
+				outs, err := plan.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != 1 {
+					b.Fatalf("expected one sink, got %d", len(outs))
+				}
+			}
+		})
+	}
+}

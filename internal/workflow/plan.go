@@ -259,13 +259,22 @@ func (p *Plan) Validate() error {
 		}
 	}
 	// Cycles.
-	if _, err := p.topoOrder(); err != nil {
+	order, err := p.topoOrder()
+	if err != nil {
 		return err
 	}
-	// Edge types.
+	// Edge types, partition-aware: a partitioned producer presents its
+	// per-partition payload type to shard consumers (map kernels and
+	// stream reducers on port 0) and *Partitions to everything else, so a
+	// partitioned dataset cannot leak into an operator that expects the
+	// monolith.
+	info := p.partitionInfo(order)
 	for _, e := range p.edges {
 		from, to := p.nodes[e.From], p.nodes[e.To]
 		ft, tt := outPort(from.op), inPorts(to.op)[e.Port]
+		if info[e.From].partitioned() && !consumesPerPart(info, p, e) {
+			ft = partitionsType
+		}
 		if !portAssignable(ft, tt) {
 			return fmt.Errorf("%w: edge %s -> %s: %s produces %v but %s port %d wants %v",
 				ErrType, e.From, e.To, from.op.Name(), ft, to.op.Name(), e.Port, tt)
@@ -349,22 +358,31 @@ func materializationArrow(from, to Operator) string {
 
 // Explain renders the plan one edge per line in topological order, marking
 // materialize/load edges the way Pipeline.String marks materialization
-// boundaries:
+// boundaries, and partition boundaries the way the executor schedules
+// them: an edge carrying shards to a per-shard consumer renders as
+// -[xN]->, and an edge gathering N shards back into one dataset (a
+// reduction barrier) renders as =[xN]=>:
 //
-//	scan -> tfidf
-//	tfidf -> materialize-arff
-//	materialize-arff =[arff]=> load-arff
-//	load-arff -> kmeans
+//	scan -> partition
+//	partition -[x8]-> tf-map
+//	tf-map =[x8]=> df-reduce
+//	tf-map -[x8]-> transform
+//	df-reduce -> transform:1
+//	transform -[x8]-> gather
+//	gather -> kmeans
 //
 // Nodes without edges are listed alone. Invalid plans are rendered
 // best-effort in Add order.
 func (p *Plan) Explain() string {
 	order, err := p.topoOrder()
+	var info map[string]pinfo
 	if err != nil {
 		order = make([]*Node, 0, len(p.order))
 		for _, name := range p.order {
 			order = append(order, p.nodes[name])
 		}
+	} else {
+		info = p.partitionInfo(order)
 	}
 	var sb strings.Builder
 	for _, n := range order {
@@ -378,6 +396,13 @@ func (p *Plan) Explain() string {
 		for _, e := range cons {
 			to := p.nodes[e.To]
 			arrow := materializationArrow(n.op, to.op)
+			if pi, ok := info[e.From]; ok && pi.partitioned() {
+				if consumesPerPart(info, p, e) {
+					arrow = fmt.Sprintf("-[x%d]->", pi.nparts)
+				} else {
+					arrow = fmt.Sprintf("=[x%d]=>", pi.nparts)
+				}
+			}
 			if e.Port != 0 {
 				fmt.Fprintf(&sb, "%s %s %s:%d\n", e.From, arrow, e.To, e.Port)
 			} else {

@@ -121,6 +121,124 @@ func cancelPair(p *Plan, e Edge) (*Plan, bool) {
 	return next, true
 }
 
+// fragNode is one node of a partition-expansion fragment, named by suffix.
+type fragNode struct {
+	suffix string
+	op     Operator
+}
+
+// fragment is the per-shard map/reduce subgraph an operator expands into
+// under PartitionRule. Edge endpoints are node suffixes; in is the map
+// entry receiving the partitioned input on port 0, out the node whose
+// output replaces the original operator's.
+type fragment struct {
+	nodes []fragNode
+	edges []Edge
+	in    string
+	out   string
+}
+
+// partitionable is implemented by operators that can be decomposed into an
+// equivalent per-shard map/reduce subgraph (per-partition kernels plus
+// explicit reductions) producing bit-identical output.
+type partitionable interface {
+	Operator
+	partitionFragment() fragment
+}
+
+// PartitionRule returns the sharding rewriter: every partitionable
+// operator fed directly by a document source (TFIDFOp, WordCountOp) is
+// expanded into its per-shard map/reduce subgraph, with a PartitionOp
+// inserted after the scan to carve the corpus into shards. Expanded nodes
+// are named <node>.<stage> ("tfidf.map", "tfidf.df", ...); consumers of
+// several partitionable operators off one scan share a single
+// <scan>.shards partition node, so partitioning pushes through shared
+// scans, and the rule composes with FuseRule — a discrete plan's
+// materialize/load pair downstream of the expansion cancels exactly as
+// before.
+//
+// shards fixes the partition count; 0 selects the automatic count
+// (2×GOMAXPROCS, see PartitionOp.Shards) at execution time. The rewrite
+// never changes results: shard boundaries are
+// deterministic, document frequencies merge commutatively, and term IDs
+// are assigned in lexicographic order, so scores and cluster assignments
+// are bit-identical to the unpartitioned plan at any shard count.
+func PartitionRule(shards int) Rewriter { return &partitionRule{shards: shards} }
+
+type partitionRule struct{ shards int }
+
+func (*partitionRule) Name() string { return "partition" }
+
+func (r *partitionRule) Rewrite(p *Plan) (*Plan, bool) {
+	for _, name := range p.order {
+		n := p.nodes[name]
+		pa, ok := n.op.(partitionable)
+		if !ok || len(inPorts(n.op)) != 1 {
+			continue
+		}
+		prod, hasProd := p.producerOf(name, 0)
+		if !hasProd {
+			continue
+		}
+		prodOp := p.nodes[prod.From].op
+		out := outPort(prodOp)
+		if out == anyType || !out.AssignableTo(sourceType) {
+			continue // not a document source; leave the monolith alone
+		}
+		return r.expand(p, name, pa.partitionFragment(), prod), true
+	}
+	return p, false
+}
+
+// expand replaces node name with its fragment, wired through a partition
+// node after the producer (reused if the producer already is a Splitter or
+// an earlier expansion created one).
+func (r *partitionRule) expand(p *Plan, name string, frag fragment, prod Edge) *Plan {
+	partName := prod.From
+	newPart := false
+	if _, isSplit := p.nodes[prod.From].op.(Splitter); !isSplit {
+		partName = prod.From + ".shards"
+		if existing := p.nodes[partName]; existing == nil {
+			newPart = true
+		} else if _, ok := existing.op.(Splitter); !ok {
+			// The name is taken by an unrelated node; shard privately.
+			partName = name + ".shards"
+			newPart = true
+		}
+	}
+	next := NewPlan()
+	for _, nm := range p.order {
+		if nm == name {
+			for _, fn := range frag.nodes {
+				next.Add(name+"."+fn.suffix, fn.op)
+			}
+			continue
+		}
+		next.Add(nm, p.nodes[nm].op)
+	}
+	if newPart {
+		next.Add(partName, &PartitionOp{Shards: r.shards})
+	}
+	for _, e := range p.edges {
+		switch {
+		case e.To == name: // the producer edge, replaced by partition wiring
+		case e.From == name:
+			next.edges = append(next.edges, Edge{From: name + "." + frag.out, To: e.To, Port: e.Port})
+		default:
+			next.edges = append(next.edges, e)
+		}
+	}
+	if newPart {
+		next.edges = append(next.edges, Edge{From: prod.From, To: partName, Port: 0})
+	}
+	next.edges = append(next.edges, Edge{From: partName, To: name + "." + frag.in, Port: 0})
+	for _, fe := range frag.edges {
+		next.edges = append(next.edges, Edge{From: name + "." + fe.From, To: name + "." + fe.To, Port: fe.Port})
+	}
+	next.errs = append(next.errs, p.errs...)
+	return next
+}
+
 // SharedScanRule returns the scan-deduplication rewriter: when several
 // zero-input nodes scan the same underlying data (equal scanner.ScanKey),
 // all consumers are rewired onto the first such node and the duplicates are

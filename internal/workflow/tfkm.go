@@ -39,6 +39,14 @@ func (m Mode) String() string {
 type TFKMConfig struct {
 	// Mode selects discrete or merged execution.
 	Mode Mode
+	// Shards selects partitioned execution: with Shards != 0, PartitionRule
+	// shards the corpus scan and expands TF/IDF into per-shard map kernels
+	// plus reductions (Shards < 0 means auto: 2×GOMAXPROCS shards, over-
+	// decomposed so work stealing rebalances stragglers; see
+	// PartitionOp.Shards). Shards == 0 keeps the bulk-synchronous
+	// single-operator plan. Results are bit-identical either way, at any
+	// shard count.
+	Shards int
 	// TFIDF configures the text operator.
 	TFIDF tfidf.Options
 	// KMeans configures the clustering operator.
@@ -64,7 +72,9 @@ func TFKMPipeline(cfg TFKMConfig) *Pipeline {
 
 // TFKMPlan constructs the workflow over src as a Plan. The discrete plan
 // contains the materialize/load pair; Merged is exactly the discrete plan
-// with the fusion rule applied.
+// with the fusion rule applied. With cfg.Shards != 0, PartitionRule then
+// shards the dataflow: the scan splits into partitions and TF/IDF expands
+// into per-shard map kernels around its reductions.
 func TFKMPlan(src pario.Source, cfg TFKMConfig) *Plan {
 	p := NewPlan().
 		Add("scan", &SourceOp{Src: src}).
@@ -79,7 +89,14 @@ func TFKMPlan(src pario.Source, cfg TFKMConfig) *Plan {
 		Connect("load-arff", "kmeans").
 		Connect("kmeans", "output")
 	if cfg.Mode == Merged {
-		return p.Apply(FuseRule())
+		p = p.Apply(FuseRule())
+	}
+	if cfg.Shards != 0 {
+		shards := cfg.Shards
+		if shards < 0 {
+			shards = 0 // PartitionOp resolves 0 to GOMAXPROCS
+		}
+		p = p.Apply(PartitionRule(shards))
 	}
 	return p
 }

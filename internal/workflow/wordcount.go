@@ -115,17 +115,7 @@ func (o *WordCountOp) Run(ctx *Context, in Value) (Value, error) {
 				return true
 			})
 		}
-		out = &WordCounts{
-			Words:       make([]string, 0, merged.Len()),
-			Counts:      make([]uint64, 0, merged.Len()),
-			TotalTokens: total,
-		}
-		merged.Range(func(word string, c *uint64) bool {
-			out.Words = append(out.Words, word)
-			out.Counts = append(out.Counts, *c)
-			return true
-		})
-		sort.Sort(&byCountDesc{out})
+		out = buildWordCounts(merged, total)
 		return nil
 	})
 	if err != nil {
@@ -136,6 +126,195 @@ func (o *WordCountOp) Run(ctx *Context, in Value) (Value, error) {
 
 // tfidfPhaseInputWC mirrors tfidf.PhaseInputWC without an import cycle.
 const tfidfPhaseInputWC = "input+wc"
+
+// partitionFragment implements partitionable: shard-local count maps plus
+// a tree-merge reduction.
+func (o *WordCountOp) partitionFragment() fragment {
+	return fragment{
+		nodes: []fragNode{
+			{suffix: "map", op: &WordCountMapOp{
+				DictKind: o.DictKind, Stopwords: o.Stopwords,
+				MinWordLen: o.MinWordLen, Stem: o.Stem,
+			}},
+			{suffix: "reduce", op: &WordCountReduceOp{DictKind: o.DictKind}},
+		},
+		edges: []Edge{{From: "map", To: "reduce", Port: 0}},
+		in:    "map",
+		out:   "reduce",
+	}
+}
+
+// buildWordCounts sorts a merged frequency dictionary into the operator's
+// output order (descending count, ties by word — fully deterministic).
+func buildWordCounts(merged dict.Map[uint64], total uint64) *WordCounts {
+	out := &WordCounts{
+		Words:       make([]string, 0, merged.Len()),
+		Counts:      make([]uint64, 0, merged.Len()),
+		TotalTokens: total,
+	}
+	merged.Range(func(word string, c *uint64) bool {
+		out.Words = append(out.Words, word)
+		out.Counts = append(out.Counts, *c)
+		return true
+	})
+	sort.Sort(&byCountDesc{out})
+	return out
+}
+
+// WCShard is the per-shard output of WordCountMapOp: one corpus shard's
+// term frequencies and token count.
+type WCShard struct {
+	// Counts maps word to occurrences within the shard.
+	Counts dict.Map[uint64]
+	// Tokens is the shard's token count.
+	Tokens uint64
+}
+
+// WordCountMapOp is the map kernel of the partitioned word count: it
+// tokenizes and counts one corpus shard with no shared state, the
+// shard-local half of WordCountOp.
+type WordCountMapOp struct {
+	// DictKind, Stopwords, MinWordLen and Stem mirror WordCountOp.
+	DictKind   dict.Kind
+	Stopwords  *text.StopwordSet
+	MinWordLen int
+	Stem       bool
+}
+
+// Name implements Operator.
+func (o *WordCountMapOp) Name() string { return "wc-map" }
+
+// Inputs implements TypedOperator.
+func (o *WordCountMapOp) Inputs() []reflect.Type { return []reflect.Type{sourceType} }
+
+// Output implements TypedOperator.
+func (o *WordCountMapOp) Output() reflect.Type { return wcShardType }
+
+// RunPartition implements PartitionKernel: pario.Source (one shard) ->
+// *WCShard.
+func (o *WordCountMapOp) RunPartition(ctx *Context, ins []Value, idx, total int) (Value, error) {
+	src, ok := ins[0].(pario.Source)
+	if !ok {
+		return nil, fmt.Errorf("%w: wc-map wants pario.Source, got %T", ErrType, ins[0])
+	}
+	type strand struct {
+		tk *text.Tokenizer
+		m  dict.Map[uint64]
+		n  uint64
+	}
+	strands := par.NewReducer(func() *strand {
+		return &strand{
+			tk: &text.Tokenizer{MinLen: o.MinWordLen, Stopwords: o.Stopwords, Stem: o.Stem},
+			m:  dict.New[uint64](o.DictKind, dict.Options{}),
+		}
+	}, nil)
+	readers := shardReaders(ctx, total)
+	var out *WCShard
+	err := ctx.Breakdown.TimeSpanErr(tfidfPhaseInputWC, func() error {
+		read := func(h func(int, []byte) error) error {
+			if ctx.Ctx != nil {
+				return pario.ReadAllContext(ctx.Ctx, src, readers, h)
+			}
+			return pario.ReadAll(src, readers, h)
+		}
+		if err := read(func(i int, content []byte) error {
+			s := strands.Claim()
+			s.tk.Tokens(content, func(tok []byte) {
+				*s.m.RefBytes(tok)++
+				s.n++
+			})
+			strands.Release(s)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Fold the shard's read strands (bounded by readers, typically 1).
+		merged := dict.New[uint64](o.DictKind, dict.Options{})
+		var total uint64
+		for _, s := range strands.Views() {
+			total += s.n
+			s.m.Range(func(word string, c *uint64) bool {
+				*merged.Ref(word) += *c
+				return true
+			})
+		}
+		out = &WCShard{Counts: merged, Tokens: total}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Run implements Operator: the whole source as a single shard.
+func (o *WordCountMapOp) Run(ctx *Context, in Value) (Value, error) {
+	return o.RunPartition(ctx, []Value{in}, 0, 1)
+}
+
+// WordCountReduceOp tree-merges the shard counts into the corpus-wide
+// frequency table — word counts are commutative integer sums, so the
+// result is bit-identical at any shard count.
+type WordCountReduceOp struct {
+	// DictKind selects the merge dictionary implementation.
+	DictKind dict.Kind
+}
+
+// Name implements Operator.
+func (o *WordCountReduceOp) Name() string { return "wc-reduce" }
+
+// Inputs implements TypedOperator: the gathered shards.
+func (o *WordCountReduceOp) Inputs() []reflect.Type { return []reflect.Type{partitionsType} }
+
+// Output implements TypedOperator.
+func (o *WordCountReduceOp) Output() reflect.Type { return wordCountsType }
+
+// Run implements Operator: *Partitions of *WCShard (or one *WCShard) ->
+// *WordCounts.
+func (o *WordCountReduceOp) Run(ctx *Context, in Value) (Value, error) {
+	var shards []*WCShard
+	switch v := in.(type) {
+	case *Partitions:
+		shards = make([]*WCShard, 0, len(v.Parts))
+		for _, part := range v.Parts {
+			ws, ok := part.(*WCShard)
+			if !ok {
+				return nil, fmt.Errorf("%w: wc-reduce wants *WCShard shards, got %T", ErrType, part)
+			}
+			shards = append(shards, ws)
+		}
+	case *WCShard:
+		shards = []*WCShard{v}
+	default:
+		return nil, fmt.Errorf("%w: wc-reduce wants *Partitions or *WCShard, got %T", ErrType, in)
+	}
+	var out *WordCounts
+	ctx.Breakdown.Time(tfidfPhaseInputWC, func() {
+		var total uint64
+		dicts := make([]dict.Map[uint64], 0, len(shards))
+		for _, ws := range shards {
+			total += ws.Tokens
+			dicts = append(dicts, ws.Counts)
+		}
+		var merged dict.Map[uint64]
+		if len(dicts) == 0 {
+			merged = dict.New[uint64](o.DictKind, dict.Options{})
+		} else {
+			merged = par.TreeReduce(ctx.Pool, dicts, func(a, b dict.Map[uint64]) dict.Map[uint64] {
+				if a.Len() < b.Len() {
+					a, b = b, a
+				}
+				b.Range(func(word string, c *uint64) bool {
+					*a.Ref(word) += *c
+					return true
+				})
+				return a
+			})
+		}
+		out = buildWordCounts(merged, total)
+	})
+	return out, nil
+}
 
 type byCountDesc struct{ w *WordCounts }
 

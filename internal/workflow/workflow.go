@@ -1,36 +1,50 @@
-// Package workflow implements the paper's third optimization, workflow
-// fusion (Section 3.3), on top of a typed DAG plan engine. Operators either
-// communicate through files on disk (the "discrete" execution of Figure 3,
-// with the intermediate TF/IDF scores materialized as ARFF) or are fused
-// into a single executable image passing data in memory (the "merged"
-// execution).
+// Package workflow implements the paper's workflow optimizations on top of
+// a typed DAG plan engine with partitioned streaming execution. Operators
+// either communicate through files on disk (the "discrete" execution of
+// Figure 3, with the intermediate TF/IDF scores materialized as ARFF) or
+// are fused into a single image passing data in memory (the "merged"
+// execution) — and datasets can flow through the plan as document
+// partitions (shards) instead of monoliths, so per-document work stays
+// embarrassingly parallel and the only serial points are reductions and
+// output, the structure the paper's analysis assumes.
 //
 // A workflow is a Plan: a DAG of named nodes, each wrapping an Operator
 // with declared input/output port types (TypedOperator). Three layers sit
 // on top of the graph:
 //
 //   - validation: Plan.Validate type-checks every edge and rejects cycles
-//     and dangling ports before anything runs;
+//     and dangling ports before anything runs; partitioned producers
+//     present their per-shard payload type to shard consumers and
+//     *Partitions to everything else, so shards cannot leak into an
+//     operator expecting the whole dataset;
 //   - rewriting: Rewriter rules transform a validated plan — FuseRule
-//     cancels materialize/load edges anywhere in the graph, and
-//     SharedScanRule deduplicates identical source scans;
-//   - execution: Plan.Run schedules independent branches concurrently on
-//     the context's pool, accumulating per-node phase times into the
-//     context Breakdown in deterministic topological order.
+//     cancels materialize/load edges anywhere in the graph,
+//     SharedScanRule deduplicates identical source scans, and
+//     PartitionRule expands fusable operators (TFIDFOp, WordCountOp) into
+//     per-shard map kernels around explicit reduce nodes, inserting a
+//     PartitionOp that carves the corpus scan into contiguous shards;
+//   - execution: Plan.Run schedules partition tasks — (node, shard)
+//     pairs, not whole nodes — on the context's pool with a helping join.
+//     A shard moves to the next map stage the moment its own data is
+//     ready, so one shard can be several stages ahead of another;
+//     reductions either gather all shards (DFReduceOp's parallel
+//     tree-merge of document frequencies) or absorb shards in completion
+//     order (GatherOp streaming vector shards into the final result).
+//     Per-shard phase timings union into wall-clock spans under the same
+//     Breakdown keys as monolithic runs, merged in deterministic
+//     topological order.
 //
-// A branching plan the old linear engine could not express:
+// The partitioned TF/IDF→K-Means dataflow (TFKMConfig.Shards != 0):
 //
-//	plan := NewPlan().
-//	    Add("scan", &SourceOp{Src: src}).
-//	    Add("wordcount", &WordCountOp{}).
-//	    Add("tfidf", &TFIDFOp{}).
-//	    Add("kmeans", &KMeansOp{}).
-//	    Add("archive", &MaterializeARFF{}).
-//	    Connect("scan", "wordcount").
-//	    Connect("scan", "tfidf").
-//	    Connect("tfidf", "kmeans").
-//	    Connect("tfidf", "archive")
-//	outs, err := plan.Run(ctx) // word-count, K-Means and the archive run off one scan
+//	scan -> partition -[xN]-> tf-map =[xN]=> df-reduce
+//	                          tf-map -[xN]-> transform -[xN]-> gather -> kmeans -> output
+//
+// Partitioning never changes results: shard boundaries are a pure function
+// of corpus size and shard count, document frequencies merge
+// commutatively, term IDs are assigned in lexicographic order, and shards
+// are always identified by partition index rather than completion order —
+// scores and cluster assignments are bit-identical to the unpartitioned
+// plan at any shard count (asserted by the determinism tests).
 //
 // Fusion is a graph rewrite: a plan containing an explicit materialize/load
 // operator pair around an edge is rewritten by FuseRule into one without
@@ -159,14 +173,18 @@ func (p *Pipeline) Run(ctx *Context, in Value) (Value, error) {
 	return outs[names[len(names)-1]], nil
 }
 
-// String renders the plan, marking materialization boundaries: an adjacent
-// materialize/load pair — the boundary Fuse cancels — is collapsed into a
-// =[arff]=> arrow between its neighbors, so the discrete TF/IDF→K-Means
-// chain renders as "tfidf =[arff]=> kmeans -> output" while the fused chain
-// is "tfidf -> kmeans -> output".
+// String renders the plan, marking materialization and partition
+// boundaries: an adjacent materialize/load pair — the boundary Fuse
+// cancels — is collapsed into a =[arff]=> arrow between its neighbors, so
+// the discrete TF/IDF→K-Means chain renders as "tfidf =[arff]=> kmeans ->
+// output" while the fused chain is "tfidf -> kmeans -> output". Downstream
+// of a Splitter, edges into per-shard kernels render -[xN]-> and the edge
+// gathering the shards back renders =[xN]=>, mirroring Plan.Explain:
+// "partition -[x4]-> tf-map =[x4]=> reduce".
 func (p *Pipeline) String() string {
 	var sb strings.Builder
 	arrow := " -> "
+	nparts := 0 // shard count while inside a partitioned section
 	printed := false
 	i := 0
 	for i < len(p.Ops) {
@@ -185,6 +203,17 @@ func (p *Pipeline) String() string {
 		sb.WriteString(p.Ops[i].Name())
 		printed = true
 		arrow = " -> "
+		if s, ok := p.Ops[i].(Splitter); ok {
+			nparts = s.PartitionCount()
+		}
+		if nparts > 0 && i+1 < len(p.Ops) {
+			if _, kernel := p.Ops[i+1].(PartitionKernel); kernel {
+				arrow = fmt.Sprintf(" -[x%d]-> ", nparts)
+			} else {
+				arrow = fmt.Sprintf(" =[x%d]=> ", nparts)
+				nparts = 0
+			}
+		}
 		i++
 	}
 	return sb.String()
