@@ -1,0 +1,59 @@
+package workflow
+
+import (
+	"reflect"
+	"testing"
+
+	"hpa/internal/par"
+)
+
+// splitN emits ints 0..N-1 as shards.
+type splitN struct{ n int }
+
+func (s *splitN) Name() string                { return "splitN" }
+func (s *splitN) PartitionCount() int         { return s.n }
+func (s *splitN) Inputs() []reflect.Type      { return nil }
+func (s *splitN) Output() reflect.Type        { return reflect.TypeOf(0) }
+func (s *splitN) Run(ctx *Context, in Value) (Value, error) { return nil, nil }
+func (s *splitN) Split(ctx *Context, ins []Value, idx, total int) (Value, error) {
+	return idx, nil
+}
+
+// sumStream is a single-port stream reducer summing its shards.
+type sumStream struct{}
+
+func (o *sumStream) Name() string           { return "sumStream" }
+func (o *sumStream) Inputs() []reflect.Type { return []reflect.Type{reflect.TypeOf(0)} }
+func (o *sumStream) Output() reflect.Type   { return reflect.TypeOf(0) }
+func (o *sumStream) Run(ctx *Context, in Value) (Value, error) { return in, nil }
+func (o *sumStream) BeginReduce(ctx *Context, total int, ins []Value) (any, error) {
+	s := 0
+	return &s, nil
+}
+func (o *sumStream) AbsorbPartition(ctx *Context, state any, part Value, idx int) error {
+	*state.(*int) += part.(int)
+	return nil
+}
+func (o *sumStream) FinishReduce(ctx *Context, state any) (Value, error) {
+	return *state.(*int), nil
+}
+
+func TestZZTmpSinglePortStreamReducer(t *testing.T) {
+	p := NewPlan().
+		Add("src", &splitN{n: 4}).
+		Add("sum", &sumStream{}).
+		Connect("src", "sum")
+	pool := par.NewPool(2)
+	defer pool.Close()
+	outs, err := p.Run(&Context{Pool: pool})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, ok := outs["sum"]
+	if !ok {
+		t.Fatalf("sum output missing from sinks: %v", outs)
+	}
+	if got != 6 {
+		t.Fatalf("got %v, want 6", got)
+	}
+}
