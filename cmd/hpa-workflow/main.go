@@ -8,18 +8,34 @@
 //	hpa-workflow -in CORPUSDIR [-mode merged|discrete] [-threads N]
 //	             [-shards 0] [-dict map|u-map|map-arena] [-presize 0]
 //	             [-k 8] [-seed 1] [-scratch DIR] [-disksim off|hdd]
-//	             [-sweep 1,4,8,12,16] [-explain]
+//	             [-sweep 1,4,8,12,16] [-explain] [-optimize]
 //
 // -shards selects partitioned streaming execution: the corpus scan is
 // split into N document shards that flow through per-shard map kernels and
-// explicit reductions (0 = auto, 2×GOMAXPROCS shards so work stealing can
-// rebalance stragglers; -1 = the bulk-synchronous whole-operator plan).
-// Results are bit-identical at any shard count.
+// explicit reductions (0 = auto; -1 = the bulk-synchronous whole-operator
+// plan; values below -1 are rejected). Without -optimize, auto means
+// 2×GOMAXPROCS shards so work stealing can rebalance stragglers. Results
+// are bit-identical at any shard count.
+//
+// -optimize derives the physical configuration from a calibrated cost
+// model instead of the flags: it measures the machine once (cached as
+// hpa-costmodel-*.json under the scratch directory — pass -scratch to
+// persist the cache across runs, delete the file to force
+// re-calibration), samples the corpus, and chooses the dictionary kind,
+// the fusion decision and the shard count by estimated cost.
+//
+// Precedence of -optimize vs. the manual flags: -optimize overrides -dict
+// and -mode (the optimizer picks the dictionary per operator and decides
+// fusion itself); an explicit -shards N (N >= 1, or -1 for bulk) still
+// pins the shard count, and only -shards 0 (auto) lets the model choose
+// it.
 //
 // With -sweep, the workflow runs once per thread count and prints a
 // Figure 3-style table. With -explain, the validated plan DAG is printed
-// (materialize/load edges marked =[arff]=>, shard edges -[xN]->) and
-// nothing runs.
+// (materialize/load edges marked =[arff]=>, shard edges -[xN]->, optimizer
+// decisions as "#" lines) and the workflow itself does not run; note that
+// -optimize -explain still calibrates and samples first (about a second on
+// a cold scratch dir) because the printed decisions come from the model.
 package main
 
 import (
@@ -34,6 +50,7 @@ import (
 	"hpa/internal/dict"
 	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
+	"hpa/internal/optimizer"
 	"hpa/internal/par"
 	"hpa/internal/pario"
 	"hpa/internal/tfidf"
@@ -50,7 +67,7 @@ func main() {
 		in       = flag.String("in", "", "corpus directory (required)")
 		mode     = flag.String("mode", "merged", "workflow mode: merged or discrete")
 		threads  = flag.Int("threads", runtime.NumCPU(), "worker threads")
-		shards   = flag.Int("shards", 0, "corpus shards for partitioned execution (0 = auto, 2*GOMAXPROCS; -1 = bulk-synchronous)")
+		shards   = flag.Int("shards", 0, "corpus shards for partitioned execution (0 = auto; -1 = bulk-synchronous; with -optimize, explicit values pin the optimizer's choice)")
 		dictKind = flag.String("dict", "map-arena", "dictionary: map, u-map, map-arena")
 		presize  = flag.Int("presize", 0, "per-document dictionary presize")
 		k        = flag.Int("k", 8, "number of clusters")
@@ -59,10 +76,15 @@ func main() {
 		diskSim  = flag.String("disksim", "off", "storage model: off or hdd")
 		sweep    = flag.String("sweep", "", "comma-separated thread counts for a Figure 3-style sweep")
 		explain  = flag.Bool("explain", false, "print the validated plan DAG and exit")
+		optimize = flag.Bool("optimize", false, "derive dict kind, fusion and shard count from a calibrated cost model (overrides -dict and -mode; explicit -shards still pins)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "hpa-workflow: -in is required")
+		os.Exit(2)
+	}
+	if *shards < -1 {
+		fmt.Fprintf(os.Stderr, "hpa-workflow: -shards %d is invalid (want N >= 1, 0 for auto, or -1 for bulk-synchronous)\n", *shards)
 		os.Exit(2)
 	}
 	var wmode workflow.Mode
@@ -75,16 +97,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpa-workflow: unknown -mode %q\n", *mode)
 		os.Exit(2)
 	}
-	kind := dict.Tree
-	switch *dictKind {
-	case "map":
-		kind = dict.NodeTree
-	case "u-map", "umap":
-		kind = dict.Hash
-	case "map-arena", "arena":
-		kind = dict.Tree
-	default:
-		fmt.Fprintf(os.Stderr, "hpa-workflow: unknown -dict %q\n", *dictKind)
+	kind, err := dict.ParseKind(*dictKind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpa-workflow: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -101,7 +116,7 @@ func main() {
 	cfgShards := 0
 	switch {
 	case *shards == 0:
-		cfgShards = -1 // auto: PartitionOp resolves to GOMAXPROCS
+		cfgShards = -1 // auto: PartitionOp resolves to 2×GOMAXPROCS
 	case *shards > 0:
 		cfgShards = *shards
 	} // *shards < 0 keeps the bulk-synchronous plan
@@ -117,12 +132,58 @@ func main() {
 		KMeans: kmeans.Options{K: *k, Seed: *seed},
 	}
 
+	// buildPlan constructs the (possibly optimized) plan for one run at the
+	// given worker parallelism. Under -optimize the corpus statistics and
+	// the calibrated cost model are gathered once and reused; the base plan
+	// is built discrete and bulk so the optimizer owns the fusion and
+	// sharding decisions, with an explicit -shards pinning its choice.
+	var (
+		stats *optimizer.Stats
+		model *optimizer.CostModel
+	)
+	buildPlan := func(src pario.Source, procs int) (*workflow.Plan, error) {
+		if !*optimize {
+			return workflow.TFKMPlan(src, cfg), nil
+		}
+		if stats == nil {
+			// Sample through an unthrottled source: input statistics are
+			// independent of the storage model, and reading 256 documents
+			// through a simulated disk would stall the pre-pass for
+			// seconds of artificial latency.
+			statSrc, err := corpus.OpenDir(*in, nil)
+			if err != nil {
+				return nil, err
+			}
+			if stats, err = optimizer.Collect(statSrc, 0); err != nil {
+				return nil, err
+			}
+			if model, err = optimizer.LoadOrCalibrate(scratchDir, optimizer.CalibrationOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		base := cfg
+		base.Mode = workflow.Discrete
+		base.Shards = 0
+		pin := 0
+		switch {
+		case *shards > 0:
+			pin = *shards
+		case *shards == -1:
+			pin = -1
+		}
+		plan := workflow.TFKMPlan(src, base)
+		return plan.Apply(optimizer.Rule(stats, model, optimizer.Options{Procs: procs, Shards: pin})), nil
+	}
+
 	if *explain {
 		src, err := corpus.OpenDir(*in, nil)
 		if err != nil {
 			fatal(err)
 		}
-		plan := workflow.TFKMPlan(src, cfg)
+		plan, err := buildPlan(src, *threads)
+		if err != nil {
+			fatal(err)
+		}
 		if err := plan.Validate(); err != nil {
 			fatal(err)
 		}
@@ -156,16 +217,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		plan, err := buildPlan(src, n)
+		if err != nil {
+			fatal(err)
+		}
 		pool := par.NewPool(n)
 		ctx := workflow.NewContext(pool)
 		ctx.ScratchDir = scratchDir
 		ctx.Disk = disk
-		rep, err := workflow.RunTFKM(src, ctx, cfg)
+		rep, err := workflow.RunTFKMPlan(plan, ctx)
 		pool.Close()
 		if err != nil {
 			fatal(err)
 		}
-		row := []string{fmt.Sprintf("%d", n), wmode.String(), kind.String()}
+		modeLabel, dictLabel := wmode.String(), kind.String()
+		if *optimize {
+			modeLabel = "optimized"
+			dictLabel = "auto"
+		}
+		row := []string{fmt.Sprintf("%d", n), modeLabel, dictLabel}
 		for _, ph := range phaseOrder {
 			if d := rep.Breakdown.Get(ph); d > 0 {
 				row = append(row, metrics.FormatDuration(d))

@@ -12,8 +12,16 @@
 //     by Validate before anything runs, transformed by rewrite rules —
 //     fusion cancels materialize/load edges so operators pass data in
 //     memory instead of through ARFF files, shared-scan dedup merges
-//     identical corpus scans — and executed with independent branches
-//     running concurrently on the pool;
+//     identical corpus scans, partitioning expands operators into
+//     per-shard kernels — and executed with independent branches and
+//     shards running concurrently on the pool;
+//   - a cost-based plan optimizer: CalibrateCostModel measures the
+//     machine once (dictionary insert/lookup costs, tokenizer throughput,
+//     ARFF bandwidth, per-shard task overhead; cached as JSON keyed by
+//     GOMAXPROCS), CollectStats samples the input, and Optimize rewrites
+//     a plan to the winning physical configuration — dictionary kind per
+//     operator, fusion vs. materialization, shard count — annotating
+//     every decision so Plan.Explain shows what was chosen and why;
 //   - selectable dictionary data structures (red-black tree vs hash
 //     table) whose trade-offs differ per workflow phase;
 //   - parallel file input with an optional storage-device simulator;
@@ -59,6 +67,27 @@
 // outs holds one dataset per sink node. Apply rewrite rules with
 // plan.Apply(hpa.FuseRule(), hpa.SharedScanRule()).
 //
+// # Cost-based optimization
+//
+// Instead of hard-coding the dictionary kind, the fusion decision and the
+// shard count in TFKMConfig, let the optimizer derive them from a
+// calibrated cost model and input statistics:
+//
+//	model, _ := hpa.LoadOrCalibrateCostModel(cacheDir, hpa.CalibrationOptions{})
+//	stats, _ := hpa.CollectStats(corpus.Source(nil), 0)
+//	plan = hpa.Optimize(plan, stats, model)
+//	fmt.Println(plan.Explain()) // decisions and estimates as "#" lines
+//
+// The model is cached under cacheDir as JSON, keyed by GOMAXPROCS and a
+// model version (delete the hpa-costmodel-*.json file, or set
+// CalibrationOptions.Force, to re-measure). Optimize overrides the
+// dictionary kind and shard count the plan was built with; to pin a shard
+// count against it, apply the pass via OptimizeRule with
+// OptimizerOptions.Shards set instead: plan.Apply(hpa.OptimizeRule(stats,
+// model, hpa.OptimizerOptions{Shards: 8})). Optimized plans produce
+// bit-identical results to unoptimized ones — every decision is
+// result-invariant.
+//
 // The subpackages under internal/ implement the pieces; this package is the
 // supported surface.
 package hpa
@@ -68,6 +97,7 @@ import (
 	"hpa/internal/dict"
 	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
+	"hpa/internal/optimizer"
 	"hpa/internal/par"
 	"hpa/internal/pario"
 	"hpa/internal/simsearch"
@@ -338,6 +368,78 @@ func NewTFKMPipeline(cfg TFKMConfig) *Pipeline { return workflow.TFKMPipeline(cf
 // NewTFKMPlan constructs the TF/IDF→K-Means workflow over src as a Plan;
 // Merged mode returns the discrete plan with FuseRule applied.
 func NewTFKMPlan(src Source, cfg TFKMConfig) *Plan { return workflow.TFKMPlan(src, cfg) }
+
+// Cost-based plan optimization surface.
+type (
+	// CostModel is the serialized outcome of calibration: per-kind
+	// dictionary cost curves, tokenizer throughput, ARFF bandwidth and
+	// per-shard task overhead.
+	CostModel = optimizer.CostModel
+	// CalibrationOptions bounds the calibration microbenchmarks.
+	CalibrationOptions = optimizer.CalibrationOptions
+	// WorkflowStats summarizes a workflow input for the optimizer (doc
+	// count, bytes, estimated distinct-term cardinality).
+	WorkflowStats = optimizer.Stats
+	// OptimizerOptions tunes the optimization pass (parallelism, pinned
+	// shard count, fusion memory budget).
+	OptimizerOptions = optimizer.Options
+)
+
+// CalibrateCostModel measures this machine with short microbenchmarks and
+// returns a fresh cost model (about a second at default options).
+func CalibrateCostModel(opts CalibrationOptions) (*CostModel, error) {
+	return optimizer.Calibrate(opts)
+}
+
+// LoadOrCalibrateCostModel returns the model cached under dir (keyed by
+// GOMAXPROCS and the model version), calibrating and caching a fresh one
+// when the cache is absent or stale. Delete the cache file or set
+// opts.Force to force re-measurement.
+func LoadOrCalibrateCostModel(dir string, opts CalibrationOptions) (*CostModel, error) {
+	return optimizer.LoadOrCalibrate(dir, opts)
+}
+
+// QuickCalibration returns coarse calibration options (~50 ms) for tests
+// and interactive use.
+func QuickCalibration() CalibrationOptions { return optimizer.Quick() }
+
+// CollectStats summarizes src with a cheap sampling pre-pass reading about
+// sampleDocs documents (0 selects the default budget).
+func CollectStats(src Source, sampleDocs int) (*WorkflowStats, error) {
+	return optimizer.Collect(src, sampleDocs)
+}
+
+// CollectCorpusStats summarizes an in-memory corpus: exact document and
+// byte counts, sampled token statistics.
+func CollectCorpusStats(c *Corpus, sampleDocs int) (*WorkflowStats, error) {
+	return optimizer.FromCorpus(c, sampleDocs)
+}
+
+// Optimize rewrites plan to the physical configuration the cost model
+// predicts is fastest for the given input — dictionary kind per operator,
+// fusion vs. materialization, shard count — annotating every decision for
+// Plan.Explain. Results are bit-identical to the unoptimized plan. The
+// input plan is not mutated.
+func Optimize(plan *Plan, st *WorkflowStats, m *CostModel) *Plan {
+	return optimizer.Optimize(plan, st, m)
+}
+
+// OptimizeRule returns the optimization pass as a rewrite rule, for
+// composing with FuseRule, SharedScanRule and PartitionRule in a single
+// Plan.Apply chain, with explicit options.
+func OptimizeRule(st *WorkflowStats, m *CostModel, opts OptimizerOptions) Rewriter {
+	return optimizer.Rule(st, m, opts)
+}
+
+// CalibrationCorpusSpec returns the fixed small corpus specification the
+// optimizer's benchmarks and acceptance comparisons run on.
+func CalibrationCorpusSpec() CorpusSpec { return corpus.Calibration() }
+
+// RunTFKMPlan executes an already-built (for example optimized) TF/IDF→
+// K-Means plan, producing the same report as RunTFIDFKMeans.
+func RunTFKMPlan(plan *Plan, ctx *WorkflowContext) (*TFKMReport, error) {
+	return workflow.RunTFKMPlan(plan, ctx)
+}
 
 // Similarity search (cosine top-k retrieval over TF/IDF vectors).
 type (

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hpa"
@@ -178,6 +179,67 @@ func TestPublicFusePipeline(t *testing.T) {
 	fused := hpa.FusePipeline(p)
 	if len(fused.Ops) >= len(p.Ops) {
 		t.Fatalf("fusion removed nothing: %d -> %d ops", len(p.Ops), len(fused.Ops))
+	}
+}
+
+func TestPublicOptimizerEndToEnd(t *testing.T) {
+	pool := hpa.NewPool(2)
+	defer pool.Close()
+	c := hpa.GenerateCorpus(hpa.CalibrationCorpusSpec().Scaled(0.1), pool)
+
+	cacheDir := t.TempDir()
+	model, err := hpa.LoadOrCalibrateCostModel(cacheDir, hpa.QuickCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second load must hit the JSON cache.
+	if _, err := hpa.LoadOrCalibrateCostModel(cacheDir, hpa.QuickCalibration()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := hpa.CollectCorpusStats(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != c.Len() || stats.DistinctTerms <= 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+
+	base := hpa.NewTFKMPlan(c.Source(nil), hpa.TFKMConfig{
+		Mode:   hpa.Discrete,
+		TFIDF:  hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true},
+		KMeans: hpa.KMeansOptions{K: 4, Seed: 7},
+	})
+	opt := hpa.Optimize(base, stats, model)
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized plan invalid: %v", err)
+	}
+	if explain := opt.Explain(); !strings.Contains(explain, "# optimizer:") {
+		t.Fatalf("Explain carries no optimizer annotations:\n%s", explain)
+	}
+
+	ctx := hpa.NewWorkflowContext(pool)
+	ctx.ScratchDir = t.TempDir()
+	rep, err := hpa.RunTFKMPlan(opt, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := hpa.NewWorkflowContext(pool)
+	ctx2.ScratchDir = t.TempDir()
+	ref, err := hpa.RunTFIDFKMeans(c.Source(nil), ctx2, hpa.TFKMConfig{
+		Mode:   hpa.Merged,
+		TFIDF:  hpa.TFIDFOptions{DictKind: hpa.TreeDict, Normalize: true},
+		KMeans: hpa.KMeansOptions{K: 4, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clustering.Result.Assign) != len(ref.Clustering.Result.Assign) {
+		t.Fatal("document counts differ")
+	}
+	for i := range ref.Clustering.Result.Assign {
+		if ref.Clustering.Result.Assign[i] != rep.Clustering.Result.Assign[i] {
+			t.Fatalf("doc %d: optimized cluster differs from default", i)
+		}
 	}
 }
 

@@ -68,6 +68,17 @@ func NSFAbstracts() Spec {
 	}
 }
 
+// Calibration returns the specification of the fixed calibration corpus:
+// a 5% scale of Mix, small enough to run end-to-end in well under a second
+// yet large enough that dictionary, tokenizer and sharding costs dominate
+// fixed overheads. The plan optimizer's benchmarks and the acceptance
+// comparison between optimized and default configurations run on it.
+func Calibration() Spec {
+	s := Mix().Scaled(0.05)
+	s.Name = "Calibration"
+	return s
+}
+
 // Scaled returns a proportionally smaller (or larger) corpus spec: document
 // count and byte volume scale linearly with f, while the distinct-word
 // target follows Heaps' law (distinct ∝ corpus size^beta with beta ≈ 0.55),

@@ -15,7 +15,10 @@
 // dictionary, exactly as the paper's Cilk code must.
 package dict
 
-import "reflect"
+import (
+	"fmt"
+	"reflect"
+)
 
 // Kind selects a dictionary implementation.
 type Kind int
@@ -51,6 +54,25 @@ func (k Kind) String() string {
 		return "unknown"
 	}
 }
+
+// ParseKind resolves the paper's label for a dictionary kind ("map",
+// "u-map"/"umap", "map-arena"/"arena") back to the Kind — the inverse of
+// Kind.String, shared by command-line flags and serialized cost models.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "map":
+		return NodeTree, nil
+	case "u-map", "umap":
+		return Hash, nil
+	case "map-arena", "arena":
+		return Tree, nil
+	default:
+		return Tree, fmt.Errorf("dict: unknown kind %q (want map, u-map or map-arena)", s)
+	}
+}
+
+// Kinds returns every dictionary kind, in declaration order.
+func Kinds() []Kind { return []Kind{Tree, Hash, NodeTree} }
 
 // Map is a string-keyed dictionary. Both implementations satisfy it.
 type Map[V any] interface {

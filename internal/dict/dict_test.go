@@ -16,6 +16,26 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+func TestParseKindRoundTripsLabels(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	for _, alias := range []struct {
+		s    string
+		want Kind
+	}{{"umap", Hash}, {"arena", Tree}} {
+		if got, err := ParseKind(alias.s); err != nil || got != alias.want {
+			t.Fatalf("ParseKind(%q) = %v, %v", alias.s, got, err)
+		}
+	}
+	if _, err := ParseKind("btree"); err == nil {
+		t.Fatal("ParseKind accepted an unknown label")
+	}
+}
+
 func TestRefInsertAndGet(t *testing.T) {
 	for _, k := range kinds() {
 		m := New[int](k, Options{})

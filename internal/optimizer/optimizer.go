@@ -1,0 +1,486 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"hpa/internal/dict"
+	"hpa/internal/metrics"
+	"hpa/internal/tfidf"
+	"hpa/internal/workflow"
+)
+
+// DefaultMemoryBudget caps the estimated resident size of an intermediate
+// dataset the fusion decision is willing to keep in memory (4 GiB). Above
+// it the materialize/load pair is kept: the paper's fusion saves the ARFF
+// round-trip, but only while the intermediate fits.
+const DefaultMemoryBudget int64 = 4 << 30
+
+// stragglerFactor models the residual imbalance of partitioned execution:
+// document sizes are heavy-tailed, so the last shard outlives the average
+// by roughly this fraction of one shard. Over-decomposing (more shards
+// than workers) shrinks the tail — the effect that made 2×GOMAXPROCS a
+// sensible blind default, now priced against measured per-task overhead.
+const stragglerFactor = 0.25
+
+// bulkContentionFactor is the surcharge of the monolithic operators'
+// shared state under parallelism: in bulk TF/IDF every worker bumps the
+// same lock-striped global dictionary and the term table finalizes
+// serially, where the sharded dataflow uses contention-free shard
+// dictionaries and a parallel tree-merge.
+const bulkContentionFactor = 0.15
+
+// Options tunes the optimization pass.
+type Options struct {
+	// Procs is the worker parallelism the plan will run under (0 selects
+	// runtime.GOMAXPROCS(0)) — the P of the shard-count decision.
+	Procs int
+	// Shards pins the shard-count decision: > 0 forces that count
+	// (an explicit user override), < 0 forces the bulk-synchronous plan,
+	// 0 lets the cost model choose.
+	Shards int
+	// MemoryBudget bounds the fusion decision's in-memory intermediate
+	// (0 selects DefaultMemoryBudget).
+	MemoryBudget int64
+}
+
+// Optimize derives the physical configuration of plan from the input
+// statistics and the calibrated cost model with default Options: it picks
+// the dictionary kind per operator, decides fusion versus materialization,
+// and chooses the shard count, returning the rewritten, annotated plan.
+// The input plan is never mutated. Equivalent to
+// plan.Apply(Rule(st, m, Options{})).
+func Optimize(plan *workflow.Plan, st *Stats, m *CostModel) *workflow.Plan {
+	return plan.Apply(Rule(st, m, Options{}))
+}
+
+// Rule returns the optimization pass as a workflow.Rewriter, so it
+// composes with the engine's rewrite layer: plans already transformed by
+// SharedScanRule keep their shared scans, and the rule itself applies
+// FuseRule and PartitionRule as decided. The rule fixpoints after one
+// application; a plan that already carries optimizer annotations is left
+// unchanged.
+func Rule(st *Stats, m *CostModel, opts Options) workflow.Rewriter {
+	if opts.Procs <= 0 {
+		opts.Procs = runtime.GOMAXPROCS(0)
+	}
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = DefaultMemoryBudget
+	}
+	return &rule{st: st, m: m, opts: opts}
+}
+
+type rule struct {
+	st   *Stats
+	m    *CostModel
+	opts Options
+}
+
+func (r *rule) Name() string { return "optimize" }
+
+// optimizerNotePrefix marks plans the pass has already configured: the
+// annotation doubles as the fixpoint guard, so the rule terminates
+// Plan.Apply's iteration and a rule value stays reusable across plans.
+const optimizerNotePrefix = "optimizer:"
+
+func (r *rule) Rewrite(p *workflow.Plan) (*workflow.Plan, bool) {
+	if r.st == nil || r.m == nil {
+		return p, false
+	}
+	for _, note := range p.PlanAnnotations() {
+		if strings.HasPrefix(note, optimizerNotePrefix) {
+			return p, false
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, false // never touch a broken plan
+	}
+
+	// Work on a private copy throughout: the input plan is never mutated,
+	// even when every decision keeps the current shape (Rewriter contract).
+	next := clonePlan(p, nil)
+	next = r.chooseDicts(next)
+	next = r.chooseFusion(next)
+	next = r.chooseShards(next)
+	next.AnnotatePlan(fmt.Sprintf("%s cost model v%d (procs=%d); input %s",
+		optimizerNotePrefix, r.m.Version, r.opts.Procs, r.st))
+	return next, true
+}
+
+// fmtNS renders an estimated cost: the figures' duration format for
+// second-scale values, Go's native formatting below that so microsecond
+// overheads stay legible.
+func fmtNS(ns float64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return d.String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return metrics.FormatDuration(d)
+}
+
+// docCard returns the per-document dictionary cardinality regime.
+func (r *rule) docCard() int {
+	c := int(r.st.AvgDocDistinct + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// tfidfCost estimates the dictionary-dependent cost of the TF/IDF
+// operator's two phases under the given kind, in nanoseconds:
+//
+//   - phase 1 (input+wc): every token is an insert-or-find in a
+//     per-document dictionary (mostly hits, priced as lookups at the
+//     per-document cardinality, plus the distinct-term inserts), and every
+//     distinct (document, term) pair bumps the global dictionary — the
+//     regime of the paper's Figure 2;
+//   - phase 2 (transform): every distinct (document, term) pair resolves
+//     against the final global table — pure lookups at full vocabulary
+//     cardinality, the paper's Figure 1.
+func (r *rule) tfidfCost(kind dict.Kind) (phase1, phase2 float64) {
+	docs := float64(r.st.Docs)
+	tokens := float64(r.st.TotalTokens)
+	dc := r.docCard()
+	pairs := docs * r.st.AvgDocDistinct // distinct (doc, term) pairs
+	gc := r.st.DistinctTerms
+	phase1 = tokens*r.m.DictLookupNS(kind, dc) +
+		pairs*r.m.DictInsertNS(kind, dc) +
+		pairs*r.m.DictInsertNS(kind, gc)
+	phase2 = pairs * r.m.DictLookupNS(kind, gc)
+	return phase1, phase2
+}
+
+// wordCountCost estimates the dictionary-dependent cost of the word-count
+// operator: tokens hit per-strand dictionaries that grow toward the full
+// vocabulary, merged once.
+func (r *rule) wordCountCost(kind dict.Kind) float64 {
+	tokens := float64(r.st.TotalTokens)
+	gc := r.st.DistinctTerms
+	return tokens*r.m.DictLookupNS(kind, gc) + float64(gc)*r.m.DictInsertNS(kind, gc)
+}
+
+// candidateKinds are the dictionary kinds the optimizer selects between:
+// the paper's tree-versus-hash trade-off. NodeTree (the std::map ablation)
+// is structurally dominated by the arena tree and never auto-selected.
+var candidateKinds = []dict.Kind{dict.Tree, dict.Hash}
+
+// tfidfBestKind prices the TF/IDF phases under every candidate kind and
+// returns the winner with its decision annotation.
+func (r *rule) tfidfBestKind() (dict.Kind, string) {
+	best, alt := candidateKinds[0], candidateKinds[0]
+	bestCost := math.Inf(1)
+	var bestP1, bestP2, altCost float64
+	for _, kind := range candidateKinds {
+		p1, p2 := r.tfidfCost(kind)
+		if p1+p2 < bestCost {
+			if bestCost < math.Inf(1) {
+				alt, altCost = best, bestCost
+			}
+			best, bestCost, bestP1, bestP2 = kind, p1+p2, p1, p2
+		} else {
+			alt, altCost = kind, p1+p2
+		}
+	}
+	return best, fmt.Sprintf("dict=%s (est input+wc %s + transform %s = %s; %s %s)",
+		best, fmtNS(bestP1), fmtNS(bestP2), fmtNS(bestCost), alt, fmtNS(altCost))
+}
+
+// wordCountBestKind is tfidfBestKind for the word-count phase structure.
+func (r *rule) wordCountBestKind() (dict.Kind, string) {
+	best := candidateKinds[0]
+	bestCost := math.Inf(1)
+	var lines []string
+	for _, kind := range candidateKinds {
+		c := r.wordCountCost(kind)
+		lines = append(lines, fmt.Sprintf("%s %s", kind, fmtNS(c)))
+		if c < bestCost {
+			best, bestCost = kind, c
+		}
+	}
+	return best, fmt.Sprintf("dict=%s (est input+wc %s)", best, strings.Join(lines, ", "))
+}
+
+// chooseDicts rewrites every dictionary-bearing operator to the cheapest
+// kind — the monolithic TFIDFOp/WordCountOp and, when the plan was already
+// partitioned, their expanded shard kernels (which must all agree on one
+// kind) — annotating the choice with both phases' estimates on the
+// operator (or its map kernel).
+func (r *rule) chooseDicts(p *workflow.Plan) *workflow.Plan {
+	tfKind, tfNote := r.tfidfBestKind()
+	wcKind, wcNote := r.wordCountBestKind()
+	repl := make(map[string]workflow.Operator)
+	notes := make(map[string]string)
+	setTF := func(name string, opts *tfidf.Options, op workflow.Operator, note bool) {
+		if opts.DictKind != tfKind {
+			opts.DictKind = tfKind
+			repl[name] = op
+		}
+		if note {
+			notes[name] = tfNote
+		}
+	}
+	for _, name := range p.Nodes() {
+		switch op := p.Node(name).Op().(type) {
+		case *workflow.TFIDFOp:
+			clone := *op
+			setTF(name, &clone.Opts, &clone, true)
+		case *workflow.TFMapOp:
+			clone := *op
+			setTF(name, &clone.Opts, &clone, true)
+		case *workflow.DFReduceOp:
+			clone := *op
+			setTF(name, &clone.Opts, &clone, false)
+		case *workflow.TransformOp:
+			clone := *op
+			setTF(name, &clone.Opts, &clone, false)
+		case *workflow.GatherOp:
+			clone := *op
+			setTF(name, &clone.Opts, &clone, false)
+		case *workflow.WordCountOp:
+			if op.DictKind != wcKind {
+				clone := *op
+				clone.DictKind = wcKind
+				repl[name] = &clone
+			}
+			notes[name] = wcNote
+		case *workflow.WordCountMapOp:
+			if op.DictKind != wcKind {
+				clone := *op
+				clone.DictKind = wcKind
+				repl[name] = &clone
+			}
+			notes[name] = wcNote
+		case *workflow.WordCountReduceOp:
+			if op.DictKind != wcKind {
+				clone := *op
+				clone.DictKind = wcKind
+				repl[name] = &clone
+			}
+		}
+	}
+	// p is already the rule's private copy; only operator replacement needs
+	// a rebuild (node operators are immutable through the public API).
+	if len(repl) > 0 {
+		p = clonePlan(p, repl)
+	}
+	for name, note := range notes {
+		p.Annotate(name, note)
+	}
+	return p
+}
+
+// arffBytes estimates the on-disk size of the materialized intermediate:
+// one header attribute line per term plus one "index value" pair per
+// non-zero.
+func (r *rule) arffBytes() float64 {
+	pairs := float64(r.st.Docs) * r.st.AvgDocDistinct
+	return pairs*14 + float64(r.st.DistinctTerms)*22 + float64(r.st.Docs)*4
+}
+
+// matrixBytes estimates the resident size of the in-memory intermediate: a
+// sparse index+value pair per non-zero plus per-document slice overhead
+// and the term table.
+func (r *rule) matrixBytes() int64 {
+	pairs := float64(r.st.Docs) * r.st.AvgDocDistinct
+	return int64(pairs*12 + float64(r.st.Docs)*64 + float64(r.st.DistinctTerms)*24)
+}
+
+// chooseFusion decides every materialize -> load boundary: cancel it (the
+// paper's workflow fusion) when the in-memory intermediate fits the memory
+// budget, keep it otherwise. The estimated ARFF round-trip quantifies what
+// fusion saves.
+func (r *rule) chooseFusion(p *workflow.Plan) *workflow.Plan {
+	hasPair := false
+	for _, e := range p.Edges() {
+		if from, to := p.Node(e.From), p.Node(e.To); from != nil && to != nil {
+			_, isM := from.Op().(*workflow.MaterializeARFF)
+			_, isL := to.Op().(*workflow.LoadARFF)
+			if isM && isL {
+				hasPair = true
+				break
+			}
+		}
+	}
+	if !hasPair {
+		return p
+	}
+	bytes := r.arffBytes()
+	roundTripNS := (bytes/r.m.ARFFWriteBPS + bytes/r.m.ARFFReadBPS) * 1e9
+	resident := r.matrixBytes()
+	if resident <= r.opts.MemoryBudget {
+		next := p.Apply(workflow.FuseRule())
+		next.AnnotatePlan(fmt.Sprintf(
+			"fusion: fused (saves est ARFF round-trip %s for %.1f MB; est resident %.1f MB <= budget %.1f MB)",
+			fmtNS(roundTripNS), bytes/1e6, float64(resident)/1e6, float64(r.opts.MemoryBudget)/1e6))
+		return next
+	}
+	p.AnnotatePlan(fmt.Sprintf(
+		"fusion: kept materialized (est resident %.1f MB > budget %.1f MB; paying est ARFF round-trip %s)",
+		float64(resident)/1e6, float64(r.opts.MemoryBudget)/1e6, fmtNS(roundTripNS)))
+	return p
+}
+
+// parallelWork estimates the total partitionable work of the plan in
+// nanoseconds: tokenization plus the dictionary work of every TF/IDF and
+// word-count node under its (already chosen) kind.
+func (r *rule) parallelWork(p *workflow.Plan) float64 {
+	work := float64(r.st.Bytes) * r.m.TokenizeNSPerByte
+	for _, name := range p.Nodes() {
+		switch op := p.Node(name).Op().(type) {
+		case *workflow.TFIDFOp:
+			p1, p2 := r.tfidfCost(op.Opts.DictKind)
+			work += p1 + p2
+		case *workflow.WordCountOp:
+			work += r.wordCountCost(op.DictKind)
+		}
+	}
+	return work
+}
+
+// shardStages is the number of partition tasks one shard passes through in
+// the expanded TF/IDF dataflow (split, tf-map, transform) — the overhead
+// multiplier of one extra shard.
+const shardStages = 3
+
+// estimateBulk prices the monolithic operator: its phases are
+// document-parallel over all P workers already (parallel input, parallel
+// transform), plus the contention surcharge of the shared global
+// dictionary when several workers actually race on it.
+func estimateBulk(work float64, procs int) float64 {
+	est := work / float64(procs)
+	if procs > 1 {
+		est *= 1 + bulkContentionFactor
+	}
+	return est
+}
+
+// estimateSharded prices partitioned execution of work W over S shards on
+// P workers: per-document work still spreads across every worker (shards
+// divide the pool's readers when S < P), contention-free shard
+// dictionaries avoid the bulk surcharge, the straggler tail is one
+// shard's residual and shrinks as shards get smaller, and every shard
+// pays the calibrated task overhead. With one worker there is no
+// parallelism to buy and no tail to hide, so shards are pure overhead on
+// top of the serial work.
+func estimateSharded(work float64, s, procs int, taskNS float64) float64 {
+	est := work/float64(procs) + float64(s)*taskNS*shardStages
+	if procs > 1 {
+		est += stragglerFactor * work / float64(s)
+	}
+	return est
+}
+
+// chooseShardCount compares bulk execution against shard counts up to
+// 4×procs and returns the cheapest configuration and its estimate (1
+// means bulk execution wins).
+func chooseShardCount(work float64, procs, maxShards int, taskNS float64) (int, float64) {
+	limit := 4 * procs
+	if maxShards > 0 && limit > maxShards {
+		limit = maxShards
+	}
+	bestS, bestEst := 1, estimateBulk(work, procs)
+	for s := 2; s <= limit; s++ {
+		if est := estimateSharded(work, s, procs, taskNS); est < bestEst {
+			bestS, bestEst = s, est
+		}
+	}
+	return bestS, bestEst
+}
+
+// chooseShards decides the partitioned-execution degree, replacing the
+// blind 2×GOMAXPROCS default: the measured per-task overhead is weighed
+// against the tail-hiding and contention-avoidance extra shards buy. An
+// explicit Options.Shards pins the count; the decision is annotated
+// either way. A plan that is already partitioned is left alone — the
+// pass prices monolithic operators, not expanded shard kernels.
+func (r *rule) chooseShards(p *workflow.Plan) *workflow.Plan {
+	for _, name := range p.Nodes() {
+		if sp, ok := p.Node(name).Op().(workflow.Splitter); ok {
+			p.AnnotatePlan(fmt.Sprintf(
+				"sharding: plan already partitioned (%s, %d shards); shard decision not applied",
+				name, sp.PartitionCount()))
+			return p
+		}
+	}
+	work := r.parallelWork(p)
+	if work == 0 {
+		return p // nothing partitionable to price
+	}
+	var (
+		s    int
+		why  string
+		bulk = estimateBulk(work, r.opts.Procs)
+	)
+	switch {
+	case r.opts.Shards > 0:
+		s = r.opts.Shards
+		why = fmt.Sprintf("shards=%d (pinned by explicit override; est %s, bulk est %s)",
+			s, fmtNS(estimateSharded(work, s, r.opts.Procs, r.m.ShardTaskNS)), fmtNS(bulk))
+	case r.opts.Shards < 0:
+		s = 1
+		why = fmt.Sprintf("bulk execution (pinned by explicit override; est %s)", fmtNS(bulk))
+	default:
+		var est float64
+		s, est = chooseShardCount(work, r.opts.Procs, r.st.Docs, r.m.ShardTaskNS)
+		if s > 1 {
+			why = fmt.Sprintf("shards=%d (est %s vs bulk %s; work %s over %d procs, %s/task overhead)",
+				s, fmtNS(est), fmtNS(bulk), fmtNS(work), r.opts.Procs, fmtNS(r.m.ShardTaskNS))
+		} else {
+			why = fmt.Sprintf("bulk execution (sharding would not pay: est work %s on %d procs, %s/task overhead)",
+				fmtNS(work), r.opts.Procs, fmtNS(r.m.ShardTaskNS))
+		}
+	}
+	if s <= 1 {
+		p.AnnotatePlan(optimizerNotePrefix + " " + why)
+		return p
+	}
+	next := p.Apply(workflow.PartitionRule(s))
+	annotated := false
+	for _, name := range next.Nodes() {
+		if _, ok := next.Node(name).Op().(*workflow.PartitionOp); ok {
+			next.Annotate(name, why)
+			annotated = true
+		}
+	}
+	if !annotated {
+		// PartitionRule found no partitionable operator fed by a scan, so
+		// the decision could not be applied; say so rather than claiming a
+		// shard count the plan does not have.
+		next.AnnotatePlan(optimizerNotePrefix +
+			" sharding not applicable (no partitionable operator fed by a corpus scan); wanted " + why)
+	}
+	return next
+}
+
+// clonePlan rebuilds p node-for-node and edge-for-edge through the public
+// builder API, substituting operators from repl, and carries annotations
+// over — the copy the rule mutates instead of its (immutable) input.
+func clonePlan(p *workflow.Plan, repl map[string]workflow.Operator) *workflow.Plan {
+	next := workflow.NewPlan()
+	for _, name := range p.Nodes() {
+		op := p.Node(name).Op()
+		if r, ok := repl[name]; ok {
+			op = r
+		}
+		next.Add(name, op)
+	}
+	for _, e := range p.Edges() {
+		next.ConnectPort(e.From, e.To, e.Port)
+	}
+	for _, note := range p.PlanAnnotations() {
+		next.AnnotatePlan(note)
+	}
+	for _, name := range p.Nodes() {
+		if note := p.Annotation(name); note != "" {
+			next.Annotate(name, note)
+		}
+	}
+	return next
+}

@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"hpa/internal/corpus"
+	"hpa/internal/pario"
+	"hpa/internal/text"
+)
+
+// heapsBeta is the Heaps'-law exponent used to extrapolate vocabulary size
+// from a sample (distinct ∝ tokens^beta). It matches the exponent
+// corpus.Spec.Scaled uses to shrink the distinct-word target, so estimates
+// over synthetic corpora are self-consistent.
+const heapsBeta = 0.55
+
+// Stats summarizes a workflow input for the optimization pass: the corpus
+// scale factors every cost estimate multiplies by. Collect gathers them
+// with a cheap sampling pre-pass; FromCorpus takes the exact document and
+// byte counts from an in-memory corpus and samples only the token
+// statistics.
+type Stats struct {
+	// Docs is the document count (exact).
+	Docs int
+	// Bytes is the total corpus byte volume (exact for in-memory sources,
+	// extrapolated from the sample otherwise).
+	Bytes int64
+	// DistinctTerms estimates the corpus-wide distinct-term cardinality —
+	// the final size of the global dictionary (Heaps-extrapolated from the
+	// sample).
+	DistinctTerms int
+	// TotalTokens estimates the corpus-wide token count — the number of
+	// per-document dictionary operations phase 1 performs.
+	TotalTokens int64
+	// AvgDocTokens and AvgDocDistinct are per-document means from the
+	// sample: tokens per document and distinct terms per document (the
+	// cardinality regime of the per-document dictionaries).
+	AvgDocTokens   float64
+	AvgDocDistinct float64
+	// SampledDocs and SampledBytes record how much of the corpus the
+	// sample actually read.
+	SampledDocs  int
+	SampledBytes int64
+}
+
+// String renders the summary the optimizer annotates plans with.
+func (s *Stats) String() string {
+	return fmt.Sprintf("%d docs, %.1f MB, ~%d terms (sampled %d docs)",
+		s.Docs, float64(s.Bytes)/1e6, s.DistinctTerms, s.SampledDocs)
+}
+
+// DefaultSampleDocs is the sampling budget Collect uses when none is
+// given: large enough for stable token statistics, small enough that the
+// pre-pass is negligible next to the workflow.
+const DefaultSampleDocs = 256
+
+// Collect summarizes src by reading a deterministic sample of about
+// sampleDocs documents (0 selects DefaultSampleDocs), spread across the
+// corpus in contiguous pario.Sample ranges. Token statistics use the same
+// tokenizer the TF/IDF operator uses with default options; corpus-wide
+// distinct terms are extrapolated by Heaps' law from the sample's
+// distinct count.
+func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
+	if sampleDocs <= 0 {
+		sampleDocs = DefaultSampleDocs
+	}
+	n := src.Len()
+	st := &Stats{Docs: n}
+	if n == 0 {
+		return st, nil
+	}
+	tk := &text.Tokenizer{}
+	distinct := make(map[string]struct{}, 1<<12)
+	perDoc := make(map[string]struct{}, 1<<8)
+	var docDistinctSum int64
+	for _, sub := range pario.Sample(src, sampleDocs, 8) {
+		for i := 0; i < sub.Len(); i++ {
+			content, err := sub.Read(i)
+			if err != nil {
+				return nil, fmt.Errorf("optimizer: stats sample: %w", err)
+			}
+			st.SampledDocs++
+			st.SampledBytes += int64(len(content))
+			clear(perDoc)
+			tk.Tokens(content, func(tok []byte) {
+				st.TotalTokens++ // sample tokens for now; scaled below
+				if _, ok := perDoc[string(tok)]; !ok {
+					perDoc[string(tok)] = struct{}{}
+					if _, ok := distinct[string(tok)]; !ok {
+						distinct[string(tok)] = struct{}{}
+					}
+				}
+			})
+			docDistinctSum += int64(len(perDoc))
+		}
+	}
+	sampleTokens := st.TotalTokens
+	st.AvgDocTokens = float64(sampleTokens) / float64(st.SampledDocs)
+	st.AvgDocDistinct = float64(docDistinctSum) / float64(st.SampledDocs)
+
+	// Scale the sample to the corpus. Bytes: exact when the source knows
+	// its size, mean-extrapolated otherwise.
+	if ms, ok := src.(*pario.MemSource); ok {
+		st.Bytes = ms.TotalBytes()
+	} else {
+		st.Bytes = int64(float64(st.SampledBytes) / float64(st.SampledDocs) * float64(n))
+	}
+	if sampleTokens == 0 {
+		// Nothing tokenized (whitespace-only or binary documents): every
+		// token statistic is legitimately zero, and there is no Heaps
+		// curve to extrapolate.
+		return st, nil
+	}
+	st.TotalTokens = int64(st.AvgDocTokens * float64(n))
+	// Heaps' law: distinct grows sublinearly with token volume.
+	growth := float64(st.TotalTokens) / float64(sampleTokens)
+	if growth < 1 {
+		growth = 1
+	}
+	st.DistinctTerms = int(float64(len(distinct))*math.Pow(growth, heapsBeta) + 0.5)
+	return st, nil
+}
+
+// FromCorpus summarizes an in-memory corpus: document and byte counts are
+// taken exactly from the corpus, token statistics from a Collect sampling
+// pass over its source.
+func FromCorpus(c *corpus.Corpus, sampleDocs int) (*Stats, error) {
+	st, err := Collect(c.Source(nil), sampleDocs)
+	if err != nil {
+		return nil, err
+	}
+	st.Bytes = c.Bytes()
+	return st, nil
+}

@@ -181,3 +181,37 @@ func Partition(src Source, shards, p int) *SubSource {
 	lo, hi := PartitionRange(src.Len(), shards, p)
 	return &SubSource{Src: src, Lo: lo, Hi: hi}
 }
+
+// Sample returns up to chunks contiguous SubSources spread evenly across
+// src, together covering about target documents — the cheap sampling
+// pre-pass the plan optimizer's statistics use. Spreading the sample over
+// several ranges instead of one prefix keeps it representative when
+// document sizes drift through the corpus. Boundaries depend only on
+// (src.Len(), target, chunks), so a sample is deterministic; target <= 0 or
+// >= the corpus returns the whole source as one range.
+func Sample(src Source, target, chunks int) []*SubSource {
+	n := src.Len()
+	if target <= 0 || target >= n {
+		return []*SubSource{{Src: src, Lo: 0, Hi: n}}
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > target {
+		chunks = target
+	}
+	out := make([]*SubSource, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		// Chunk c samples [lo, lo+len) out of its stride of the corpus.
+		strideLo, strideHi := PartitionRange(n, chunks, c)
+		length := (target + chunks - 1) / chunks
+		if length > strideHi-strideLo {
+			length = strideHi - strideLo
+		}
+		if length == 0 {
+			continue
+		}
+		out = append(out, &SubSource{Src: src, Lo: strideLo, Hi: strideLo + length})
+	}
+	return out
+}

@@ -276,3 +276,52 @@ func TestReadAllContextNormalCompletion(t *testing.T) {
 		t.Fatalf("err=%v calls=%d", err, calls.Load())
 	}
 }
+
+func TestSampleSpreadsDeterministicRanges(t *testing.T) {
+	src := memSource(1000)
+	subs := Sample(src, 100, 8)
+	if len(subs) != 8 {
+		t.Fatalf("%d chunks, want 8", len(subs))
+	}
+	total := 0
+	prevHi := -1
+	for _, s := range subs {
+		if s.Lo < 0 || s.Hi > src.Len() || s.Lo >= s.Hi {
+			t.Fatalf("bad range [%d,%d)", s.Lo, s.Hi)
+		}
+		if s.Lo <= prevHi {
+			t.Fatalf("ranges overlap or regress: [%d,%d) after hi=%d", s.Lo, s.Hi, prevHi)
+		}
+		prevHi = s.Hi
+		total += s.Len()
+	}
+	// ~target docs in total (each of 8 chunks rounds up to 13).
+	if total < 100 || total > 110 {
+		t.Fatalf("sampled %d docs, want ~100", total)
+	}
+	// Chunks span the corpus, not just its prefix.
+	if last := subs[len(subs)-1]; last.Lo < src.Len()/2 {
+		t.Fatalf("last chunk starts at %d; sample did not spread", last.Lo)
+	}
+	// Determinism: identical boundaries on a second call.
+	again := Sample(src, 100, 8)
+	for i := range subs {
+		if subs[i].Lo != again[i].Lo || subs[i].Hi != again[i].Hi {
+			t.Fatal("sample boundaries not deterministic")
+		}
+	}
+}
+
+func TestSampleWholeSourceWhenTargetCoversIt(t *testing.T) {
+	src := memSource(10)
+	for _, target := range []int{0, 10, 100} {
+		subs := Sample(src, target, 4)
+		if len(subs) != 1 || subs[0].Lo != 0 || subs[0].Hi != 10 {
+			t.Fatalf("target %d: got %d ranges, want whole source", target, len(subs))
+		}
+	}
+	// Tiny target: never more chunks than documents sampled.
+	if subs := Sample(memSource(100), 2, 8); len(subs) > 2 {
+		t.Fatalf("2-doc target produced %d chunks", len(subs))
+	}
+}

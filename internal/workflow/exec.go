@@ -71,11 +71,13 @@ type execState struct {
 //   - every other node consuming a partitioned output receives the
 //     gathered *Partitions (shards in index order) once all shards exist.
 //
-// While tasks are in flight the scheduling goroutine helps the pool (a
-// helping join, like par.Group.Wait), so Run may itself be called from
-// inside a pool task without risking deadlock. Intermediate outputs are
-// released as soon as every consumer edge has received them; outputs with
-// several consumers are handed to each edge before the executor drops its
+// Scheduling runs on a dedicated goroutine that only reacts to task
+// completions, so dispatch stays responsive no matter how long individual
+// tasks run; the goroutine calling Run meanwhile helps the pool (a helping
+// join, like par.Group.Wait), so Run may itself be called from inside a
+// pool task without risking deadlock. Intermediate outputs are released as
+// soon as every consumer edge has received them; outputs with several
+// consumers are handed to each edge before the executor drops its
 // reference, so a diamond plan (one scan feeding two consumers) never
 // loses data to early release.
 //
@@ -387,73 +389,86 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		st.outParts = nil // consumers hold their own references now
 	}
 
-	for i, n := range order {
-		if len(inPorts(n.op)) == 0 {
-			states[i].missing = 0
-			inputsReady(i)
-		}
-	}
-	dispatch()
-
-	// receive waits for the next completion, executing queued pool tasks
-	// while it waits so a Run nested inside a pool task cannot deadlock.
-	receive := func() taskDone {
-		backoff := 0
-		for {
-			select {
-			case d := <-done:
-				return d
-			default:
+	// The scheduling loop owns all executor state (states, ready, sinks,
+	// firstErr) and runs on its own goroutine: it seeds the initially-ready
+	// nodes, then reacts to completions arriving on the done channel. A
+	// blocking receive is safe — completion sends never block (the channel
+	// holds every possible task) and no task ever waits on the scheduler's
+	// stack — so dispatch happens promptly even while a long task occupies
+	// every worker.
+	sched := make(chan struct{})
+	go func() {
+		defer close(sched)
+		// Nodes whose gathered ports are already complete: sources (no input
+		// ports at all) and single-port map/stream nodes, whose only input
+		// arrives shard-by-shard. A stream reducer with no scalar ports must
+		// BeginReduce here or its shards would pend forever.
+		for i := range order {
+			if states[i].missing == 0 {
+				inputsReady(i)
 			}
-			if ctx.Pool.Help() {
-				backoff = 0
-				continue
-			}
-			backoff++
-			if backoff < 16 {
-				runtime.Gosched()
-			} else {
-				time.Sleep(10 * time.Microsecond)
-			}
-		}
-	}
-
-	for running > 0 {
-		d := receive()
-		running--
-		st := &states[d.node]
-		slot := d.part
-		if info[d.node].class == classStream {
-			slot = info[d.node].nparts // finish-task breakdown rides in the extra slot
-		}
-		if st.bds[slot] == nil {
-			st.bds[slot] = d.bd
-		}
-		if d.err != nil {
-			st.failed = true
-			fail(d.err)
-			continue
-		}
-		if firstErr != nil {
-			continue // a branch failed: stop scheduling, drain in-flight tasks
-		}
-		if info[d.node].partitioned() {
-			st.outParts[d.part] = d.out
-			st.outLeft--
-			for j, e := range consumers[d.node] {
-				if perPart[d.node][j] {
-					deliverPart(e, d.part, d.out)
-				}
-			}
-			if st.outLeft == 0 {
-				nodeComplete(d.node)
-			}
-		} else {
-			st.outParts[0] = d.out
-			st.outLeft = 0
-			nodeComplete(d.node)
 		}
 		dispatch()
+		for running > 0 {
+			d := <-done
+			running--
+			st := &states[d.node]
+			slot := d.part
+			if info[d.node].class == classStream {
+				slot = info[d.node].nparts // finish-task breakdown rides in the extra slot
+			}
+			if st.bds[slot] == nil {
+				st.bds[slot] = d.bd
+			}
+			if d.err != nil {
+				st.failed = true
+				fail(d.err)
+				continue
+			}
+			if firstErr != nil {
+				continue // a branch failed: stop scheduling, drain in-flight tasks
+			}
+			if info[d.node].partitioned() {
+				st.outParts[d.part] = d.out
+				st.outLeft--
+				for j, e := range consumers[d.node] {
+					if perPart[d.node][j] {
+						deliverPart(e, d.part, d.out)
+					}
+				}
+				if st.outLeft == 0 {
+					nodeComplete(d.node)
+				}
+			} else {
+				st.outParts[0] = d.out
+				st.outLeft = 0
+				nodeComplete(d.node)
+			}
+			dispatch()
+		}
+	}()
+
+	// Helping join: while the scheduler works, this goroutine executes
+	// queued pool tasks so a Run nested inside a pool task cannot deadlock
+	// (its worker slot keeps doing work instead of idling).
+	backoff := 0
+helping:
+	for {
+		select {
+		case <-sched:
+			break helping
+		default:
+		}
+		if ctx.Pool.Help() {
+			backoff = 0
+			continue
+		}
+		backoff++
+		if backoff < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
 	}
 	g.Wait()
 

@@ -165,6 +165,60 @@ func TestPartitionRuleExplainMarksShardBoundaries(t *testing.T) {
 	}
 }
 
+// TestExplainRendersAnnotations: node and plan annotations — the
+// optimizer's decision records — render as "#"-prefixed lines after the
+// edges, and survive the rewrite rules, including PartitionRule's node
+// expansion (the replaced node's note moves to its fragment entry).
+func TestExplainRendersAnnotations(t *testing.T) {
+	cfg := baseCfg(Discrete)
+	plan := TFKMPlan(testCorpus().Source(nil), cfg).
+		Annotate("tfidf", "dict=map-arena (est 12ms)").
+		AnnotatePlan("optimizer: test decision record")
+	if got := plan.Annotation("tfidf"); got != "dict=map-arena (est 12ms)" {
+		t.Fatalf("Annotation = %q", got)
+	}
+	explain := plan.Explain()
+	for _, want := range []string{
+		"# optimizer: test decision record",
+		"# tfidf: dict=map-arena (est 12ms)",
+	} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("Explain missing %q:\n%s", want, explain)
+		}
+	}
+	// Annotations precede no edge line: all "#" lines come after the edges.
+	sawNote := false
+	for _, line := range strings.Split(explain, "\n") {
+		if strings.HasPrefix(line, "#") {
+			sawNote = true
+		} else if sawNote {
+			t.Fatalf("edge line after annotations:\n%s", explain)
+		}
+	}
+	// Fusion keeps both notes; partitioning moves the tfidf note onto the
+	// expanded map node and keeps the shard markers.
+	rewritten := plan.Apply(FuseRule(), PartitionRule(4))
+	if err := rewritten.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	explain = rewritten.Explain()
+	for _, want := range []string{
+		"scan.shards -[x4]-> tfidf.map",
+		"tfidf.map =[x4]=> tfidf.df",
+		"# optimizer: test decision record",
+		"# tfidf.map: dict=map-arena (est 12ms)",
+	} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("rewritten Explain missing %q:\n%s", want, explain)
+		}
+	}
+	// Repeated annotation appends rather than replaces.
+	p2 := NewPlan().Add("n", stringSource("n", "x")).Annotate("n", "a").Annotate("n", "b")
+	if got := p2.Annotation("n"); got != "a; b" {
+		t.Fatalf("appended annotation = %q", got)
+	}
+}
+
 // TestPipelineStringMarksPartitions: the linear renderer marks shard
 // sections the same way.
 func TestPipelineStringMarksPartitions(t *testing.T) {
@@ -318,6 +372,50 @@ func TestShardsPipelineAcrossMapStages(t *testing.T) {
 	}
 	if got := outs["sink"].([]int); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("gathered shards = %v, want [0 1] (index order, not completion order)", got)
+	}
+}
+
+// sumStream is a single-port stream reducer summing its int shards. Its
+// only input arrives shard-by-shard, so it has no gathered ports at all —
+// the executor must BeginReduce it at startup, not wait for a scalar
+// delivery that never comes.
+type sumStream struct{}
+
+func (o *sumStream) Name() string                              { return "sumStream" }
+func (o *sumStream) Inputs() []reflect.Type                    { return []reflect.Type{reflect.TypeOf(0)} }
+func (o *sumStream) Output() reflect.Type                      { return reflect.TypeOf(0) }
+func (o *sumStream) Run(ctx *Context, in Value) (Value, error) { return in, nil }
+func (o *sumStream) BeginReduce(ctx *Context, total int, ins []Value) (any, error) {
+	s := 0
+	return &s, nil
+}
+func (o *sumStream) AbsorbPartition(ctx *Context, state any, part Value, idx int) error {
+	*state.(*int) += part.(int)
+	return nil
+}
+func (o *sumStream) FinishReduce(ctx *Context, state any) (Value, error) {
+	return *state.(*int), nil
+}
+
+// TestSinglePortStreamReducer: a stream reducer whose port 0 is its only
+// input must still be begun, absorb every shard and finish — regression
+// test for the executor only seeding zero-arity nodes at startup, which
+// left such reducers pending forever and dropped their sink output.
+func TestSinglePortStreamReducer(t *testing.T) {
+	p := NewPlan().
+		Add("src", &testSplitter{n: 4}).
+		Add("sum", &sumStream{}).
+		Connect("src", "sum")
+	outs, err := p.Run(testCtx(t, 2))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, ok := outs["sum"]
+	if !ok {
+		t.Fatalf("sum output missing from sinks: %v", outs)
+	}
+	if got != 0+1+2+3 {
+		t.Fatalf("got %v, want 6", got)
 	}
 }
 

@@ -127,6 +127,13 @@ type Plan struct {
 	order []string // node names in Add order, for deterministic traversal
 	edges []Edge
 	errs  []error // deferred builder errors, surfaced by Validate
+
+	// notes holds per-node annotations and planNotes plan-level ones —
+	// decision records attached by the optimizer (or any caller), rendered
+	// by Explain and inherited through rewrites. They never affect
+	// execution.
+	notes     map[string]string
+	planNotes []string
 }
 
 // NewPlan returns an empty plan.
@@ -163,6 +170,58 @@ func (p *Plan) ConnectPort(from, to string, port int) *Plan {
 	}
 	p.edges = append(p.edges, Edge{From: from, To: to, Port: port})
 	return p
+}
+
+// Annotate attaches a short human-readable annotation to the named node —
+// the mechanism the plan optimizer uses to make its per-node decisions and
+// cost estimates visible. Explain renders it as "# node: note"; repeated
+// calls for one node append with "; ". Annotations are advisory: they never
+// affect validation or execution, and rewrite rules carry them over to
+// surviving nodes of the rewritten plan.
+func (p *Plan) Annotate(node, note string) *Plan {
+	if note == "" {
+		return p
+	}
+	if p.notes == nil {
+		p.notes = make(map[string]string)
+	}
+	if prev := p.notes[node]; prev != "" {
+		note = prev + "; " + note
+	}
+	p.notes[node] = note
+	return p
+}
+
+// AnnotatePlan attaches a plan-level annotation line, rendered by Explain
+// as "# note" ahead of the per-node annotations.
+func (p *Plan) AnnotatePlan(note string) *Plan {
+	if note != "" {
+		p.planNotes = append(p.planNotes, note)
+	}
+	return p
+}
+
+// Annotation returns the annotation attached to the named node ("" if
+// none).
+func (p *Plan) Annotation(node string) string { return p.notes[node] }
+
+// PlanAnnotations returns a copy of the plan-level annotation lines.
+func (p *Plan) PlanAnnotations() []string {
+	out := make([]string, len(p.planNotes))
+	copy(out, p.planNotes)
+	return out
+}
+
+// inheritNotes copies the source plan's annotations onto p: all plan-level
+// notes, and node notes whose node survived the rewrite. Rewrite rules call
+// this on the plans they construct.
+func (p *Plan) inheritNotes(src *Plan) {
+	p.planNotes = append(p.planNotes, src.planNotes...)
+	for _, name := range src.order {
+		if note := src.notes[name]; note != "" && p.nodes[name] != nil {
+			p.Annotate(name, note)
+		}
+	}
 }
 
 // Nodes returns the node names in Add order.
@@ -371,8 +430,14 @@ func materializationArrow(from, to Operator) string {
 //	transform -[x8]-> gather
 //	gather -> kmeans
 //
-// Nodes without edges are listed alone. Invalid plans are rendered
-// best-effort in Add order.
+// Nodes without edges are listed alone. Annotations follow the edges as
+// "#"-prefixed lines — plan-level notes first, then per-node notes in Add
+// order — so an optimized plan explains the decisions behind its shape:
+//
+//	# optimizer: cost model v1, 8 procs
+//	# tfidf: dict=u-map (est input+wc 410ms vs map-arena 520ms)
+//
+// Invalid plans are rendered best-effort in Add order.
 func (p *Plan) Explain() string {
 	order, err := p.topoOrder()
 	var info map[string]pinfo
@@ -408,6 +473,14 @@ func (p *Plan) Explain() string {
 			} else {
 				fmt.Fprintf(&sb, "%s %s %s\n", e.From, arrow, e.To)
 			}
+		}
+	}
+	for _, note := range p.planNotes {
+		fmt.Fprintf(&sb, "# %s\n", note)
+	}
+	for _, name := range p.order {
+		if note := p.notes[name]; note != "" {
+			fmt.Fprintf(&sb, "# %s: %s\n", name, note)
 		}
 	}
 	return strings.TrimRight(sb.String(), "\n")

@@ -118,6 +118,7 @@ func cancelPair(p *Plan, e Edge) (*Plan, bool) {
 		}
 	}
 	next.errs = append(next.errs, p.errs...)
+	next.inheritNotes(p)
 	return next, true
 }
 
@@ -236,6 +237,13 @@ func (r *partitionRule) expand(p *Plan, name string, frag fragment, prod Edge) *
 		next.edges = append(next.edges, Edge{From: name + "." + fe.From, To: name + "." + fe.To, Port: fe.Port})
 	}
 	next.errs = append(next.errs, p.errs...)
+	next.inheritNotes(p)
+	// The expanded node's annotation (e.g. the optimizer's dictionary
+	// decision) describes the operator configuration its fragment inherits;
+	// keep it visible on the fragment's entry node.
+	if note := p.notes[name]; note != "" {
+		next.Annotate(name+"."+frag.in, note)
+	}
 	return next
 }
 
@@ -286,5 +294,6 @@ func (sharedScanRule) Rewrite(p *Plan) (*Plan, bool) {
 		next.edges = append(next.edges, e)
 	}
 	next.errs = append(next.errs, p.errs...)
+	next.inheritNotes(p)
 	return next, true
 }

@@ -119,10 +119,18 @@ type TFKMReport struct {
 
 // RunTFKM executes the workflow over src in the given context.
 func RunTFKM(src pario.Source, ctx *Context, cfg TFKMConfig) (*TFKMReport, error) {
+	return RunTFKMPlan(TFKMPlan(src, cfg), ctx)
+}
+
+// RunTFKMPlan executes an already-built TF/IDF→K-Means plan — for example
+// one transformed by rewrite rules or by the plan optimizer — capturing the
+// same report a RunTFKM call produces. The plan must contain a sink
+// producing a *Clustering (the "output" node of TFKMPlan, or any node
+// surviving a rewrite of it).
+func RunTFKMPlan(plan *Plan, ctx *Context) (*TFKMReport, error) {
 	if ctx.Breakdown == nil {
 		ctx.Breakdown = metrics.NewBreakdown()
 	}
-	plan := TFKMPlan(src, cfg)
 
 	// Capture the dictionary footprint when the TF/IDF operator finishes,
 	// regardless of mode — in discrete mode the result is dropped once
@@ -147,7 +155,20 @@ func RunTFKM(src pario.Source, ctx *Context, cfg TFKMConfig) (*TFKMReport, error
 	}
 	cl, ok := outs["output"].(*Clustering)
 	if !ok {
-		return nil, fmt.Errorf("workflow: plan produced %T", outs["output"])
+		// A rewritten plan may have renamed the sink; the first *Clustering
+		// sink in plan node order (deterministic) is the workflow outcome.
+		for _, name := range plan.Nodes() {
+			if c, isCl := outs[name].(*Clustering); isCl {
+				cl, ok = c, true
+				break
+			}
+		}
+	}
+	if !ok {
+		if v, present := outs["output"]; present {
+			return nil, fmt.Errorf("workflow: output node produced %T, not a clustering", v)
+		}
+		return nil, fmt.Errorf("workflow: plan has no clustering sink")
 	}
 	return &TFKMReport{Clustering: cl, Breakdown: ctx.Breakdown, DictFootprint: foot, DictStats: stats}, nil
 }
