@@ -13,15 +13,21 @@
 //     fusion cancels materialize/load edges so operators pass data in
 //     memory instead of through ARFF files, shared-scan dedup merges
 //     identical corpus scans, partitioning expands operators into
-//     per-shard kernels — and executed with independent branches and
-//     shards running concurrently on the pool;
+//     per-shard kernels and K-Means into an iterative shard loop (the
+//     same shard task set re-dispatched every iteration behind a
+//     deterministic reduction barrier) — and executed with independent
+//     branches and shards running concurrently on the pool;
 //   - a cost-based plan optimizer: CalibrateCostModel measures the
 //     machine once (dictionary insert/lookup costs, tokenizer throughput,
-//     ARFF bandwidth, per-shard task overhead; cached as JSON keyed by
-//     GOMAXPROCS), CollectStats samples the input, and Optimize rewrites
-//     a plan to the winning physical configuration — dictionary kind per
-//     operator, fusion vs. materialization, shard count — annotating
-//     every decision so Plan.Explain shows what was chosen and why;
+//     ARFF bandwidth, per-shard task overhead, the K-Means assignment
+//     kernel; cached as JSON keyed by GOMAXPROCS), CollectStats samples
+//     the input (including a pilot clustering that estimates the K-Means
+//     iteration count), and Optimize rewrites a plan to the winning
+//     physical configuration — dictionary kind per operator, fusion vs.
+//     materialization, map shard count, and the K-Means loop shard count
+//     (priced by iterations × assignment work, independently of the map
+//     shards) — annotating every decision so Plan.Explain shows what was
+//     chosen and why;
 //   - selectable dictionary data structures (red-black tree vs hash
 //     table) whose trade-offs differ per workflow phase;
 //   - parallel file input with an optional storage-device simulator;
@@ -259,6 +265,13 @@ type (
 	// StreamReducer is a reduction Operator absorbing shards as they
 	// complete.
 	StreamReducer = workflow.StreamReducer
+	// IterativeOp is an Operator the executor drives as an iterative
+	// loop: the same shard task set dispatched every iteration with a
+	// deterministic reduction barrier between iterations (partitioned
+	// K-Means runs on this contract).
+	IterativeOp = workflow.IterativeOp
+	// LoopState carries one IterativeOp node through its iterations.
+	LoopState = workflow.LoopState
 	// Vectorized is the matrix-shaped dataset contract KMeansOp accepts.
 	Vectorized = workflow.Vectorized
 	// TFKMConfig configures the TF/IDF→K-Means workflow.
@@ -311,6 +324,11 @@ type (
 	TransformOp = workflow.TransformOp
 	// GatherOp streams vector shards into the final TF/IDF result.
 	GatherOp = workflow.GatherOp
+	// KMAssignOp is the iterative K-Means assignment loop (per-shard
+	// assignment tasks with an ordered per-iteration reduce).
+	KMAssignOp = workflow.KMAssignOp
+	// KMReduceOp joins the loop's clustering with the upstream dataset.
+	KMReduceOp = workflow.KMReduceOp
 	// WordCountMapOp counts words within one corpus shard.
 	WordCountMapOp = workflow.WordCountMapOp
 	// WordCountReduceOp tree-merges shard word counts.
@@ -334,10 +352,18 @@ func SharedScanRule() Rewriter { return workflow.SharedScanRule() }
 // PartitionRule returns the sharding rewriter: operators fed by a document
 // scan expand into per-shard map kernels plus explicit reductions, with a
 // PartitionOp carving the corpus into the given number of shards (0 =
-// auto, 2×GOMAXPROCS so work stealing can rebalance straggler shards).
-// The executor then schedules partition tasks, so one shard can be several
+// auto, 2×GOMAXPROCS so work stealing can rebalance straggler shards),
+// and K-Means expands into the iterative loop stages (per-shard
+// assignment tasks behind a per-iteration reduction barrier). The
+// executor then schedules partition tasks, so one shard can be several
 // stages ahead of another; results stay bit-identical at any shard count.
 func PartitionRule(shards int) Rewriter { return workflow.PartitionRule(shards) }
+
+// WeightedPartitionRule is PartitionRule with byte-balanced shard
+// boundaries: every shard holds close to equal byte volume (within one
+// document), flattening the straggler tail on heavy-tailed document
+// sizes. Results are bit-identical to count-balanced sharding.
+func WeightedPartitionRule(shards int) Rewriter { return workflow.WeightedPartitionRule(shards) }
 
 // NewPipeline builds a pipeline from operators in execution order.
 func NewPipeline(ops ...Operator) *Pipeline { return workflow.NewPipeline(ops...) }

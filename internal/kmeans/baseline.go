@@ -1,7 +1,6 @@
 package kmeans
 
 import (
-	"fmt"
 	"math"
 
 	"hpa/internal/metrics"
@@ -47,18 +46,10 @@ func DenseInstances(docs []sparse.Vector, dim int) [][]float64 {
 // Run clusters the instances. The result is mathematically equivalent to
 // Clusterer.Run with the same options on the sparse form of the same data.
 func (s *SimpleKMeans) Run(bd *metrics.Breakdown) (*Result, error) {
-	if s.Opts.K < 1 {
-		return nil, fmt.Errorf("kmeans: k=%d", s.Opts.K)
-	}
-	n := len(s.Instances)
-	if n < s.Opts.K {
-		return nil, fmt.Errorf("kmeans: %d instances < k=%d", n, s.Opts.K)
-	}
-	if s.Opts.MaxIter <= 0 {
-		s.Opts.MaxIter = 100
-	}
-	if s.Opts.Tol <= 0 {
-		s.Opts.Tol = 1e-6
+	// Same validation and defaults as the optimized operator, from the one
+	// shared Options.validate.
+	if err := s.Opts.validate(len(s.Instances)); err != nil {
+		return nil, err
 	}
 	if bd == nil {
 		bd = metrics.NewBreakdown()

@@ -1,0 +1,139 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hpa/internal/par"
+	"hpa/internal/pario"
+)
+
+// TestOptionsValidation: the shared Options.validate must reject bad signs
+// and mismatched DocNorms with errors wrapping ErrOptions, identically for
+// both implementations.
+func TestOptionsValidation(t *testing.T) {
+	docs, _ := blobs(20, 2, 4, 1)
+	p := par.NewPool(1)
+	defer p.Close()
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"k=0", Options{K: 0}},
+		{"negative MaxIter", Options{K: 2, MaxIter: -1}},
+		{"negative Tol", Options{K: 2, Tol: -1e-9}},
+		{"short DocNorms", Options{K: 2, DocNorms: make([]float64, 3)}},
+		{"long DocNorms", Options{K: 2, DocNorms: make([]float64, 21)}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(docs, 4, p, tc.opts, nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !errors.Is(err, ErrOptions) {
+			t.Errorf("%s: error %v does not wrap ErrOptions", tc.name, err)
+		}
+		s := &SimpleKMeans{Instances: DenseInstances(docs, 4), Opts: tc.opts}
+		if _, err := s.Run(nil); err == nil {
+			t.Errorf("%s: baseline accepted", tc.name)
+		} else if !errors.Is(err, ErrOptions) {
+			t.Errorf("%s: baseline error %v does not wrap ErrOptions", tc.name, err)
+		}
+	}
+	// Correct-length DocNorms and zero (defaulted) MaxIter/Tol stay valid.
+	norms := make([]float64, len(docs))
+	for i := range docs {
+		norms[i] = docs[i].NormSq()
+	}
+	if _, err := Run(docs, 4, p, Options{K: 2, DocNorms: norms}, nil); err != nil {
+		t.Fatalf("valid DocNorms rejected: %v", err)
+	}
+}
+
+// iterativeRun drives the clusterer exactly the way the workflow engine's
+// loop executor does: per-iteration AssignShard over pario.PartitionRange
+// shard boundaries into recycled per-shard Accums, then EndIteration over
+// the accumulators in shard-index order.
+func iterativeRun(t *testing.T, opts Options, shards int) *Result {
+	t.Helper()
+	docs, _ := blobs(400, 4, 12, 77)
+	p := par.NewPool(1)
+	defer p.Close()
+	c, err := New(docs, 12, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := make([]*Accum, shards)
+	for q := range accs {
+		accs[q] = c.NewAccum()
+	}
+	for !c.Done() {
+		for q := range accs {
+			accs[q].Reset()
+			lo, hi := pario.PartitionRange(len(docs), shards, q)
+			c.AssignShard(lo, hi, accs[q])
+		}
+		c.EndIteration(accs)
+	}
+	return c.Finalize()
+}
+
+// TestShardKernelMatchesBulk: driving the loop through AssignShard +
+// EndIteration at several shard counts must reproduce the bulk Run —
+// identical assignments, counts, iteration count and convergence, with
+// centroids equal up to reduction-order rounding.
+func TestShardKernelMatchesBulk(t *testing.T) {
+	for _, empty := range []EmptyPolicy{KeepCentroid, ReseedFarthest} {
+		opts := Options{K: 4, Seed: 9, Empty: empty}
+		docs, _ := blobs(400, 4, 12, 77)
+		p := par.NewPool(4)
+		ref, err := Run(docs, 12, p, opts, nil)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3, 5} {
+			got := iterativeRun(t, opts, shards)
+			if got.Iterations != ref.Iterations || got.Converged != ref.Converged {
+				t.Fatalf("empty=%d shards=%d: %d iterations (converged=%v), bulk %d (%v)",
+					empty, shards, got.Iterations, got.Converged, ref.Iterations, ref.Converged)
+			}
+			for i := range ref.Assign {
+				if got.Assign[i] != ref.Assign[i] {
+					t.Fatalf("empty=%d shards=%d: assignment %d differs", empty, shards, i)
+				}
+			}
+			for j := range ref.Counts {
+				if got.Counts[j] != ref.Counts[j] {
+					t.Fatalf("empty=%d shards=%d: counts %v vs %v", empty, shards, got.Counts, ref.Counts)
+				}
+			}
+			for j := range ref.Centroids {
+				for d := range ref.Centroids[j] {
+					w, g := ref.Centroids[j][d], got.Centroids[j][d]
+					if math.Abs(w-g) > 1e-12*(1+math.Abs(w)) {
+						t.Fatalf("empty=%d shards=%d: centroid %d[%d] %v vs %v", empty, shards, j, d, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardKernelIsDeterministic: the ordered reduce makes the iterative
+// path bit-for-bit repeatable — two runs at the same shard count agree on
+// every centroid bit.
+func TestShardKernelIsDeterministic(t *testing.T) {
+	opts := Options{K: 4, Seed: 3}
+	a := iterativeRun(t, opts, 5)
+	b := iterativeRun(t, opts, 5)
+	if a.Iterations != b.Iterations || a.Inertia != b.Inertia {
+		t.Fatalf("iterations/inertia differ: %d/%v vs %d/%v", a.Iterations, a.Inertia, b.Iterations, b.Inertia)
+	}
+	for j := range a.Centroids {
+		for d := range a.Centroids[j] {
+			if math.Float64bits(a.Centroids[j][d]) != math.Float64bits(b.Centroids[j][d]) {
+				t.Fatalf("centroid %d[%d] not bit-identical across runs", j, d)
+			}
+		}
+	}
+}

@@ -17,6 +17,31 @@
 //
 // Both use identical K-Means++ seeding, assignment rule and convergence
 // criterion, so their clusterings agree; only the engineering differs.
+//
+// # Iterative shard contract
+//
+// The Clusterer is decomposed into the kernels of the partitioned
+// (shard-granular) execution substrate, so the workflow engine can drive
+// the K-Means loop as per-shard tasks with one reduction barrier per
+// iteration:
+//
+//   - AssignShard assigns and accumulates one contiguous document range
+//     into an Accum (per-cluster sums and counts, shard inertia, number of
+//     moved assignments) — the embarrassingly parallel part of an
+//     iteration. Accums are allocated once (NewAccum) and recycled across
+//     iterations, preserving the paper's no-allocation-inside-iterations
+//     property;
+//   - EndIteration merges the shard accumulators in the order given —
+//     callers pass them in shard-index order, so the reduction is
+//     deterministic regardless of shard completion order — updates the
+//     centroids (including the empty-cluster policy) and advances the
+//     convergence state;
+//   - Done/Finalize expose the loop exit and the assembled Result.
+//
+// Step and Run are thin drivers over the same kernels: Step claims Accums
+// through a par.Reducer and runs AssignShard per chunk on the pool, so the
+// bulk operator and the workflow engine's iterative shard loop execute
+// identical per-document code.
 package kmeans
 
 import (
@@ -35,15 +60,20 @@ import (
 // PhaseKMeans is the Figure 3/4 legend name for clustering time.
 const PhaseKMeans = "kmeans"
 
+// ErrOptions reports invalid clustering options. Validation errors wrap it,
+// so callers can test errors.Is(err, ErrOptions).
+var ErrOptions = errors.New("kmeans: invalid options")
+
 // Options configures a clustering run.
 type Options struct {
 	// K is the number of clusters (the paper uses 8).
 	K int
-	// MaxIter bounds the number of iterations (0 selects 100).
+	// MaxIter bounds the number of iterations (0 selects 100; negative is
+	// rejected).
 	MaxIter int
 	// Tol declares convergence when the relative inertia improvement drops
-	// below it (0 selects 1e-6). Convergence is also declared when no
-	// assignment changes.
+	// below it (0 selects 1e-6; negative is rejected). Convergence is also
+	// declared when no assignment changes.
 	Tol float64
 	// Seed drives K-Means++ seeding deterministically.
 	Seed uint64
@@ -56,12 +86,44 @@ type Options struct {
 	// DocNorms optionally supplies the squared Euclidean norm of every
 	// document, in document order. The partitioned TF/IDF gather stage
 	// computes norms shard-by-shard as shards arrive, so assignment can
-	// start without re-walking the whole corpus. Ignored unless its length
-	// matches the document count; the slice is used directly and must not
-	// be mutated while clustering runs.
+	// start without re-walking the whole corpus. A non-nil slice whose
+	// length does not match the document count is a validation error; the
+	// slice is used directly and must not be mutated while clustering runs.
 	DocNorms []float64
 	// Empty selects how clusters that lose all members are handled.
 	Empty EmptyPolicy
+}
+
+// validate checks the options against a document count and applies the
+// defaults, so both implementations (Clusterer and SimpleKMeans) share one
+// validation and one set of defaults. Every failure wraps ErrOptions.
+func (o *Options) validate(docs int) error {
+	if o.K < 1 {
+		return fmt.Errorf("%w: k=%d, want k >= 1", ErrOptions, o.K)
+	}
+	if docs < o.K {
+		return fmt.Errorf("%w: %d documents < k=%d", ErrOptions, docs, o.K)
+	}
+	if o.MaxIter < 0 {
+		return fmt.Errorf("%w: MaxIter=%d is negative", ErrOptions, o.MaxIter)
+	}
+	if o.Tol < 0 {
+		return fmt.Errorf("%w: Tol=%v is negative", ErrOptions, o.Tol)
+	}
+	if o.DocNorms != nil && len(o.DocNorms) != docs {
+		return fmt.Errorf("%w: DocNorms has %d entries for %d documents",
+			ErrOptions, len(o.DocNorms), docs)
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 128
+	}
+	return nil
 }
 
 // EmptyPolicy selects the empty-cluster strategy.
@@ -98,8 +160,8 @@ type Result struct {
 }
 
 // Clusterer holds all state for the optimized operator. Every buffer is
-// allocated in New; Step performs no per-iteration allocation (the paper's
-// recycling optimization), which the tests assert.
+// allocated in New; iterations perform no per-document allocation (the
+// paper's recycling optimization), which the tests assert.
 type Clusterer struct {
 	docs     []sparse.Vector
 	docNorms []float64
@@ -112,51 +174,63 @@ type Clusterer struct {
 	counts    []int64
 	assign    []int32
 	dists     []float64 // per-doc distance to assigned centroid (ReseedFarthest only)
-	views     *par.Reducer[*accumSet]
+	views     *par.Reducer[*Accum]
 	history   []float64
 	inertia   float64
 	iter      int
+
+	// Convergence state shared by Step/Run and the iterative shard loop.
+	prev      float64 // previous iteration's inertia (+Inf before the first)
+	done      bool
+	converged bool
 }
 
-// accumSet is one reducer view: per-cluster accumulators plus local
-// reduction state for inertia and changed-assignment counts.
-type accumSet struct {
+// Accum is one strand's (or loop shard's) per-iteration accumulator set:
+// per-cluster running sums and counts, the local inertia contribution and
+// the number of documents whose assignment changed. Accums are allocated
+// once (NewAccum) and recycled across iterations via Reset.
+type Accum struct {
 	accs    []*sparse.Accumulator
 	inertia float64
 	changed int
+}
+
+// Reset clears the accumulator set for the next iteration, retaining every
+// allocation.
+func (a *Accum) Reset() {
+	for _, acc := range a.accs {
+		acc.Reset()
+	}
+	a.inertia = 0
+	a.changed = 0
+}
+
+// NewAccum allocates an accumulator set sized for the clusterer (k dense
+// accumulators over the vocabulary dimension). The workflow engine's
+// iterative loop allocates one per shard up front and recycles them.
+func (c *Clusterer) NewAccum() *Accum {
+	a := &Accum{accs: make([]*sparse.Accumulator, c.opts.K)}
+	for j := range a.accs {
+		a.accs[j] = sparse.NewAccumulator(c.dim)
+	}
+	return a
 }
 
 // New prepares a clusterer. The documents are not copied; they must not be
 // mutated during clustering. dim is the dense dimensionality (vocabulary
 // size).
 func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clusterer, error) {
-	if opts.K < 1 {
-		return nil, fmt.Errorf("kmeans: k=%d", opts.K)
-	}
-	if len(docs) < opts.K {
-		return nil, fmt.Errorf("kmeans: %d documents < k=%d", len(docs), opts.K)
+	if err := opts.validate(len(docs)); err != nil {
+		return nil, err
 	}
 	for i := range docs {
 		if d := docs[i].Dim(); d > dim {
 			return nil, fmt.Errorf("kmeans: document %d has dimension %d > %d", i, d, dim)
 		}
 	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 100
-	}
-	if opts.Tol <= 0 {
-		opts.Tol = 1e-6
-	}
-	if opts.ChunkSize <= 0 {
-		opts.ChunkSize = 128
-	}
-	docNorms := opts.DocNorms
-	if len(docNorms) != len(docs) {
-		docNorms = nil
-	}
 	c := &Clusterer{
 		docs:      docs,
-		docNorms:  docNorms,
+		docNorms:  opts.DocNorms,
 		dim:       dim,
 		pool:      pool,
 		opts:      opts,
@@ -165,6 +239,7 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 		counts:    make([]int64, opts.K),
 		assign:    make([]int32, len(docs)),
 		inertia:   math.Inf(1),
+		prev:      math.Inf(1),
 	}
 	for i := range c.centroids {
 		c.centroids[i] = make([]float64, dim)
@@ -181,20 +256,7 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 	if opts.Empty == ReseedFarthest {
 		c.dists = make([]float64, len(docs))
 	}
-	k := opts.K
-	c.views = par.NewReducer(func() *accumSet {
-		s := &accumSet{accs: make([]*sparse.Accumulator, k)}
-		for j := range s.accs {
-			s.accs[j] = sparse.NewAccumulator(dim)
-		}
-		return s
-	}, func(s *accumSet) {
-		for _, a := range s.accs {
-			a.Reset()
-		}
-		s.inertia = 0
-		s.changed = 0
-	})
+	c.views = par.NewReducer(c.NewAccum, (*Accum).Reset)
 	c.seed()
 	return c, nil
 }
@@ -263,70 +325,75 @@ func normSq(x []float64) float64 {
 	return s
 }
 
-// Step runs one K-Means iteration: parallel assignment and accumulation
-// over document chunks, then a serial centroid update. It returns the new
-// inertia and the number of documents whose assignment changed. Step
-// allocates nothing once the reducer views exist.
-func (c *Clusterer) Step() (float64, int) {
+// AssignShard runs one iteration's assignment over documents [lo, hi),
+// accumulating into a: every document is assigned to its nearest centroid
+// (ties broken by the lowest cluster index, identically in every execution
+// mode), its vector is added to that cluster's running sum, and the shard's
+// inertia and moved-assignment count are collected. Distinct ranges may run
+// concurrently; a single Accum must only be used by one range at a time.
+// AssignShard allocates nothing.
+func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 	rec := c.opts.Recorder
-	c.views.ResetAll()
-
-	// Parallel assignment + accumulation over fixed chunks.
-	c.pool.ForChunks(len(c.docs), c.opts.ChunkSize, func(_, lo, hi int) {
-		var start time.Time
-		if rec.Enabled() {
-			start = time.Now()
-		}
-		s := c.views.Claim()
-		for i := lo; i < hi; i++ {
-			v := &c.docs[i]
-			best, bestD := int32(0), math.Inf(1)
-			for j := 0; j < c.opts.K; j++ {
-				d := c.cnorms[j] - 2*sparse.DotDense(v, c.centroids[j]) + c.docNorms[i]
-				if d < bestD {
-					bestD = d
-					best = int32(j)
-				}
-			}
-			if bestD < 0 {
-				bestD = 0
-			}
-			if c.assign[i] != best {
-				c.assign[i] = best
-				s.changed++
-			}
-			if c.dists != nil {
-				c.dists[i] = bestD
-			}
-			s.accs[best].Accumulate(v)
-			s.inertia += bestD
-		}
-		c.views.Release(s)
-		if rec.Enabled() {
-			rec.Task(time.Since(start), 0, false)
-		}
-	})
-
-	// Serial reduction and centroid update (the non-parallel section that
-	// bounds scalability in Figure 1's smaller dataset).
 	var start time.Time
 	if rec.Enabled() {
 		start = time.Now()
 	}
-	views := c.views.Views()
+	for i := lo; i < hi; i++ {
+		v := &c.docs[i]
+		best, bestD := int32(0), math.Inf(1)
+		for j := 0; j < c.opts.K; j++ {
+			d := c.cnorms[j] - 2*sparse.DotDense(v, c.centroids[j]) + c.docNorms[i]
+			if d < bestD {
+				bestD = d
+				best = int32(j)
+			}
+		}
+		if bestD < 0 {
+			bestD = 0
+		}
+		if c.assign[i] != best {
+			c.assign[i] = best
+			a.changed++
+		}
+		if c.dists != nil {
+			c.dists[i] = bestD
+		}
+		a.accs[best].Accumulate(v)
+		a.inertia += bestD
+	}
+	if rec.Enabled() {
+		rec.Task(time.Since(start), 0, false)
+	}
+}
+
+// EndIteration is the per-iteration reduction: the shard accumulators are
+// merged in the order given — callers pass shard-index order, making the
+// reduce deterministic no matter how shards were scheduled — the centroids
+// are recomputed (applying the empty-cluster policy), and the convergence
+// state advances exactly as Run's loop always has: stop when no assignment
+// changed, when the relative inertia improvement drops below Tol, or when
+// MaxIter is reached. It returns the iteration's inertia and moved count;
+// Done reports whether the loop should stop. EndIteration allocates nothing
+// beyond the amortized history append.
+func (c *Clusterer) EndIteration(accs []*Accum) (float64, int) {
+	rec := c.opts.Recorder
+	var start time.Time
+	if rec.Enabled() {
+		start = time.Now()
+	}
 	inertia := 0.0
 	changed := 0
-	for _, s := range views[1:] {
-		for j := range s.accs {
-			views[0].accs[j].Merge(s.accs[j])
+	for _, a := range accs[1:] {
+		for j := range a.accs {
+			accs[0].accs[j].Merge(a.accs[j])
 		}
 	}
-	for _, s := range views {
-		inertia += s.inertia
-		changed += s.changed
+	for _, a := range accs {
+		inertia += a.inertia
+		changed += a.changed
 	}
 	for j := 0; j < c.opts.K; j++ {
-		acc := views[0].accs[j]
+		acc := accs[0].accs[j]
 		c.counts[j] = acc.Count
 		if acc.Count > 0 {
 			acc.Mean(c.centroids[j])
@@ -339,10 +406,47 @@ func (c *Clusterer) Step() (float64, int) {
 	c.iter++
 	c.inertia = inertia
 	c.history = append(c.history, inertia)
+	switch {
+	case changed == 0:
+		c.converged, c.done = true, true
+	// The tolerance test needs a finite previous inertia: the first
+	// iteration always proceeds.
+	case !math.IsInf(c.prev, 1) && c.prev-inertia <= c.opts.Tol*c.prev:
+		c.converged, c.done = true, true
+	default:
+		c.prev = inertia
+	}
+	if c.iter >= c.opts.MaxIter {
+		c.done = true
+	}
 	if rec.Enabled() {
 		rec.Serial(time.Since(start), 0, 0)
 	}
 	return inertia, changed
+}
+
+// Done reports whether the iteration loop should stop (convergence or
+// MaxIter).
+func (c *Clusterer) Done() bool { return c.done }
+
+// Iterations returns the number of iterations executed so far.
+func (c *Clusterer) Iterations() int { return c.iter }
+
+// Step runs one K-Means iteration: parallel assignment and accumulation
+// over document chunks (each chunk claiming a recycled Accum through the
+// reducer), then the serial ordered reduction and centroid update. It
+// returns the new inertia and the number of documents whose assignment
+// changed. Step allocates nothing once the reducer views exist.
+func (c *Clusterer) Step() (float64, int) {
+	c.views.ResetAll()
+	c.pool.ForChunks(len(c.docs), c.opts.ChunkSize, func(_, lo, hi int) {
+		a := c.views.Claim()
+		c.AssignShard(lo, hi, a)
+		c.views.Release(a)
+	})
+	// Serial reduction and centroid update (the non-parallel section that
+	// bounds scalability in Figure 1's smaller dataset).
+	return c.EndIteration(c.views.Views())
 }
 
 // reseedEmpty moves empty cluster j's centroid onto the document farthest
@@ -373,28 +477,16 @@ func (c *Clusterer) Run(bd *metrics.Breakdown) *Result {
 	var res *Result
 	bd.Time(PhaseKMeans, func() {
 		c.opts.Recorder.BeginPhase(PhaseKMeans)
-		prev := math.Inf(1)
-		converged := false
-		for c.iter < c.opts.MaxIter {
-			inertia, changed := c.Step()
-			if changed == 0 {
-				converged = true
-				break
-			}
-			// The tolerance test needs a finite previous inertia: the
-			// first iteration always proceeds.
-			if !math.IsInf(prev, 1) && prev-inertia <= c.opts.Tol*prev {
-				converged = true
-				break
-			}
-			prev = inertia
+		for !c.done {
+			c.Step()
 		}
-		res = c.result(converged)
+		res = c.Finalize()
 	})
 	return res
 }
 
-func (c *Clusterer) result(converged bool) *Result {
+// Finalize assembles the Result of the iterations executed so far.
+func (c *Clusterer) Finalize() *Result {
 	r := &Result{
 		Assign:     append([]int32(nil), c.assign...),
 		Centroids:  make([][]float64, c.opts.K),
@@ -402,7 +494,7 @@ func (c *Clusterer) result(converged bool) *Result {
 		Inertia:    c.inertia,
 		Iterations: c.iter,
 		History:    append([]float64(nil), c.history...),
-		Converged:  converged,
+		Converged:  c.converged,
 	}
 	for j := range r.Centroids {
 		r.Centroids[j] = append([]float64(nil), c.centroids[j]...)

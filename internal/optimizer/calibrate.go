@@ -11,6 +11,7 @@ import (
 	"hpa/internal/arff"
 	"hpa/internal/corpus"
 	"hpa/internal/dict"
+	"hpa/internal/kmeans"
 	"hpa/internal/par"
 	"hpa/internal/sparse"
 	"hpa/internal/text"
@@ -38,6 +39,10 @@ type CalibrationOptions struct {
 	// ShardTasks is the number of trivial partition tasks timed for the
 	// per-task overhead measurement (default 256).
 	ShardTasks int
+	// KMeansDocs and KMeansTermsPerDoc size the synthetic sparse matrix
+	// for the K-Means assignment-kernel measurement (default 512 docs × 32
+	// terms).
+	KMeansDocs, KMeansTermsPerDoc int
 	// ScratchDir hosts the temporary ARFF file (default os.TempDir()).
 	ScratchDir string
 }
@@ -52,6 +57,8 @@ func Quick() CalibrationOptions {
 		ARFFDocs:          64,
 		ARFFTermsPerDoc:   32,
 		ShardTasks:        64,
+		KMeansDocs:        128,
+		KMeansTermsPerDoc: 16,
 	}
 }
 
@@ -73,6 +80,12 @@ func (o *CalibrationOptions) defaults() {
 	}
 	if o.ShardTasks <= 0 {
 		o.ShardTasks = 256
+	}
+	if o.KMeansDocs <= 0 {
+		o.KMeansDocs = 512
+	}
+	if o.KMeansTermsPerDoc <= 0 {
+		o.KMeansTermsPerDoc = 32
 	}
 	if o.ScratchDir == "" {
 		o.ScratchDir = os.TempDir()
@@ -104,6 +117,7 @@ func Calibrate(opts CalibrationOptions) (*CostModel, error) {
 	}
 	m.ARFFWriteBPS, m.ARFFReadBPS = w, r
 	m.ShardTaskNS = calibrateShardOverhead(opts.ShardTasks)
+	m.KMeansAssignNS = calibrateKMeansAssign(opts)
 	return m, nil
 }
 
@@ -254,6 +268,50 @@ func (*calReduce) AbsorbPartition(_ *workflow.Context, state any, _ workflow.Val
 }
 func (*calReduce) FinishReduce(_ *workflow.Context, state any) (workflow.Value, error) {
 	return *state.(*int), nil
+}
+
+// calibrateKMeansAssign measures the K-Means assignment kernel
+// (kmeans.AssignShard) on a synthetic sparse matrix and returns its cost
+// per (non-zero component × cluster) in nanoseconds — the unit the
+// iterative-stage estimate scales by iterations × documents × mean
+// non-zeros × k. The measurement runs the real kernel over recycled
+// accumulators, so it prices exactly the loop the executor dispatches.
+func calibrateKMeansAssign(opts CalibrationOptions) float64 {
+	const k = 8
+	docs := opts.KMeansDocs
+	nnz := opts.KMeansTermsPerDoc
+	dim := nnz * 16
+	vecs := make([]sparse.Vector, docs)
+	var b sparse.Builder
+	x := uint64(0xfeedface)
+	for i := range vecs {
+		b.Reset()
+		for j := 0; j < nnz; j++ {
+			x = xorshift64(x)
+			b.Add(uint32(x)%uint32(dim), float64(x%1000)/997.0+0.001)
+		}
+		b.Build(&vecs[i])
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1})
+	if err != nil {
+		// Cannot happen with the synthetic matrix; conservative fallback.
+		return 1.5
+	}
+	acc := c.NewAccum()
+	const passes = 3
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		acc.Reset()
+		c.AssignShard(0, len(vecs), acc)
+	}
+	var ops int64
+	for i := range vecs {
+		ops += int64(len(vecs[i].Idx)) * k
+	}
+	ops *= passes
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
 }
 
 // calibrateShardOverhead times a plan of empty partition tasks (split ->

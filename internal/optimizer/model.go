@@ -40,7 +40,9 @@ import (
 
 // ModelVersion identifies the cost-model schema and the calibration
 // procedure. Cached models with a different version are recalibrated.
-const ModelVersion = 1
+// v2 added KMeansAssignNS (the K-Means assignment kernel cost), so v1
+// caches self-invalidate and re-measure.
+const ModelVersion = 2
 
 // DictPoint is one calibrated operating point of a dictionary kind:
 // amortized per-operation costs measured while growing a dictionary to
@@ -118,6 +120,13 @@ type CostModel struct {
 	// ShardTaskNS is the executor-plus-pool overhead of one partition task
 	// (spawn, dispatch, completion bookkeeping), in nanoseconds.
 	ShardTaskNS float64 `json:"shard_task_ns"`
+	// KMeansAssignNS is the K-Means assignment kernel cost per
+	// (non-zero component × cluster) — the unit of the dominant
+	// distance-computation inner loop — in nanoseconds. The K-Means stage
+	// estimate multiplies it by iterations × documents × mean non-zeros ×
+	// k, which is what the optimizer could not price before the iterative
+	// phase was decomposed into shard kernels.
+	KMeansAssignNS float64 `json:"kmeans_assign_ns"`
 }
 
 // DictInsertNS returns the amortized per-insert cost of kind at the given

@@ -105,6 +105,7 @@ func (r *rule) Rewrite(p *workflow.Plan) (*workflow.Plan, bool) {
 	next = r.chooseDicts(next)
 	next = r.chooseFusion(next)
 	next = r.chooseShards(next)
+	next = r.chooseKMeans(next)
 	next.AnnotatePlan(fmt.Sprintf("%s cost model v%d (procs=%d); input %s",
 		optimizerNotePrefix, r.m.Version, r.opts.Procs, r.st))
 	return next, true
@@ -457,6 +458,124 @@ func (r *rule) chooseShards(p *workflow.Plan) *workflow.Plan {
 			" sharding not applicable (no partitionable operator fed by a corpus scan); wanted " + why)
 	}
 	return next
+}
+
+// kmIters returns the iteration estimate the K-Means pricing multiplies
+// by: the sampled pilot estimate when Stats carries one, a logarithmic
+// bound otherwise.
+func (r *rule) kmIters() int {
+	if r.st.KMeansIters >= 1 {
+		return r.st.KMeansIters
+	}
+	return fallbackIterEstimate(r.st.Docs)
+}
+
+// kmeansWork estimates the total assignment work of the K-Means stage in
+// nanoseconds: iterations × documents × mean non-zeros × k distance
+// units, each priced at the calibrated kernel cost. This is the
+// iteration-count-dependent cost the model could not capture while
+// K-Means was an opaque whole-matrix operator.
+func (r *rule) kmeansWork(k, iters int) float64 {
+	if k < 1 {
+		k = 8 // the operator's conventional default when unconfigured
+	}
+	nnz := float64(r.st.Docs) * r.st.AvgDocDistinct
+	return float64(iters) * nnz * float64(k) * r.m.KMeansAssignNS
+}
+
+// loopEstimate prices the iterative K-Means loop at s shards on procs
+// workers: assignment work spreads over min(s, procs) workers — a 1-shard
+// loop is serial, unlike the chunk-parallel bulk operator — every
+// iteration pays s shard tasks plus the barrier task, and on several
+// workers the straggler tail is one shard's residual per iteration
+// (stragglerFactor·work/s summed over iterations).
+func loopEstimate(work float64, s, iters, procs int, taskNS float64) float64 {
+	par := s
+	if par > procs {
+		par = procs
+	}
+	est := work/float64(par) + float64(iters)*float64(s+1)*taskNS
+	if procs > 1 && s > 1 {
+		est += stragglerFactor * work / float64(s)
+	}
+	return est
+}
+
+// chooseLoopShards returns the cheapest loop shard count (up to 4×procs,
+// capped by the document count) and its estimate.
+func chooseLoopShards(work float64, iters, procs, maxShards int, taskNS float64) (int, float64) {
+	limit := 4 * procs
+	if maxShards > 0 && limit > maxShards {
+		limit = maxShards
+	}
+	bestS, bestEst := 1, loopEstimate(work, 1, iters, procs, taskNS)
+	for s := 2; s <= limit; s++ {
+		if est := loopEstimate(work, s, iters, procs, taskNS); est < bestEst {
+			bestS, bestEst = s, est
+		}
+	}
+	return bestS, bestEst
+}
+
+// chooseKMeans prices the K-Means stage — the iterative phase the
+// optimizer could not see before the loop was decomposed into shard
+// kernels — and tunes the loop shard count. A monolithic KMeansOp (bulk
+// plan) is annotated with the stage estimate; an expanded KMAssignOp gets
+// its loop shard count set from the cost model (the loop count is
+// independent of the TF/IDF map shard count and is annotated as such).
+// Explicit Options.Shards pins apply to the loop exactly as they do to
+// the map stages. Models without a calibrated kernel cost (pre-v2 caches
+// handed in directly) skip the stage.
+func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
+	if r.m.KMeansAssignNS <= 0 {
+		return p
+	}
+	iters := r.kmIters()
+	repl := make(map[string]workflow.Operator)
+	notes := make(map[string]string)
+	for _, name := range p.Nodes() {
+		switch op := p.Node(name).Op().(type) {
+		case *workflow.KMeansOp:
+			work := r.kmeansWork(op.Opts.K, iters)
+			notes[name] = fmt.Sprintf(
+				"kmeans: bulk est %s (~%d iterations, %s assign work/iter over %d procs)",
+				fmtNS(work/float64(r.opts.Procs)), iters,
+				fmtNS(work/float64(iters)), r.opts.Procs)
+		case *workflow.KMAssignOp:
+			work := r.kmeansWork(op.Opts.K, iters)
+			var (
+				s   int
+				why string
+			)
+			switch {
+			case r.opts.Shards > 0:
+				s = r.opts.Shards
+				why = fmt.Sprintf("loop shards=%d (pinned by explicit override; est %s)",
+					s, fmtNS(loopEstimate(work, s, iters, r.opts.Procs, r.m.ShardTaskNS)))
+			case r.opts.Shards < 0:
+				s = 1
+				why = fmt.Sprintf("loop shards=1 (pinned by explicit override; est %s)",
+					fmtNS(loopEstimate(work, 1, iters, r.opts.Procs, r.m.ShardTaskNS)))
+			default:
+				var est float64
+				s, est = chooseLoopShards(work, iters, r.opts.Procs, r.st.Docs, r.m.ShardTaskNS)
+				why = fmt.Sprintf(
+					"loop shards=%d (est %s; ~%d iterations × %s assign/iter; %s/task barrier overhead; may differ from map shard count)",
+					s, fmtNS(est), iters, fmtNS(work/float64(iters)), fmtNS(r.m.ShardTaskNS))
+			}
+			if op.Shards != s {
+				repl[name] = &workflow.KMAssignOp{Opts: op.Opts, Shards: s}
+			}
+			notes[name] = why
+		}
+	}
+	if len(repl) > 0 {
+		p = clonePlan(p, repl)
+	}
+	for name, note := range notes {
+		p.Annotate(name, note)
+	}
+	return p
 }
 
 // clonePlan rebuilds p node-for-node and edge-for-edge through the public

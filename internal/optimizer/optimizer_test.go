@@ -41,6 +41,7 @@ func testModel() *CostModel {
 		ARFFWriteBPS:      150e6,
 		ARFFReadBPS:       150e6,
 		ShardTaskNS:       20_000,
+		KMeansAssignNS:    2,
 	}
 }
 
@@ -55,6 +56,7 @@ func testStats() *Stats {
 		AvgDocDistinct: 180,
 		SampledDocs:    256,
 		SampledBytes:   1 << 20,
+		KMeansIters:    12,
 	}
 }
 
@@ -168,6 +170,9 @@ func TestCalibratedModelIsPlausible(t *testing.T) {
 	if m.ShardTaskNS <= 0 {
 		t.Errorf("shard task overhead %v", m.ShardTaskNS)
 	}
+	if m.KMeansAssignNS <= 0 {
+		t.Errorf("kmeans assignment kernel cost %v", m.KMeansAssignNS)
+	}
 	for _, kind := range dict.Kinds() {
 		c, ok := m.Dicts[kind.String()]
 		if !ok || len(c.Points) == 0 {
@@ -206,6 +211,9 @@ func TestCollectStats(t *testing.T) {
 	tokRatio := float64(st.TotalTokens) / float64(real.TotalTokens)
 	if tokRatio < 0.5 || tokRatio > 2 {
 		t.Errorf("token estimate %d vs measured %d", st.TotalTokens, real.TotalTokens)
+	}
+	if st.KMeansIters < 1 || st.KMeansIters > 100 {
+		t.Errorf("kmeans iteration estimate %d outside [1, 100]", st.KMeansIters)
 	}
 	// Sampling is deterministic: a second pass sees identical numbers.
 	st2, err := FromCorpus(c, 128)
@@ -521,6 +529,78 @@ func TestRuleFixpointsAndComposes(t *testing.T) {
 	composed := plan.Apply(workflow.SharedScanRule(), Rule(st, m, Options{Procs: 4}))
 	if err := composed.Validate(); err != nil {
 		t.Fatalf("composed rewrite invalid: %v", err)
+	}
+}
+
+// TestOptimizeTunesKMeansLoop: on a multi-proc model, the pass must
+// expand K-Means into the iterative loop stages, set the loop shard count
+// from the calibrated kernel cost and the iteration estimate, and
+// annotate the decision on the assignment node — the loop count is
+// independent of the map shard count.
+func TestOptimizeTunesKMeansLoop(t *testing.T) {
+	st, m := testStats(), testModel()
+	c := corpus.Generate(corpus.Mix().Scaled(0.002), nil)
+	opt := testTFKMPlan(c, workflow.Discrete).Apply(Rule(st, m, Options{Procs: 8}))
+	if err := opt.Validate(); err != nil {
+		t.Fatalf("optimized plan invalid: %v", err)
+	}
+	var assign *workflow.KMAssignOp
+	assignName := ""
+	for _, name := range opt.Nodes() {
+		if op, ok := opt.Node(name).Op().(*workflow.KMAssignOp); ok {
+			assign, assignName = op, name
+		}
+	}
+	if assign == nil {
+		t.Fatalf("8-proc plan kept the monolithic K-Means operator:\n%s", opt.Explain())
+	}
+	if assign.Shards < 8 {
+		t.Errorf("loop shards = %d on 8 procs for heavy iterative work", assign.Shards)
+	}
+	note := opt.Annotation(assignName)
+	for _, want := range []string{"loop shards=", "iterations"} {
+		if !strings.Contains(note, want) {
+			t.Errorf("assignment node annotation %q missing %q", note, want)
+		}
+	}
+	// The iterative loop edge renders in Explain alongside the decisions.
+	if explain := opt.Explain(); !strings.Contains(explain, "]~>") {
+		t.Errorf("Explain lost the iterative loop marker:\n%s", explain)
+	}
+}
+
+// TestOptimizeAnnotatesBulkKMeans: with sharding pinned to bulk, the
+// monolithic K-Means operator still gets priced — the stage estimate and
+// iteration count appear as its annotation.
+func TestOptimizeAnnotatesBulkKMeans(t *testing.T) {
+	st, m := testStats(), testModel()
+	c := corpus.Generate(corpus.Mix().Scaled(0.002), nil)
+	opt := testTFKMPlan(c, workflow.Discrete).Apply(Rule(st, m, Options{Procs: 8, Shards: -1}))
+	found := false
+	for _, name := range opt.Nodes() {
+		if _, ok := opt.Node(name).Op().(*workflow.KMeansOp); ok {
+			found = true
+			note := opt.Annotation(name)
+			if !strings.Contains(note, "kmeans: bulk est") || !strings.Contains(note, "iterations") {
+				t.Errorf("bulk K-Means not priced: %q", note)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("bulk-pinned plan lost the K-Means operator:\n%s", opt.Explain())
+	}
+	// A single processor prices the loop down to one shard: pure overhead,
+	// no parallelism to buy.
+	if s, _ := chooseLoopShards(10e9, 12, 1, 1<<20, 20_000); s != 1 {
+		t.Errorf("single proc chose %d loop shards, want 1", s)
+	}
+	// Heavy work on many procs over-decomposes past the worker count.
+	if s, _ := chooseLoopShards(10e9, 12, 8, 1<<20, 20_000); s < 8 {
+		t.Errorf("heavy work on 8 procs chose %d loop shards", s)
+	}
+	// Tiny per-iteration work: barrier overhead dominates, stay serial.
+	if s, _ := chooseLoopShards(100_000, 50, 8, 1<<20, 20_000); s != 1 {
+		t.Errorf("tiny iterative work chose %d loop shards, want 1", s)
 	}
 }
 

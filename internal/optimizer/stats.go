@@ -5,7 +5,10 @@ import (
 	"math"
 
 	"hpa/internal/corpus"
+	"hpa/internal/kmeans"
+	"hpa/internal/par"
 	"hpa/internal/pario"
+	"hpa/internal/sparse"
 	"hpa/internal/text"
 )
 
@@ -42,12 +45,19 @@ type Stats struct {
 	// sample actually read.
 	SampledDocs  int
 	SampledBytes int64
+	// KMeansIters estimates how many iterations the K-Means stage will run
+	// — the multiplier of the iterative stage's cost, which earlier models
+	// could not see. Collect measures it with a pilot clustering of the
+	// sampled documents' term-frequency vectors, scaled by a Heaps-style
+	// logarithmic growth term for the full corpus; callers with a measured
+	// count may overwrite it.
+	KMeansIters int
 }
 
 // String renders the summary the optimizer annotates plans with.
 func (s *Stats) String() string {
-	return fmt.Sprintf("%d docs, %.1f MB, ~%d terms (sampled %d docs)",
-		s.Docs, float64(s.Bytes)/1e6, s.DistinctTerms, s.SampledDocs)
+	return fmt.Sprintf("%d docs, %.1f MB, ~%d terms, ~%d km-iters (sampled %d docs)",
+		s.Docs, float64(s.Bytes)/1e6, s.DistinctTerms, s.KMeansIters, s.SampledDocs)
 }
 
 // DefaultSampleDocs is the sampling budget Collect uses when none is
@@ -71,9 +81,16 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 		return st, nil
 	}
 	tk := &text.Tokenizer{}
-	distinct := make(map[string]struct{}, 1<<12)
-	perDoc := make(map[string]struct{}, 1<<8)
-	var docDistinctSum int64
+	// Term IDs are assigned in stream order (first global occurrence), so
+	// the pilot vectors — and with them the whole Stats value — are
+	// deterministic for a fixed sample.
+	ids := make(map[string]uint32, 1<<12)
+	perDoc := make(map[string]uint32, 1<<8)
+	var (
+		docDistinctSum int64
+		pilot          []sparse.Vector
+		b              sparse.Builder
+	)
 	for _, sub := range pario.Sample(src, sampleDocs, 8) {
 		for i := 0; i < sub.Len(); i++ {
 			content, err := sub.Read(i)
@@ -86,15 +103,26 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 			tk.Tokens(content, func(tok []byte) {
 				st.TotalTokens++ // sample tokens for now; scaled below
 				if _, ok := perDoc[string(tok)]; !ok {
-					perDoc[string(tok)] = struct{}{}
-					if _, ok := distinct[string(tok)]; !ok {
-						distinct[string(tok)] = struct{}{}
+					if _, ok := ids[string(tok)]; !ok {
+						ids[string(tok)] = uint32(len(ids))
 					}
 				}
+				perDoc[string(tok)]++
 			})
 			docDistinctSum += int64(len(perDoc))
+			// The document's term-frequency vector, for the pilot
+			// clustering behind the iteration estimate. The builder sorts
+			// by ID, so map iteration order does not matter.
+			b.Reset()
+			for word, tf := range perDoc {
+				b.Add(ids[word], float64(tf))
+			}
+			var v sparse.Vector
+			b.Build(&v)
+			pilot = append(pilot, v)
 		}
 	}
+	distinct := ids
 	sampleTokens := st.TotalTokens
 	st.AvgDocTokens = float64(sampleTokens) / float64(st.SampledDocs)
 	st.AvgDocDistinct = float64(docDistinctSum) / float64(st.SampledDocs)
@@ -119,7 +147,63 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 		growth = 1
 	}
 	st.DistinctTerms = int(float64(len(distinct))*math.Pow(growth, heapsBeta) + 0.5)
+	st.KMeansIters = estimateKMeansIters(pilot, len(distinct), n)
 	return st, nil
+}
+
+// pilotK is the cluster count of the iteration-estimate pilot (the paper's
+// workflow uses k=8; iteration counts are only weakly k-dependent).
+const pilotK = 8
+
+// fallbackIterEstimate is the pure logarithmic iteration bound used when no
+// pilot clustering is available — shared by the sampler and the pricing
+// rule so the two paths cannot drift.
+func fallbackIterEstimate(docs int) int {
+	it := int(4 + 2*math.Log(float64(docs)+1))
+	if it < 1 {
+		it = 1
+	}
+	if it > maxIterEstimate {
+		it = maxIterEstimate
+	}
+	return it
+}
+
+// maxIterEstimate caps the estimate at the operator's default MaxIter.
+const maxIterEstimate = 100
+
+// estimateKMeansIters predicts the K-Means iteration count: a pilot
+// clustering of the sampled documents' term-frequency vectors measures how
+// fast this corpus's cluster structure converges, and a Heaps-style
+// logarithmic growth term extrapolates to the full corpus (iteration
+// counts grow slowly — roughly with the log of the document count — as
+// more documents refine the same centroids). Sparse or token-free samples
+// fall back to a pure logarithmic bound.
+func estimateKMeansIters(pilot []sparse.Vector, dim, corpusDocs int) int {
+	clamp := func(v int) int {
+		if v < 1 {
+			return 1
+		}
+		if v > maxIterEstimate {
+			return maxIterEstimate
+		}
+		return v
+	}
+	fallback := fallbackIterEstimate(corpusDocs)
+	if len(pilot) < 2*pilotK || dim == 0 {
+		return fallback
+	}
+	pool := par.NewPool(1)
+	defer pool.Close()
+	res, err := kmeans.Run(pilot, dim, pool, kmeans.Options{K: pilotK, Seed: 1, MaxIter: 40}, nil)
+	if err != nil {
+		return fallback
+	}
+	growth := 1 + 0.15*math.Log(float64(corpusDocs)/float64(len(pilot)))
+	if growth < 1 {
+		growth = 1
+	}
+	return clamp(int(float64(res.Iterations)*growth + 0.5))
 }
 
 // FromCorpus summarizes an in-memory corpus: document and byte counts are

@@ -182,6 +182,83 @@ func Partition(src Source, shards, p int) *SubSource {
 	return &SubSource{Src: src, Lo: lo, Hi: hi}
 }
 
+// Sized is implemented by sources that know each document's size without
+// reading it, enabling byte-weighted shard boundaries.
+type Sized interface {
+	Source
+	// DocBytes returns the size of document i in bytes.
+	DocBytes(i int) int64
+}
+
+// DocBytes implements Sized.
+func (m *MemSource) DocBytes(i int) int64 { return int64(len(m.Docs[i])) }
+
+// WeightedBoundaries returns shard boundaries over len(weights) documents
+// such that every shard carries close to total/shards weight: boundary p is
+// the smallest index whose cumulative weight reaches p/shards of the total.
+// The result has shards+1 entries (boundary 0 is 0, boundary shards is
+// len(weights)); shard p is [b[p], b[p+1]). Boundaries are contiguous,
+// cover every document exactly once, depend only on (weights, shards), and
+// each shard's weight deviates from the ideal by at most the largest single
+// document — the byte-balanced alternative to PartitionRange's count-
+// balanced split, for corpora with heavy-tailed document sizes (the
+// straggler regime work stealing otherwise has to absorb).
+func WeightedBoundaries(weights []int64, shards int) []int {
+	n := len(weights)
+	if shards < 1 {
+		shards = 1
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	b := make([]int, shards+1)
+	b[shards] = n
+	if total <= 0 {
+		// Degenerate (all-empty documents): fall back to count balance.
+		for p := 1; p < shards; p++ {
+			b[p], _ = PartitionRange(n, shards, p)
+		}
+		return b
+	}
+	var cum int64
+	p := 1
+	for i, w := range weights {
+		// Boundary p sits at the first index whose preceding cumulative
+		// weight reaches p/shards of the total.
+		for p < shards && cum*int64(shards) >= int64(p)*total {
+			b[p] = i
+			p++
+		}
+		cum += w
+	}
+	for ; p < shards; p++ {
+		b[p] = n
+	}
+	// Boundaries are non-decreasing by construction; shards past the last
+	// document come out empty, exactly like PartitionRange with shards > n.
+	return b
+}
+
+// PartitionWeighted returns shard p of src with byte-weighted boundaries:
+// document sizes are taken from the Sized interface when src implements it
+// and fall back to PartitionRange's count-balanced split otherwise. The
+// boundaries are a pure function of the document sizes and the shard count,
+// so derived computations stay deterministic.
+func PartitionWeighted(src Source, shards, p int) *SubSource {
+	sized, ok := src.(Sized)
+	if !ok {
+		return Partition(src, shards, p)
+	}
+	n := src.Len()
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = sized.DocBytes(i)
+	}
+	b := WeightedBoundaries(weights, shards)
+	return &SubSource{Src: src, Lo: b[p], Hi: b[p+1]}
+}
+
 // Sample returns up to chunks contiguous SubSources spread evenly across
 // src, together covering about target documents — the cheap sampling
 // pre-pass the plan optimizer's statistics use. Spreading the sample over

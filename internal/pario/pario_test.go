@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -325,3 +326,80 @@ func TestSampleWholeSourceWhenTargetCoversIt(t *testing.T) {
 		t.Fatalf("2-doc target produced %d chunks", len(subs))
 	}
 }
+
+// TestWeightedBoundariesBalanceBytes: byte-weighted shard boundaries must
+// keep every shard within one document of the ideal byte share — the
+// straggler-avoidance guarantee count-balanced splitting cannot give on
+// heavy-tailed document sizes.
+func TestWeightedBoundariesBalanceBytes(t *testing.T) {
+	// Heavy-tailed sizes: a few huge documents among many small ones.
+	docs := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		size := 100
+		if i%13 == 0 {
+			size = 4000
+		}
+		docs = append(docs, make([]byte, size))
+	}
+	src := &MemSource{Docs: docs}
+	weights := make([]int64, len(docs))
+	var total, maxDoc int64
+	for i := range docs {
+		weights[i] = int64(len(docs[i]))
+		total += weights[i]
+		if weights[i] > maxDoc {
+			maxDoc = weights[i]
+		}
+	}
+	const shards = 5
+	b := WeightedBoundaries(weights, shards)
+	if len(b) != shards+1 || b[0] != 0 || b[shards] != len(docs) {
+		t.Fatalf("boundaries %v do not cover [0,%d)", b, len(docs))
+	}
+	ideal := float64(total) / shards
+	for p := 0; p < shards; p++ {
+		if b[p] > b[p+1] {
+			t.Fatalf("boundaries regress: %v", b)
+		}
+		var bytes int64
+		for i := b[p]; i < b[p+1]; i++ {
+			bytes += weights[i]
+		}
+		if skew := math.Abs(float64(bytes) - ideal); skew > float64(maxDoc) {
+			t.Fatalf("shard %d carries %d bytes, ideal %.0f: skew %.0f exceeds one document (%d)",
+				p, bytes, ideal, skew, maxDoc)
+		}
+	}
+	// PartitionWeighted agrees with the boundaries and covers every doc
+	// exactly once.
+	covered := 0
+	for p := 0; p < shards; p++ {
+		sub := PartitionWeighted(src, shards, p)
+		if sub.Lo != b[p] || sub.Hi != b[p+1] {
+			t.Fatalf("shard %d: [%d,%d), want [%d,%d)", p, sub.Lo, sub.Hi, b[p], b[p+1])
+		}
+		covered += sub.Len()
+	}
+	if covered != len(docs) {
+		t.Fatalf("shards cover %d of %d docs", covered, len(docs))
+	}
+	// A source without sizes falls back to count-balanced boundaries.
+	plain := &sizelessSource{src}
+	sub := PartitionWeighted(plain, shards, 1)
+	lo, hi := PartitionRange(len(docs), shards, 1)
+	if sub.Lo != lo || sub.Hi != hi {
+		t.Fatalf("sizeless fallback [%d,%d), want [%d,%d)", sub.Lo, sub.Hi, lo, hi)
+	}
+	// Degenerate all-empty corpus: count-balanced fallback, full coverage.
+	zb := WeightedBoundaries(make([]int64, 10), 4)
+	if zb[0] != 0 || zb[4] != 10 {
+		t.Fatalf("zero-weight boundaries %v", zb)
+	}
+}
+
+// sizelessSource hides MemSource's DocBytes.
+type sizelessSource struct{ src Source }
+
+func (s *sizelessSource) Len() int                   { return s.src.Len() }
+func (s *sizelessSource) Name(i int) string          { return s.src.Name(i) }
+func (s *sizelessSource) Read(i int) ([]byte, error) { return s.src.Read(i) }

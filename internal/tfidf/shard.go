@@ -65,6 +65,10 @@ type Global struct {
 type VectorShard struct {
 	// Lo and Hi delimit the shard's document index range.
 	Lo, Hi int
+	// Dim is the dense dimensionality (global vocabulary size), carried so
+	// consumers fed shards directly — the iterative K-Means assignment —
+	// agree with the monolithic Result on the matrix shape.
+	Dim int
 	// Vectors holds one TF/IDF vector per shard document.
 	Vectors []sparse.Vector
 	// DocNames holds the shard's document names.
@@ -248,6 +252,7 @@ func TransformShard(g *Global, sc *ShardCounts, pool *par.Pool, opts Options) *V
 	vs := &VectorShard{
 		Lo:       sc.Lo,
 		Hi:       sc.Hi,
+		Dim:      len(g.Terms),
 		Vectors:  make([]sparse.Vector, n),
 		DocNames: sc.DocNames,
 		Norms:    make([]float64, n),

@@ -8,11 +8,30 @@ import (
 	"hpa/internal/metrics"
 )
 
+// taskKind distinguishes the loop-node task flavors; every other node class
+// uses taskRun.
+type taskKind int
+
+const (
+	taskRun taskKind = iota
+	// taskLoopBegin consumes an iterative node's gathered inputs and
+	// allocates its loop state.
+	taskLoopBegin
+	// taskLoopShard is one shard of the current loop iteration.
+	taskLoopShard
+	// taskLoopEnd is the per-iteration reduction barrier: it merges the
+	// iteration's partials (in shard order) and decides whether to iterate.
+	taskLoopEnd
+	// taskLoopFinish produces the loop node's output.
+	taskLoopFinish
+)
+
 // taskDone is one partition task's completion report, delivered to the
 // scheduling goroutine over a buffered channel (sends never block a pool
 // worker).
 type taskDone struct {
 	node, part int
+	kind       taskKind
 	out        Value
 	bd         *metrics.Breakdown
 	err        error
@@ -21,6 +40,7 @@ type taskDone struct {
 // taskRef identifies a dispatchable partition task.
 type taskRef struct {
 	node, part int
+	kind       taskKind
 }
 
 // pendingPart buffers a shard that reached a stream reducer before its
@@ -49,7 +69,12 @@ type execState struct {
 	began    bool
 	pending  []pendingPart
 	absorbed int
-	nodeBD   *metrics.Breakdown // begin/absorb time of a stream reducer
+	nodeBD   *metrics.Breakdown // scheduler-side / loop-task time of a node
+
+	// Loop-node bookkeeping (classLoop).
+	loop      LoopState
+	loopParts []any // current iteration's partials, by shard
+	loopLeft  int   // shards of the current iteration still running
 
 	bds    []*metrics.Breakdown // per-task breakdowns, by partition
 	failed bool
@@ -68,6 +93,13 @@ type execState struct {
 //     bulk-synchronous barrier between map stages;
 //   - a StreamReducer node absorbs shards in completion order on the
 //     scheduling goroutine and finishes as one task after the last;
+//   - an IterativeOp node runs as a loop of partition tasks: one BeginLoop
+//     task over the gathered inputs, then per iteration one RunShard task
+//     per loop shard followed by one EndIteration barrier task that
+//     reduces the partials in shard-index order (deterministic regardless
+//     of shard scheduling) and decides whether to re-dispatch the same
+//     shard task set, and finally one Finish task producing the scalar
+//     output;
 //   - every other node consuming a partitioned output receives the
 //     gathered *Partitions (shards in index order) once all shards exist.
 //
@@ -142,6 +174,7 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		st.ins = make([]Value, arity)
 		st.missing = arity
 		np := info[i].nparts
+		outN := np
 		switch info[i].class {
 		case classMap:
 			st.missing-- // port 0 arrives shard-by-shard
@@ -150,9 +183,12 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			st.spawned = make([]bool, np)
 		case classStream:
 			st.missing-- // port 0 arrives shard-by-shard
+		case classLoop:
+			st.loopParts = make([]any, np)
+			outN = 1 // loop shards are internal; the output is scalar
 		}
-		st.outParts = make([]Value, np)
-		st.outLeft = np
+		st.outParts = make([]Value, outN)
+		st.outLeft = outN
 		st.bds = make([]*metrics.Breakdown, np+1)
 	}
 
@@ -178,6 +214,11 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			st.spawned[part] = true
 		case classStream:
 			// Finish task: no inputs beyond the reduction state.
+		case classLoop:
+			if t.kind == taskLoopBegin {
+				ins = st.ins
+				st.ins = nil // the loop state owns the values now
+			}
 		default:
 			ins = st.ins
 			if pi.class == classScalar || part == pi.nparts-1 {
@@ -185,8 +226,12 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			}
 		}
 		rstate := st.rstate
+		// Loop tasks read the state and (for the barrier) the partials; no
+		// shard task is in flight when the begin/end/finish tasks run, so the
+		// captures cannot race with the scheduler's writes.
+		lstate, lparts := st.loop, st.loopParts
 		g.Spawn(func() {
-			d := taskDone{node: i, part: part}
+			d := taskDone{node: i, part: part, kind: t.kind}
 			defer func() {
 				if r := recover(); r != nil {
 					d.err = fmt.Errorf("workflow: operator %s panicked: %v", n.op.Name(), r)
@@ -210,6 +255,21 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				d.out, d.err = n.op.(PartitionKernel).RunPartition(&nctx, ins, part, pi.nparts)
 			case classStream:
 				d.out, d.err = n.op.(StreamReducer).FinishReduce(&nctx, rstate)
+			case classLoop:
+				switch t.kind {
+				case taskLoopBegin:
+					state, err := n.op.(IterativeOp).BeginLoop(&nctx, ins, pi.nparts)
+					if err == nil && state == nil {
+						err = fmt.Errorf("nil loop state")
+					}
+					d.out, d.err = state, err
+				case taskLoopShard:
+					d.out, d.err = lstate.RunShard(&nctx, part, pi.nparts)
+				case taskLoopEnd:
+					d.out, d.err = lstate.EndIteration(&nctx, lparts)
+				case taskLoopFinish:
+					d.out, d.err = lstate.Finish(&nctx)
+				}
 			default:
 				if mo, ok := n.op.(MultiOperator); ok && len(ins) > 1 {
 					d.out, d.err = mo.RunAll(&nctx, ins)
@@ -309,6 +369,8 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 					ready = append(ready, taskRef{node: i, part: q})
 				}
 			}
+		case classLoop:
+			ready = append(ready, taskRef{node: i, kind: taskLoopBegin})
 		case classStream:
 			err := recovering(n.op.Name(), func() error {
 				state, err := n.op.(StreamReducer).BeginReduce(nodeCtx(i), info[idx[p.producerOf0(n.name)]].nparts, st.ins)
@@ -408,11 +470,62 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				inputsReady(i)
 			}
 		}
+		// loopWave enqueues the next iteration's shard task set for loop
+		// node i — the same set every iteration.
+		loopWave := func(i int) {
+			st := &states[i]
+			st.loopLeft = info[i].nparts
+			for q := 0; q < info[i].nparts; q++ {
+				ready = append(ready, taskRef{node: i, part: q, kind: taskLoopShard})
+			}
+		}
 		dispatch()
 		for running > 0 {
 			d := <-done
 			running--
 			st := &states[d.node]
+			if info[d.node].class == classLoop {
+				// Loop tasks recur (many per shard slot), so their
+				// breakdowns accumulate into the node breakdown instead of
+				// the one-slot-per-partition table.
+				if d.bd != nil {
+					if st.nodeBD == nil {
+						st.nodeBD = metrics.NewBreakdown()
+					}
+					st.nodeBD.Merge(d.bd)
+				}
+				if d.err != nil {
+					st.failed = true
+					fail(d.err)
+					continue
+				}
+				if firstErr != nil {
+					continue
+				}
+				switch d.kind {
+				case taskLoopBegin:
+					st.loop = d.out.(LoopState)
+					loopWave(d.node)
+				case taskLoopShard:
+					st.loopParts[d.part] = d.out
+					st.loopLeft--
+					if st.loopLeft == 0 {
+						ready = append(ready, taskRef{node: d.node, kind: taskLoopEnd})
+					}
+				case taskLoopEnd:
+					if d.out.(bool) {
+						ready = append(ready, taskRef{node: d.node, kind: taskLoopFinish})
+					} else {
+						loopWave(d.node)
+					}
+				case taskLoopFinish:
+					st.outParts[0] = d.out
+					st.outLeft = 0
+					nodeComplete(d.node)
+				}
+				dispatch()
+				continue
+			}
 			slot := d.part
 			if info[d.node].class == classStream {
 				slot = info[d.node].nparts // finish-task breakdown rides in the extra slot

@@ -1,0 +1,245 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpa/internal/kmeans"
+)
+
+// countLoop is a toy IterativeOp: a zero-input loop over n shards that runs
+// for iters iterations, recording per-iteration partials so the tests can
+// assert the executor's loop protocol — begin once, one task per shard per
+// iteration, a barrier with partials in shard-index order, finish once.
+type countLoop struct {
+	n, iters  int
+	failShard int // shard index to fail on, -1 for none
+	failIter  int // iteration (1-based) the failure fires in
+}
+
+func (o *countLoop) Name() string           { return "count-loop" }
+func (o *countLoop) Inputs() []reflect.Type { return nil }
+func (o *countLoop) Output() reflect.Type   { return anyType }
+func (o *countLoop) LoopShards() int        { return o.n }
+func (o *countLoop) Run(*Context, Value) (Value, error) {
+	return nil, fmt.Errorf("loop dispatched through Run")
+}
+func (o *countLoop) BeginLoop(_ *Context, ins []Value, shards int) (LoopState, error) {
+	if shards != o.n {
+		return nil, fmt.Errorf("BeginLoop got %d shards, want %d", shards, o.n)
+	}
+	return &countLoopState{op: o}, nil
+}
+
+type countLoopState struct {
+	op      *countLoop
+	iter    int
+	history [][]any // partials of every iteration, as delivered to the barrier
+}
+
+func (s *countLoopState) RunShard(_ *Context, idx, total int) (any, error) {
+	if s.op.failShard == idx && s.iter+1 == s.op.failIter {
+		return nil, fmt.Errorf("shard %d failed in iteration %d", idx, s.iter+1)
+	}
+	return fmt.Sprintf("i%d-s%d", s.iter, idx), nil
+}
+
+func (s *countLoopState) EndIteration(_ *Context, partials []any) (bool, error) {
+	s.history = append(s.history, append([]any(nil), partials...))
+	s.iter++
+	return s.iter >= s.op.iters, nil
+}
+
+func (s *countLoopState) Finish(_ *Context) (Value, error) {
+	return s.history, nil
+}
+
+// TestLoopExecutorProtocol: the executor must run BeginLoop once, dispatch
+// the same shard task set every iteration, deliver partials to the barrier
+// in shard-index order regardless of completion order, and re-dispatch
+// until EndIteration reports done.
+func TestLoopExecutorProtocol(t *testing.T) {
+	op := &countLoop{n: 4, iters: 3, failShard: -1}
+	plan := NewPlan().Add("loop", op)
+	outs, err := plan.Run(testCtx(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := outs["loop"].([][]any)
+	if len(history) != 3 {
+		t.Fatalf("ran %d iterations, want 3", len(history))
+	}
+	for it, partials := range history {
+		if len(partials) != 4 {
+			t.Fatalf("iteration %d delivered %d partials, want 4", it, len(partials))
+		}
+		for q, p := range partials {
+			if want := fmt.Sprintf("i%d-s%d", it, q); p != want {
+				t.Fatalf("iteration %d partial %d = %v, want %s (shard-index order)", it, q, p, want)
+			}
+		}
+	}
+}
+
+// TestLoopExecutorPropagatesShardErrors: a shard task failing mid-loop
+// must fail the plan with the operator's error, not hang the loop.
+func TestLoopExecutorPropagatesShardErrors(t *testing.T) {
+	plan := NewPlan().Add("loop", &countLoop{n: 3, iters: 5, failShard: 1, failIter: 2})
+	_, err := plan.Run(testCtx(t, 2))
+	if err == nil {
+		t.Fatal("failing shard did not fail the plan")
+	}
+	if !strings.Contains(err.Error(), "count-loop") || !strings.Contains(err.Error(), "iteration 2") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestLoopExplainMarksIterativeEdges: the loop node's outgoing edge renders
+// with the iterative shard marker.
+func TestLoopExplainMarksIterativeEdges(t *testing.T) {
+	sink := &fnOp{name: "sink", ins: []reflect.Type{anyType}, out: anyType,
+		fn: func(_ *Context, ins []Value) (Value, error) { return ins[0], nil }}
+	plan := NewPlan().Add("loop", &countLoop{n: 5, iters: 1, failShard: -1}).
+		Add("sink", sink).Connect("loop", "sink")
+	if got := plan.Explain(); !strings.Contains(got, "loop ~[x5]~> sink") {
+		t.Fatalf("Explain missing iterative marker:\n%s", got)
+	}
+}
+
+// sameClustering asserts that a partitioned iterative run reproduces the
+// bulk clustering: assignments, counts, iteration count and convergence
+// decision exactly, centroids up to reduction-order rounding.
+func sameClustering(t *testing.T, label string, want, got *kmeans.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Assign, got.Assign) {
+		t.Fatalf("%s: assignments differ from bulk", label)
+	}
+	if !reflect.DeepEqual(want.Counts, got.Counts) {
+		t.Fatalf("%s: counts %v vs bulk %v", label, got.Counts, want.Counts)
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("%s: %d iterations (converged=%v), bulk %d (%v)",
+			label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	for j := range want.Centroids {
+		for d := range want.Centroids[j] {
+			w, g := want.Centroids[j][d], got.Centroids[j][d]
+			if math.Abs(w-g) > 1e-12*(1+math.Abs(w)) {
+				t.Fatalf("%s: centroid %d[%d] %v vs bulk %v", label, j, d, g, w)
+			}
+		}
+	}
+}
+
+// TestIterativeKMeansMatchesBulkForEmptyPolicies is the iterative-phase
+// determinism suite: partitioned K-Means (per-shard assignment, ordered
+// per-iteration reduce) must reproduce the bulk Clusterer at shard counts
+// {1, 4, 7} under both empty-cluster policies — including ReseedFarthest,
+// whose reseeding reads the per-document distances written by the shard
+// kernels.
+func TestIterativeKMeansMatchesBulkForEmptyPolicies(t *testing.T) {
+	for _, empty := range []kmeans.EmptyPolicy{kmeans.KeepCentroid, kmeans.ReseedFarthest} {
+		cfg := baseCfg(Merged)
+		cfg.KMeans.K = 12 // more clusters than the corpus comfortably fills
+		cfg.KMeans.Empty = empty
+		ref := refTFKM(t, cfg)
+		for _, shards := range []int{1, 4, 7} {
+			label := fmt.Sprintf("empty=%d shards=%d", empty, shards)
+			scfg := cfg
+			scfg.Shards = shards
+			ctx := testCtx(t, 4)
+			rep, err := RunTFKM(testCorpus().Source(nil), ctx, scfg)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			sameClustering(t, label, ref.Clustering.Result, rep.Clustering.Result)
+			if empty == kmeans.ReseedFarthest {
+				for j, cnt := range rep.Clustering.Result.Counts {
+					if cnt == 0 {
+						t.Errorf("%s: cluster %d empty despite ReseedFarthest", label, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIterativeKMeansLoopShardsIndependentOfMapShards: the loop shard
+// count may differ from the TF/IDF map shard count; results must not.
+func TestIterativeKMeansLoopShardsIndependentOfMapShards(t *testing.T) {
+	cfg := baseCfg(Merged)
+	ref := refTFKM(t, cfg)
+	cfg.Shards = 4
+	plan := TFKMPlan(testCorpus().Source(nil), cfg)
+	// Retune the loop to 6 shards against 4 map shards.
+	for _, name := range plan.Nodes() {
+		if op, ok := plan.Node(name).Op().(*KMAssignOp); ok {
+			op.Shards = 6
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Explain(); !strings.Contains(got, "kmeans.assign ~[x6]~> kmeans.reduce") {
+		t.Fatalf("loop shard count not reflected in Explain:\n%s", got)
+	}
+	ctx := testCtx(t, 4)
+	rep, err := RunTFKMPlan(plan, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameClustering(t, "loop=6 map=4", ref.Clustering.Result, rep.Clustering.Result)
+}
+
+// TestWeightedPartitionRuleBitIdentical: byte-balanced shard boundaries
+// change only the split points, never the results.
+func TestWeightedPartitionRuleBitIdentical(t *testing.T) {
+	cfg := baseCfg(Merged)
+	ref := refTFKM(t, cfg)
+	src := testCorpus().Source(nil)
+	plan := NewPlan().
+		Add("scan", &SourceOp{Src: src}).
+		Add("tfidf", &TFIDFOp{Opts: cfg.TFIDF}).
+		Add("kmeans", &KMeansOp{Opts: cfg.KMeans}).
+		Add("output", &WriteAssignments{}).
+		Connect("scan", "tfidf").
+		Connect("tfidf", "kmeans").
+		Connect("kmeans", "output").
+		Apply(WeightedPartitionRule(5))
+	var part *PartitionOp
+	for _, name := range plan.Nodes() {
+		if po, ok := plan.Node(name).Op().(*PartitionOp); ok {
+			part = po
+		}
+	}
+	if part == nil || !part.ByteWeighted {
+		t.Fatalf("WeightedPartitionRule did not set byte weighting:\n%s", plan.Explain())
+	}
+	ctx := testCtx(t, 4)
+	rep, err := RunTFKMPlan(plan, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameScores(t, "byte-weighted shards=5", ref, rep)
+}
+
+// TestKMAssignRunFallback: the serial Run fallback (linear pipelines,
+// direct calls) drives the same loop inline and matches the executor path.
+func TestKMAssignRunFallback(t *testing.T) {
+	cfg := baseCfg(Merged)
+	ref := refTFKM(t, cfg)
+	ctx := testCtx(t, 2)
+	// TF/IDF result via the monolithic operator, then the loop via Run.
+	tfOut, err := (&TFIDFOp{Opts: cfg.TFIDF}).Run(ctx, testCorpus().Source(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&KMAssignOp{Opts: cfg.KMeans, Shards: 3}).Run(ctx, tfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameClustering(t, "run-fallback", ref.Clustering.Result, out.(*kmeans.Result))
+}

@@ -1,0 +1,313 @@
+package workflow
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"hpa/internal/kmeans"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// This file extends the partitioned execution substrate into iterative
+// operators: computations that sweep a fixed shard set once per iteration
+// with a reduction barrier between iterations — the structure of K-Means
+// (parallel assignment, serial centroid update, repeat until convergence).
+//
+// An IterativeOp node is scheduled by the executor as a loop of partition
+// tasks: one BeginLoop task consumes the gathered inputs and allocates the
+// loop state, then each iteration dispatches one RunShard task per shard
+// (concurrently, on the pool), barriers, and runs one EndIteration task
+// that reduces the per-shard partials in shard-index order — so the
+// reduction is deterministic no matter how the shard tasks interleaved —
+// and decides whether to iterate again. A final Finish task produces the
+// node's (scalar) output.
+//
+// The same shard task set is re-dispatched every iteration; loop states are
+// expected to recycle their per-shard buffers (the K-Means state reuses one
+// kmeans.Accum per shard across all iterations), preserving the paper's
+// no-allocation-inside-iterations property under partitioned execution.
+
+// IterativeOp is implemented by operators whose computation is an iterative
+// loop over a fixed shard set with a per-iteration reduction barrier. The
+// executor drives the loop; the operator supplies the shard count and the
+// loop state.
+type IterativeOp interface {
+	Operator
+	// LoopShards returns the loop's shard count. It must be stable across
+	// calls and at least 1; the count is independent of the producer's
+	// partitioning (an iterative stage may use more or fewer shards than
+	// the map stages feeding it).
+	LoopShards() int
+	// BeginLoop consumes the gathered input values and allocates the loop
+	// state. It runs as one task before the first iteration.
+	BeginLoop(ctx *Context, ins []Value, shards int) (LoopState, error)
+}
+
+// LoopState carries one iterative node through its iterations. The
+// executor guarantees: RunShard calls of one iteration may run
+// concurrently (distinct idx); EndIteration runs alone after every shard
+// of the iteration completed, with the partials in shard-index order;
+// Finish runs alone after EndIteration reports done. Every loop executes
+// at least one iteration.
+type LoopState interface {
+	// RunShard computes shard idx's contribution to the current iteration
+	// and returns it as the shard's partial.
+	RunShard(ctx *Context, idx, total int) (any, error)
+	// EndIteration reduces the iteration's partials (indexed by shard) and
+	// reports whether the loop is done — the per-iteration barrier.
+	EndIteration(ctx *Context, partials []any) (bool, error)
+	// Finish produces the node's output dataset after the loop ends.
+	Finish(ctx *Context) (Value, error)
+}
+
+// Reflected port types of the iterative K-Means operators.
+var kmResultType = reflect.TypeOf((*kmeans.Result)(nil))
+
+// KMAssignOp is the iterative assignment stage of partitioned K-Means: the
+// K-Means loop hosted on the executor's IterativeOp contract. Each
+// iteration runs one assignment task per loop shard (kmeans.AssignShard
+// over a contiguous document range, accumulating into a recycled
+// kmeans.Accum) and one reduction task (kmeans.EndIteration merging the
+// shard accumulators in shard-index order and updating centroids), so the
+// clustering decision sequence — seeding, assignment tie-breaks,
+// convergence — is exactly the bulk Clusterer's.
+//
+// Port 0 accepts the dataset in any of its shapes: the gathered vector
+// shards of the partitioned TF/IDF transform (*Partitions of
+// *tfidf.VectorShard, with shard-aligned precomputed norms), the fused
+// in-memory *tfidf.Result, or a *Matrix loaded from ARFF.
+type KMAssignOp struct {
+	// Opts configures clustering; Recorder is overridden from the context.
+	Opts kmeans.Options
+	// Shards is the loop's shard count; 0 selects an automatic count
+	// (2×GOMAXPROCS, over-decomposed so work stealing rebalances straggler
+	// shards, mirroring PartitionOp). The loop count is independent of the
+	// TF/IDF map shard count — the optimizer retunes it separately. Like
+	// PartitionOp.Shards, the count is resolved once, on the first
+	// Validate/Explain/Run of a plan containing the operator; set it
+	// before then (mutations after resolution are ignored).
+	Shards int
+
+	once     sync.Once
+	resolved int
+}
+
+// Name implements Operator.
+func (o *KMAssignOp) Name() string { return "km-assign" }
+
+// Inputs implements TypedOperator. The port is dynamically typed: it
+// accepts gathered *Partitions of vector shards as well as the monolithic
+// Vectorized datasets, checked at run time.
+func (o *KMAssignOp) Inputs() []reflect.Type { return []reflect.Type{anyType} }
+
+// Output implements TypedOperator.
+func (o *KMAssignOp) Output() reflect.Type { return kmResultType }
+
+// LoopShards implements IterativeOp.
+func (o *KMAssignOp) LoopShards() int {
+	o.once.Do(func() {
+		o.resolved = o.Shards
+		if o.resolved <= 0 {
+			if p := runtime.GOMAXPROCS(0); p > 1 {
+				o.resolved = 2 * p
+			} else {
+				o.resolved = 1
+			}
+		}
+	})
+	return o.resolved
+}
+
+// kmLoopState is the K-Means loop state: the clusterer plus one recycled
+// accumulator set per shard.
+type kmLoopState struct {
+	c       *kmeans.Clusterer
+	n       int
+	accs    []*kmeans.Accum
+	ordered []*kmeans.Accum // scratch for the ordered reduce
+}
+
+// kmInput unpacks the assignment input into documents, dimensionality and
+// (when precomputed) per-document norms.
+func kmInput(in Value) (docs []sparse.Vector, dim int, norms []float64, err error) {
+	switch v := in.(type) {
+	case *tfidf.Result:
+		return v.Vectors, v.Dim(), v.Norms, nil
+	case *Matrix:
+		return v.Vectors, v.Dim(), nil, nil
+	case *Partitions:
+		n := 0
+		for _, part := range v.Parts {
+			vs, ok := part.(*tfidf.VectorShard)
+			if !ok {
+				return nil, 0, nil, fmt.Errorf("%w: km-assign wants *tfidf.VectorShard shards, got %T", ErrType, part)
+			}
+			if vs.Hi > n {
+				n = vs.Hi
+			}
+			if vs.Dim > dim {
+				dim = vs.Dim
+			}
+		}
+		docs = make([]sparse.Vector, n)
+		norms = make([]float64, n)
+		for _, part := range v.Parts {
+			vs := part.(*tfidf.VectorShard)
+			copy(docs[vs.Lo:vs.Hi], vs.Vectors)
+			copy(norms[vs.Lo:vs.Hi], vs.Norms)
+		}
+		return docs, dim, norms, nil
+	default:
+		return nil, 0, nil, fmt.Errorf("%w: km-assign wants *tfidf.Result, *Matrix or vector shards, got %T", ErrType, in)
+	}
+}
+
+// BeginLoop implements IterativeOp: seeding and per-shard accumulator
+// allocation. Everything allocated here is recycled across iterations.
+func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState, error) {
+	docs, dim, norms, err := kmInput(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	opts := o.Opts
+	opts.Recorder = ctx.Recorder
+	if opts.DocNorms == nil {
+		opts.DocNorms = norms
+	}
+	var c *kmeans.Clusterer
+	err = ctx.Breakdown.TimeSpanErr(kmeans.PhaseKMeans, func() error {
+		ctx.Recorder.BeginPhase(kmeans.PhaseKMeans)
+		var err error
+		c, err = kmeans.New(docs, dim, ctx.Pool, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &kmLoopState{
+		c:       c,
+		n:       len(docs),
+		accs:    make([]*kmeans.Accum, shards),
+		ordered: make([]*kmeans.Accum, 0, shards),
+	}
+	for q := range st.accs {
+		st.accs[q] = c.NewAccum()
+	}
+	return st, nil
+}
+
+// RunShard implements LoopState: one iteration's assignment over the
+// shard's document range, into the shard's recycled accumulator.
+func (s *kmLoopState) RunShard(ctx *Context, idx, total int) (any, error) {
+	a := s.accs[idx]
+	a.Reset()
+	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
+		lo, hi := pario.PartitionRange(s.n, total, idx)
+		s.c.AssignShard(lo, hi, a)
+	})
+	return a, nil
+}
+
+// EndIteration implements LoopState: the ordered reduce. The executor
+// delivers partials in shard-index order, so the merge — and therefore the
+// centroid floats and the convergence decision — is deterministic
+// regardless of shard scheduling.
+func (s *kmLoopState) EndIteration(ctx *Context, partials []any) (bool, error) {
+	s.ordered = s.ordered[:0]
+	for _, p := range partials {
+		a, ok := p.(*kmeans.Accum)
+		if !ok {
+			return false, fmt.Errorf("%w: km-assign partial is %T", ErrType, p)
+		}
+		s.ordered = append(s.ordered, a)
+	}
+	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
+		s.c.EndIteration(s.ordered)
+	})
+	return s.c.Done(), nil
+}
+
+// Finish implements LoopState.
+func (s *kmLoopState) Finish(ctx *Context) (Value, error) {
+	var res *kmeans.Result
+	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
+		res = s.c.Finalize()
+	})
+	return res, nil
+}
+
+// Run implements Operator: the serial fallback drives the same loop inline
+// (one shard wave at a time), for linear Pipelines and direct calls.
+func (o *KMAssignOp) Run(ctx *Context, in Value) (Value, error) {
+	shards := o.LoopShards()
+	state, err := o.BeginLoop(ctx, []Value{in}, shards)
+	if err != nil {
+		return nil, err
+	}
+	partials := make([]any, shards)
+	for {
+		for q := 0; q < shards; q++ {
+			if partials[q], err = state.RunShard(ctx, q, shards); err != nil {
+				return nil, err
+			}
+		}
+		done, err := state.EndIteration(ctx, partials)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return state.Finish(ctx)
+		}
+	}
+}
+
+// KMReduceOp closes the iterative K-Means stage: the loop's clustering
+// result (port 0) is joined with the upstream dataset (port 1 — the
+// TF/IDF result or loaded matrix, needed for document names and, in fused
+// runs, the retained scores) into the workflow's *Clustering.
+type KMReduceOp struct{}
+
+// Name implements Operator.
+func (o *KMReduceOp) Name() string { return "km-reduce" }
+
+// Inputs implements TypedOperator.
+func (o *KMReduceOp) Inputs() []reflect.Type {
+	return []reflect.Type{kmResultType, vectorizedType}
+}
+
+// Output implements TypedOperator.
+func (o *KMReduceOp) Output() reflect.Type { return clusteringType }
+
+// RunAll implements MultiOperator.
+func (o *KMReduceOp) RunAll(ctx *Context, ins []Value) (Value, error) {
+	res, ok := ins[0].(*kmeans.Result)
+	if !ok {
+		return nil, fmt.Errorf("%w: km-reduce wants *kmeans.Result, got %T", ErrType, ins[0])
+	}
+	var (
+		names []string
+		up    *tfidf.Result
+		n     int
+	)
+	switch v := ins[1].(type) {
+	case *tfidf.Result:
+		names, up, n = v.DocNames, v, len(v.Vectors)
+	case *Matrix:
+		names, n = v.DocNames, len(v.Vectors)
+	default:
+		return nil, fmt.Errorf("%w: km-reduce wants *tfidf.Result or *Matrix, got %T", ErrType, ins[1])
+	}
+	if names == nil {
+		names = synthDocNames(n)
+	}
+	return &Clustering{Result: res, DocNames: names, TFIDF: up}, nil
+}
+
+// Run implements Operator; a two-port node is never dispatched through it.
+func (o *KMReduceOp) Run(ctx *Context, in Value) (Value, error) {
+	return nil, fmt.Errorf("workflow: km-reduce requires both input ports")
+}

@@ -225,12 +225,19 @@ func (o *KMeansOp) Run(ctx *Context, in Value) (Value, error) {
 		return nil, err
 	}
 	if names == nil {
-		names = make([]string, len(vectors))
-		for i := range names {
-			names[i] = fmt.Sprintf("doc%07d", i)
-		}
+		names = synthDocNames(len(vectors))
 	}
 	return &Clustering{Result: res, DocNames: names, TFIDF: up}, nil
+}
+
+// synthDocNames labels documents of a nameless matrix, identically in the
+// bulk and partitioned K-Means paths.
+func synthDocNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc%07d", i)
+	}
+	return names
 }
 
 // WriteAssignments emits the final "output" phase: one "name<TAB>cluster"

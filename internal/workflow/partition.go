@@ -137,13 +137,18 @@ const (
 	// classStream absorbs port-0 shards in completion order and finishes
 	// with one task.
 	classStream
+	// classLoop runs an IterativeOp: a begin task, then per iteration one
+	// task per loop shard plus a reduction-barrier task, repeated until the
+	// loop reports done, then a finish task. Output is scalar.
+	classLoop
 )
 
 // pinfo is the partition classification of one node.
 type pinfo struct {
 	class nodeClass
 	// nparts is the shard count of the node's output (1 for scalar and
-	// stream-reduce nodes).
+	// stream-reduce nodes). For a loop node it is the internal loop shard
+	// count — the output itself is scalar.
 	nparts int
 }
 
@@ -157,7 +162,13 @@ func (p *Plan) partitionInfo(order []*Node) map[string]pinfo {
 	info := make(map[string]pinfo, len(order))
 	for _, n := range order {
 		pi := pinfo{class: classScalar, nparts: 1}
-		if s, ok := n.op.(Splitter); ok {
+		if it, ok := n.op.(IterativeOp); ok {
+			pi.class = classLoop
+			pi.nparts = it.LoopShards()
+			if pi.nparts < 1 {
+				pi.nparts = 1
+			}
+		} else if s, ok := n.op.(Splitter); ok {
 			pi.class = classSplit
 			pi.nparts = s.PartitionCount()
 			if pi.nparts < 1 {
@@ -200,9 +211,20 @@ type PartitionOp struct {
 	// the slowest shard gates every reduction). Resolved once, so the
 	// count is stable for the plan's lifetime.
 	Shards int
+	// ByteWeighted selects byte-balanced shard boundaries instead of
+	// count-balanced ones: when the source knows its document sizes
+	// (pario.Sized), boundaries are carved so every shard holds close to
+	// total/shards bytes (within one document), which flattens the
+	// straggler tail on heavy-tailed document sizes. Sources without sizes
+	// fall back to count balance. Boundaries remain a pure function of the
+	// corpus and shard count, so results stay bit-identical.
+	ByteWeighted bool
 
 	once     sync.Once
 	resolved int
+
+	wonce  sync.Once
+	bounds []int // byte-weighted boundaries, resolved on first Split
 }
 
 // Name implements Operator.
@@ -236,6 +258,18 @@ func (o *PartitionOp) Split(ctx *Context, ins []Value, idx, total int) (Value, e
 	src, ok := ins[0].(pario.Source)
 	if !ok {
 		return nil, fmt.Errorf("%w: partition wants pario.Source, got %T", ErrType, ins[0])
+	}
+	if o.ByteWeighted {
+		if sized, isSized := src.(pario.Sized); isSized {
+			o.wonce.Do(func() {
+				weights := make([]int64, src.Len())
+				for i := range weights {
+					weights[i] = sized.DocBytes(i)
+				}
+				o.bounds = pario.WeightedBoundaries(weights, total)
+			})
+			return &pario.SubSource{Src: src, Lo: o.bounds[idx], Hi: o.bounds[idx+1]}, nil
+		}
 	}
 	return pario.Partition(src, total, idx), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"hpa/internal/corpus"
 	"hpa/internal/dict"
+	"hpa/internal/kmeans"
 	"hpa/internal/par"
 	"hpa/internal/tfidf"
 )
@@ -24,6 +25,58 @@ import (
 //
 // and record the output as the BENCH_*.json baseline for regression
 // comparisons.
+// BenchmarkPlanIterative compares the full TF/IDF→K-Means dataflow with
+// the bulk K-Means operator against the partitioned iterative loop at the
+// automatic shard count: per-shard assignment tasks behind a
+// per-iteration reduction barrier versus the monolithic chunk-parallel
+// Step. On GOMAXPROCS>1 the loop overlaps assignment shards across the
+// pool with a deterministic ordered reduce; on a single processor the
+// auto count resolves to one shard, so the bulk-vs-loop gap bounds the
+// loop machinery overhead (begin/barrier/finish tasks per iteration).
+// Run with
+//
+//	go test ./internal/workflow -run '^$' -bench PlanIterative -benchtime 5x
+//
+// and record the output as BENCH_iterative.json.
+func BenchmarkPlanIterative(b *testing.B) {
+	c := corpus.Generate(corpus.Mix().Scaled(0.05), nil)
+	auto := (&KMAssignOp{}).LoopShards()
+	cases := []struct {
+		name   string
+		shards int
+	}{
+		{"bulk", 0},
+		{fmt.Sprintf("loop=%d(auto)", auto), -1},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			pool := par.NewPool(runtime.GOMAXPROCS(0))
+			defer pool.Close()
+			b.SetBytes(c.Bytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := NewPlan().
+					Add("scan", &SourceOp{Src: c.Source(nil)}).
+					Add("tfidf", &TFIDFOp{Opts: tfidf.Options{DictKind: dict.Tree, Normalize: true}}).
+					Add("kmeans", &KMeansOp{Opts: kmeans.Options{K: 8, Seed: 42}}).
+					Connect("scan", "tfidf").
+					Connect("tfidf", "kmeans")
+				if bc.shards < 0 {
+					plan = plan.Apply(PartitionRule(0)) // auto
+				}
+				ctx := NewContext(pool)
+				outs, err := plan.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != 1 {
+					b.Fatalf("expected one sink, got %d", len(outs))
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPlanPartitioned(b *testing.B) {
 	c := corpus.Generate(corpus.Mix().Scaled(0.05), nil)
 	auto := (&PartitionOp{}).PartitionCount()

@@ -156,8 +156,14 @@ func TestPartitionRuleExplainMarksShardBoundaries(t *testing.T) {
 		"tfidf.df -> tfidf.transform:1",
 		"tfidf.transform -[x4]-> tfidf.gather",
 		"tfidf.df -> tfidf.gather:1",
-		"tfidf.gather -> kmeans",
-		"kmeans -> output",
+		// The iterative K-Means stages: the transform's vector shards feed
+		// the assignment loop directly (gathered, shard-aligned norms), the
+		// gather's result joins at the reduce, and the loop edge carries the
+		// iterative shard marker.
+		"tfidf.transform =[x4]=> kmeans.assign",
+		"tfidf.gather -> kmeans.reduce:1",
+		"kmeans.assign ~[x4]~> kmeans.reduce",
+		"kmeans.reduce -> output",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("Explain missing %q:\n%s", want, got)

@@ -419,8 +419,10 @@ func materializationArrow(from, to Operator) string {
 // materialize/load edges the way Pipeline.String marks materialization
 // boundaries, and partition boundaries the way the executor schedules
 // them: an edge carrying shards to a per-shard consumer renders as
-// -[xN]->, and an edge gathering N shards back into one dataset (a
-// reduction barrier) renders as =[xN]=>:
+// -[xN]->, an edge gathering N shards back into one dataset (a reduction
+// barrier) renders as =[xN]=>, and the output of an iterative loop node
+// (per-iteration shard tasks behind a reduction barrier) renders as
+// ~[xN]~>:
 //
 //	scan -> partition
 //	partition -[x8]-> tf-map
@@ -428,7 +430,8 @@ func materializationArrow(from, to Operator) string {
 //	tf-map -[x8]-> transform
 //	df-reduce -> transform:1
 //	transform -[x8]-> gather
-//	gather -> kmeans
+//	transform =[x8]=> kmeans.assign
+//	kmeans.assign ~[x8]~> kmeans.reduce
 //
 // Nodes without edges are listed alone. Annotations follow the edges as
 // "#"-prefixed lines — plan-level notes first, then per-node notes in Add
@@ -467,6 +470,8 @@ func (p *Plan) Explain() string {
 				} else {
 					arrow = fmt.Sprintf("=[x%d]=>", pi.nparts)
 				}
+			} else if ok && pi.class == classLoop {
+				arrow = fmt.Sprintf("~[x%d]~>", pi.nparts)
 			}
 			if e.Port != 0 {
 				fmt.Fprintf(&sb, "%s %s %s:%d\n", e.From, arrow, e.To, e.Port)

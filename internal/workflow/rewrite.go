@@ -150,45 +150,115 @@ type partitionable interface {
 // PartitionRule returns the sharding rewriter: every partitionable
 // operator fed directly by a document source (TFIDFOp, WordCountOp) is
 // expanded into its per-shard map/reduce subgraph, with a PartitionOp
-// inserted after the scan to carve the corpus into shards. Expanded nodes
-// are named <node>.<stage> ("tfidf.map", "tfidf.df", ...); consumers of
-// several partitionable operators off one scan share a single
-// <scan>.shards partition node, so partitioning pushes through shared
-// scans, and the rule composes with FuseRule — a discrete plan's
-// materialize/load pair downstream of the expansion cancels exactly as
-// before.
+// inserted after the scan to carve the corpus into shards, and every
+// KMeansOp is expanded into the iterative loop stages — <node>.assign (a
+// KMAssignOp hosting the per-shard assignment loop on the executor's
+// IterativeOp contract) feeding <node>.reduce (the join with the upstream
+// dataset). Expanded nodes are named <node>.<stage> ("tfidf.map",
+// "tfidf.df", "kmeans.assign", ...); consumers of several partitionable
+// operators off one scan share a single <scan>.shards partition node, so
+// partitioning pushes through shared scans, and the rule composes with
+// FuseRule — a discrete plan's materialize/load pair downstream of the
+// expansion cancels exactly as before.
 //
-// shards fixes the partition count; 0 selects the automatic count
-// (2×GOMAXPROCS, see PartitionOp.Shards) at execution time. The rewrite
-// never changes results: shard boundaries are
-// deterministic, document frequencies merge commutatively, and term IDs
-// are assigned in lexicographic order, so scores and cluster assignments
-// are bit-identical to the unpartitioned plan at any shard count.
+// When the K-Means producer is the partitioned TF/IDF's streaming gather,
+// the assignment stage is rewired onto the transform's vector shards
+// directly (shard payloads carry precomputed norms and the vocabulary
+// dimension), so the loop input does not depend on the monolithic result
+// assembly; the gathered result still feeds the reduce stage for document
+// names and the retained scores.
+//
+// shards fixes the partition count — for the map stages and, initially,
+// the K-Means loop (the loop count is retuned independently by the
+// optimizer); 0 selects the automatic count (2×GOMAXPROCS, see
+// PartitionOp.Shards) at execution time. The rewrite never changes
+// results: shard boundaries are deterministic, document frequencies merge
+// commutatively, term IDs are assigned in lexicographic order, and the
+// K-Means per-iteration reduce merges shard accumulators in shard-index
+// order, so scores and cluster assignments are bit-identical to the
+// unpartitioned plan at any shard count.
 func PartitionRule(shards int) Rewriter { return &partitionRule{shards: shards} }
 
-type partitionRule struct{ shards int }
+// WeightedPartitionRule is PartitionRule with byte-balanced shard
+// boundaries: the inserted PartitionOp carves shards holding close to
+// equal byte volume (within one document) instead of equal document
+// counts, flattening the straggler tail on heavy-tailed document sizes.
+// Results are bit-identical either way.
+func WeightedPartitionRule(shards int) Rewriter {
+	return &partitionRule{shards: shards, byteWeighted: true}
+}
+
+type partitionRule struct {
+	shards       int
+	byteWeighted bool
+}
 
 func (*partitionRule) Name() string { return "partition" }
 
 func (r *partitionRule) Rewrite(p *Plan) (*Plan, bool) {
 	for _, name := range p.order {
 		n := p.nodes[name]
-		pa, ok := n.op.(partitionable)
-		if !ok || len(inPorts(n.op)) != 1 {
-			continue
+		if pa, ok := n.op.(partitionable); ok && len(inPorts(n.op)) == 1 {
+			prod, hasProd := p.producerOf(name, 0)
+			if !hasProd {
+				continue
+			}
+			prodOp := p.nodes[prod.From].op
+			out := outPort(prodOp)
+			if out == anyType || !out.AssignableTo(sourceType) {
+				continue // not a document source; leave the monolith alone
+			}
+			return r.expand(p, name, pa.partitionFragment(), prod), true
 		}
-		prod, hasProd := p.producerOf(name, 0)
-		if !hasProd {
-			continue
+		if km, ok := n.op.(*KMeansOp); ok {
+			if prod, hasProd := p.producerOf(name, 0); hasProd {
+				return r.expandLoop(p, name, km, prod), true
+			}
 		}
-		prodOp := p.nodes[prod.From].op
-		out := outPort(prodOp)
-		if out == anyType || !out.AssignableTo(sourceType) {
-			continue // not a document source; leave the monolith alone
-		}
-		return r.expand(p, name, pa.partitionFragment(), prod), true
 	}
 	return p, false
+}
+
+// expandLoop replaces a KMeansOp node with the iterative loop stages:
+// <name>.assign (the IterativeOp hosting the per-shard assignment loop)
+// and <name>.reduce (joining the loop result with the upstream dataset).
+// When the producer is the partitioned TF/IDF gather, the assignment is
+// fed the transform's vector shards directly.
+func (r *partitionRule) expandLoop(p *Plan, name string, km *KMeansOp, prod Edge) *Plan {
+	assign, reduce := name+".assign", name+".reduce"
+	next := NewPlan()
+	for _, nm := range p.order {
+		if nm == name {
+			next.Add(assign, &KMAssignOp{Opts: km.Opts, Shards: r.shards})
+			next.Add(reduce, &KMReduceOp{})
+			continue
+		}
+		next.Add(nm, p.nodes[nm].op)
+	}
+	feed := prod.From
+	if _, isGather := p.nodes[prod.From].op.(*GatherOp); isGather {
+		if te, ok := p.producerOf(prod.From, 0); ok {
+			feed = te.From // the transform's vector shards, gathered
+		}
+	}
+	for _, e := range p.edges {
+		switch {
+		case e.To == name: // the producer edge, replaced by the loop wiring
+		case e.From == name:
+			next.edges = append(next.edges, Edge{From: reduce, To: e.To, Port: e.Port})
+		default:
+			next.edges = append(next.edges, e)
+		}
+	}
+	next.edges = append(next.edges, Edge{From: feed, To: assign, Port: 0})
+	next.edges = append(next.edges, Edge{From: assign, To: reduce, Port: 0})
+	next.edges = append(next.edges, Edge{From: prod.From, To: reduce, Port: 1})
+	next.errs = append(next.errs, p.errs...)
+	next.inheritNotes(p)
+	if note := p.notes[name]; note != "" {
+		next.Annotate(assign, note)
+	}
+	return next
 }
 
 // expand replaces node name with its fragment, wired through a partition
@@ -218,7 +288,7 @@ func (r *partitionRule) expand(p *Plan, name string, frag fragment, prod Edge) *
 		next.Add(nm, p.nodes[nm].op)
 	}
 	if newPart {
-		next.Add(partName, &PartitionOp{Shards: r.shards})
+		next.Add(partName, &PartitionOp{Shards: r.shards, ByteWeighted: r.byteWeighted})
 	}
 	for _, e := range p.edges {
 		switch {

@@ -22,29 +22,46 @@
 //     SharedScanRule deduplicates identical source scans, and
 //     PartitionRule expands fusable operators (TFIDFOp, WordCountOp) into
 //     per-shard map kernels around explicit reduce nodes, inserting a
-//     PartitionOp that carves the corpus scan into contiguous shards;
+//     PartitionOp that carves the corpus scan into contiguous shards
+//     (count-balanced, or byte-balanced under WeightedPartitionRule), and
+//     expands KMeansOp into the iterative loop stages kmeans.assign and
+//     kmeans.reduce;
 //   - execution: Plan.Run schedules partition tasks — (node, shard)
 //     pairs, not whole nodes — on the context's pool with a helping join.
 //     A shard moves to the next map stage the moment its own data is
 //     ready, so one shard can be several stages ahead of another;
 //     reductions either gather all shards (DFReduceOp's parallel
 //     tree-merge of document frequencies) or absorb shards in completion
-//     order (GatherOp streaming vector shards into the final result).
-//     Per-shard phase timings union into wall-clock spans under the same
-//     Breakdown keys as monolithic runs, merged in deterministic
-//     topological order.
+//     order (GatherOp streaming vector shards into the final result);
+//     iterative operators (IterativeOp — KMAssignOp hosts K-Means on this
+//     contract) re-dispatch the same shard task set every iteration with
+//     one reduction-barrier task per iteration that merges the shard
+//     partials in shard-index order, so the loop's numeric reduce is
+//     deterministic no matter how shards were scheduled. Per-shard phase
+//     timings union into wall-clock spans under the same Breakdown keys
+//     as monolithic runs, merged in deterministic topological order.
 //
-// The partitioned TF/IDF→K-Means dataflow (TFKMConfig.Shards != 0):
+// The partitioned TF/IDF→K-Means dataflow (TFKMConfig.Shards != 0) is
+// shard-granular end-to-end, including the iterative phase:
 //
 //	scan -> partition -[xN]-> tf-map =[xN]=> df-reduce
-//	                          tf-map -[xN]-> transform -[xN]-> gather -> kmeans -> output
+//	                          tf-map -[xN]-> transform -[xN]-> gather
+//	                          transform =[xN]=> km-assign ~[xS]~> km-reduce -> output
+//
+// The transform's vector shards (precomputed norms, shard-aligned) feed
+// the assignment loop directly; the gather's assembled result joins at the
+// reduce for document names and retained scores. The loop's shard count S
+// is independent of the map shard count N — the plan optimizer prices and
+// retunes it separately (its cost is iteration-count dependent).
 //
 // Partitioning never changes results: shard boundaries are a pure function
 // of corpus size and shard count, document frequencies merge
-// commutatively, term IDs are assigned in lexicographic order, and shards
-// are always identified by partition index rather than completion order —
-// scores and cluster assignments are bit-identical to the unpartitioned
-// plan at any shard count (asserted by the determinism tests).
+// commutatively, term IDs are assigned in lexicographic order, shards
+// are always identified by partition index rather than completion order,
+// and the K-Means per-iteration reduce merges shard accumulators in shard
+// order — scores and cluster assignments are bit-identical to the
+// unpartitioned plan at any shard count (asserted by the determinism
+// tests, for every dictionary kind and both empty-cluster policies).
 //
 // Fusion is a graph rewrite: a plan containing an explicit materialize/load
 // operator pair around an edge is rewritten by FuseRule into one without
