@@ -9,6 +9,8 @@
 //	             [-shards 0] [-dict map|u-map|map-arena] [-presize 0]
 //	             [-k 8] [-seed 1] [-scratch DIR] [-disksim off|hdd]
 //	             [-sweep 1,4,8,12,16] [-explain] [-optimize]
+//	             [-workers addr,addr]
+//	hpa-workflow -worker ADDR
 //
 // -shards selects partitioned streaming execution: the corpus scan is
 // split into N document shards that flow through per-shard map kernels and
@@ -35,6 +37,26 @@
 // fusion itself); an explicit -shards N (N >= 1, or -1 for bulk) still
 // pins the shard count, and only -shards 0 (auto) lets the model choose
 // it.
+//
+// -worker ADDR turns the binary into a task worker: it listens on ADDR
+// (e.g. ":7070", or ":0" to pick a free port — the bound address is
+// printed as "worker listening on HOST:PORT"), serves the kernel registry
+// (TF/IDF count and transform shards, K-Means assignment iterations) over
+// net/rpc + gob, and never runs a workflow itself. Workers read corpus
+// shards by path, so they need the same filesystem view as the
+// coordinator.
+//
+// -workers addr,addr makes the run ship its serializable shard tasks to
+// those workers (round-robin, with loop shards pinned to one worker so
+// their cached documents stay put). Splits, reductions, K-Means seeding
+// and output always stay on the coordinator, and every merge is
+// shard-index-ordered, so results are bit-identical to a local run — at
+// any shard count. Tasks without a serializable form (in-memory sources,
+// custom stopwords, scans throttled by -disksim — the simulator's
+// contention state is per-process) quietly run locally. With -optimize, the cost model
+// prices the per-task ship cost and the extra worker slots into the shard
+// count decisions; with -explain, the plan is annotated with where tasks
+// run.
 //
 // With -sweep, the workflow runs once per thread count and prints a
 // Figure 3-style table. With -explain, the validated plan DAG is printed
@@ -84,11 +106,42 @@ func main() {
 		sweep    = flag.String("sweep", "", "comma-separated thread counts for a Figure 3-style sweep")
 		explain  = flag.Bool("explain", false, "print the validated plan DAG and exit")
 		optimize = flag.Bool("optimize", false, "derive dict kind, fusion and shard count from a calibrated cost model (overrides -dict and -mode; explicit -shards still pins)")
+		worker   = flag.String("worker", "", "run as a task worker listening on this address (e.g. :7070; :0 picks a port) instead of running a workflow")
+		workers  = flag.String("workers", "", "comma-separated worker addresses to ship shard tasks to (started with -worker)")
 	)
 	flag.Parse()
+	if *worker != "" {
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		go func() { errc <- workflow.ListenAndServeWorker(*worker, ready) }()
+		select {
+		case addr := <-ready:
+			fmt.Printf("worker listening on %s\n", addr)
+			fatal(<-errc)
+		case err := <-errc:
+			fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "hpa-workflow: -in is required")
 		os.Exit(2)
+	}
+
+	var backend workflow.Backend = workflow.LocalBackend{}
+	workerCount := 0
+	if *workers != "" {
+		addrs := strings.Split(*workers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		rb, err := workflow.NewRPCBackend(addrs)
+		if err != nil {
+			fatal(err)
+		}
+		defer rb.Close()
+		backend = rb
+		workerCount = rb.Workers()
 	}
 	if *shards < -1 {
 		fmt.Fprintf(os.Stderr, "hpa-workflow: -shards %d is invalid (want N >= 1, 0 for auto, or -1 for bulk-synchronous)\n", *shards)
@@ -178,8 +231,13 @@ func main() {
 		case *shards == -1:
 			pin = -1
 		}
+		profile := optimizer.LocalProfile()
+		if workerCount > 0 {
+			profile = optimizer.RPCProfile(workerCount, model)
+		}
 		plan := workflow.TFKMPlan(src, base)
-		return plan.Apply(optimizer.Rule(stats, model, optimizer.Options{Procs: procs, Shards: pin})), nil
+		return plan.Apply(optimizer.Rule(stats, model,
+			optimizer.Options{Procs: procs, Shards: pin, Backend: profile})), nil
 	}
 
 	if *explain {
@@ -194,6 +252,7 @@ func main() {
 		if err := plan.Validate(); err != nil {
 			fatal(err)
 		}
+		workflow.AnnotateBackend(plan, backend)
 		fmt.Println(plan.Explain())
 		return
 	}
@@ -232,6 +291,7 @@ func main() {
 		ctx := workflow.NewContext(pool)
 		ctx.ScratchDir = scratchDir
 		ctx.Disk = disk
+		ctx.Backend = backend
 		rep, err := workflow.RunTFKMPlan(plan, ctx)
 		pool.Close()
 		if err != nil {

@@ -28,6 +28,14 @@
 //     (priced by iterations × assignment work, independently of the map
 //     shards) — annotating every decision so Plan.Explain shows what was
 //     chosen and why;
+//   - pluggable execution backends behind a serializable worker contract:
+//     shard tasks run in-process by default (LocalBackend) or ship to
+//     worker processes over net/rpc + gob (RPCBackend + the hpa-workflow
+//     -worker mode) — TF/IDF count and transform shards and the K-Means
+//     assignment loop's per-iteration shard tasks can leave the process,
+//     while splits, reductions, seeding and output stay on the
+//     coordinator, whose shard-index-ordered merges keep results
+//     bit-identical across backends;
 //   - selectable dictionary data structures (red-black tree vs hash
 //     table) whose trade-offs differ per workflow phase;
 //   - parallel file input with an optional storage-device simulator;
@@ -154,6 +162,15 @@ func LoadCorpusDir(dir string, parallelism int) (*Corpus, error) {
 	return corpus.LoadDir(dir, parallelism)
 }
 
+// OpenCorpusDir opens a corpus directory (written by Corpus.WriteDir, or
+// any tree of .txt files) as a FileSource scanning the files in
+// deterministic sorted order, without loading them into memory. Unlike
+// the in-memory Corpus source, a FileSource shard has an on-disk identity,
+// so its tasks can ship to RPC workers.
+func OpenCorpusDir(dir string, disk *DiskSim) (*FileSource, error) {
+	return corpus.OpenDir(dir, disk)
+}
+
 // Source yields named documents to the TF/IDF operator.
 type Source = pario.Source
 
@@ -272,6 +289,20 @@ type (
 	IterativeOp = workflow.IterativeOp
 	// LoopState carries one IterativeOp node through its iterations.
 	LoopState = workflow.LoopState
+	// Backend decides where the executor's shard tasks run: in-process
+	// (LocalBackend, the default) or shipped to worker processes
+	// (RPCBackend). Results are bit-identical across backends.
+	Backend = workflow.Backend
+	// LocalBackend runs every task in-process on the pool — the zero-copy
+	// default.
+	LocalBackend = workflow.LocalBackend
+	// RPCBackend ships serializable shard tasks to worker processes over
+	// net/rpc + gob; non-serializable tasks (reductions, seeding, splits)
+	// stay on the coordinator.
+	RPCBackend = workflow.RPCBackend
+	// WorkerRemoteTask is the serializable shard-task descriptor custom
+	// Remotable operators return.
+	WorkerRemoteTask = workflow.RemoteTask
 	// Vectorized is the matrix-shaped dataset contract KMeansOp accepts.
 	Vectorized = workflow.Vectorized
 	// TFKMConfig configures the TF/IDF→K-Means workflow.
@@ -377,6 +408,26 @@ func PorterStem(word []byte) []byte { return text.PorterStem(word) }
 // NewWorkflowContext returns a context with an empty breakdown.
 func NewWorkflowContext(pool *Pool) *WorkflowContext { return workflow.NewContext(pool) }
 
+// NewRPCBackend dials worker processes (see ServeWorkerOn /
+// cmd/hpa-workflow -worker) at the given TCP addresses and returns the
+// execution backend shipping shard tasks to them. Plans run with the
+// backend (WorkflowContext.Backend or TFKMConfig.Backend) produce
+// bit-identical results to local execution.
+func NewRPCBackend(addrs []string) (*RPCBackend, error) { return workflow.NewRPCBackend(addrs) }
+
+// ServeWorkerOn runs a task worker on the given TCP address, serving the
+// built-in kernel registry until the process exits — the library form of
+// `hpa-workflow -worker addr`. ready, when non-nil, receives the bound
+// address (useful with ":0").
+func ServeWorkerOn(addr string, ready chan<- string) error {
+	return workflow.ListenAndServeWorker(addr, ready)
+}
+
+// AnnotateBackend attaches execution-placement annotations to the plan
+// for Plan.Explain: which nodes' shard tasks may ship to b's workers and
+// what stays on the coordinator.
+func AnnotateBackend(p *Plan, b Backend) *Plan { return workflow.AnnotateBackend(p, b) }
+
 // RunTFIDFKMeans executes the paper's TF/IDF→K-Means workflow.
 func RunTFIDFKMeans(src Source, ctx *WorkflowContext, cfg TFKMConfig) (*TFKMReport, error) {
 	return workflow.RunTFKM(src, ctx, cfg)
@@ -407,9 +458,16 @@ type (
 	// count, bytes, estimated distinct-term cardinality).
 	WorkflowStats = optimizer.Stats
 	// OptimizerOptions tunes the optimization pass (parallelism, pinned
-	// shard count, fusion memory budget).
+	// shard count, fusion memory budget, backend profile).
 	OptimizerOptions = optimizer.Options
+	// BackendProfile describes an execution backend to the optimizer's
+	// shard-count decisions (remote worker count, per-task ship cost).
+	BackendProfile = optimizer.BackendProfile
 )
+
+// RPCBackendProfile prices an RPC backend of n workers with the model's
+// calibrated per-task ship cost, for OptimizerOptions.Backend.
+func RPCBackendProfile(n int, m *CostModel) BackendProfile { return optimizer.RPCProfile(n, m) }
 
 // CalibrateCostModel measures this machine with short microbenchmarks and
 // returns a fresh cost model (about a second at default options).

@@ -208,10 +208,15 @@ func (a *Accum) Reset() {
 // NewAccum allocates an accumulator set sized for the clusterer (k dense
 // accumulators over the vocabulary dimension). The workflow engine's
 // iterative loop allocates one per shard up front and recycles them.
-func (c *Clusterer) NewAccum() *Accum {
-	a := &Accum{accs: make([]*sparse.Accumulator, c.opts.K)}
+func (c *Clusterer) NewAccum() *Accum { return NewAccumFor(c.opts.K, c.dim) }
+
+// NewAccumFor allocates an accumulator set for k clusters over the given
+// dense dimension — the standalone form remote shard workers use, where no
+// Clusterer exists.
+func NewAccumFor(k, dim int) *Accum {
+	a := &Accum{accs: make([]*sparse.Accumulator, k)}
 	for j := range a.accs {
-		a.accs[j] = sparse.NewAccumulator(c.dim)
+		a.accs[j] = sparse.NewAccumulator(dim)
 	}
 	return a
 }
@@ -338,11 +343,27 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 	if rec.Enabled() {
 		start = time.Now()
 	}
+	AssignRange(lo, hi, c.opts.K, c.docs, c.docNorms, c.centroids, c.cnorms, c.assign, c.dists, a)
+	if rec.Enabled() {
+		rec.Task(time.Since(start), 0, false)
+	}
+}
+
+// AssignRange is the assignment inner loop itself, shared by
+// Clusterer.AssignShard and remote shard workers so both execute the exact
+// same per-document code (the structural guarantee behind cross-backend
+// bit-identical results): documents docs[lo:hi] are each assigned to the
+// nearest of the k centroids (ties broken by the lowest cluster index),
+// accumulated into a, and their entries of assign (and dists, when
+// non-nil) — all indexed by absolute document position — are updated in
+// place. AssignRange allocates nothing.
+func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
+	centroids [][]float64, cnorms []float64, assign []int32, dists []float64, a *Accum) {
 	for i := lo; i < hi; i++ {
-		v := &c.docs[i]
+		v := &docs[i]
 		best, bestD := int32(0), math.Inf(1)
-		for j := 0; j < c.opts.K; j++ {
-			d := c.cnorms[j] - 2*sparse.DotDense(v, c.centroids[j]) + c.docNorms[i]
+		for j := 0; j < k; j++ {
+			d := cnorms[j] - 2*sparse.DotDense(v, centroids[j]) + docNorms[i]
 			if d < bestD {
 				bestD = d
 				best = int32(j)
@@ -351,18 +372,15 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 		if bestD < 0 {
 			bestD = 0
 		}
-		if c.assign[i] != best {
-			c.assign[i] = best
+		if assign[i] != best {
+			assign[i] = best
 			a.changed++
 		}
-		if c.dists != nil {
-			c.dists[i] = bestD
+		if dists != nil {
+			dists[i] = bestD
 		}
 		a.accs[best].Accumulate(v)
 		a.inertia += bestD
-	}
-	if rec.Enabled() {
-		rec.Task(time.Since(start), 0, false)
 	}
 }
 

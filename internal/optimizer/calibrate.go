@@ -1,11 +1,16 @@
 package optimizer
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"net"
+	"net/rpc"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sync"
 	"time"
 
 	"hpa/internal/arff"
@@ -43,6 +48,9 @@ type CalibrationOptions struct {
 	// for the K-Means assignment-kernel measurement (default 512 docs × 32
 	// terms).
 	KMeansDocs, KMeansTermsPerDoc int
+	// RPCTasks is the number of loopback worker calls timed for the
+	// per-task ship-cost measurement (default 64).
+	RPCTasks int
 	// ScratchDir hosts the temporary ARFF file (default os.TempDir()).
 	ScratchDir string
 }
@@ -87,6 +95,9 @@ func (o *CalibrationOptions) defaults() {
 	if o.KMeansTermsPerDoc <= 0 {
 		o.KMeansTermsPerDoc = 32
 	}
+	if o.RPCTasks <= 0 {
+		o.RPCTasks = 64
+	}
 	if o.ScratchDir == "" {
 		o.ScratchDir = os.TempDir()
 	}
@@ -118,6 +129,7 @@ func Calibrate(opts CalibrationOptions) (*CostModel, error) {
 	m.ARFFWriteBPS, m.ARFFReadBPS = w, r
 	m.ShardTaskNS = calibrateShardOverhead(opts.ShardTasks)
 	m.KMeansAssignNS = calibrateKMeansAssign(opts)
+	m.RPCShipNS = calibrateRPCShip(opts.RPCTasks)
 	return m, nil
 }
 
@@ -336,5 +348,58 @@ func calibrateShardOverhead(shards int) float64 {
 	}
 	// split + map tasks plus the absorb/finish work per shard.
 	tasks := 3 * shards
+	return float64(time.Since(start).Nanoseconds()) / float64(tasks)
+}
+
+// calEchoArgs is the payload of the ship-cost echo kernel: a few KiB, the
+// order of a small shard descriptor or a per-iteration centroid update.
+type calEchoArgs struct {
+	Body []byte
+}
+
+var registerEchoOnce sync.Once
+
+// calibrateRPCShip measures the per-task cost of shipping work to an RPC
+// worker: gob encode, a net/rpc round trip over an in-process pipe to a
+// real worker loop, gob decode. This is the same path RPCBackend tasks
+// take minus the physical network, so the measurement is a machine-local
+// lower bound on the ship cost — which is exactly what the shard-count
+// decision needs: if sharding does not pay at pipe cost, it certainly
+// does not pay over a network.
+func calibrateRPCShip(tasks int) float64 {
+	registerEchoOnce.Do(func() {
+		workflow.RegisterKernel("optimizer.echo", func(args []byte) ([]byte, error) {
+			return args, nil
+		})
+	})
+	coord, work := net.Pipe()
+	go workflow.ServeWorkerConn(work)
+	client := rpc.NewClient(coord)
+	defer client.Close()
+
+	payload := make([]byte, 4096)
+	x := uint64(0xabcdef)
+	for i := range payload {
+		x = xorshift64(x)
+		payload[i] = byte(x)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(calEchoArgs{Body: payload}); err != nil {
+		return 50_000 // cannot happen; conservative fallback
+	}
+	body := buf.Bytes()
+
+	start := time.Now()
+	for i := 0; i < tasks; i++ {
+		var resp workflow.RPCResponse
+		if err := client.Call("Worker.Run",
+			&workflow.RPCRequest{Op: "optimizer.echo", Body: body}, &resp); err != nil {
+			return 50_000 // pipe failure; conservative fallback
+		}
+		var echoed []byte
+		if err := gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(&echoed); err != nil {
+			return 50_000
+		}
+	}
 	return float64(time.Since(start).Nanoseconds()) / float64(tasks)
 }

@@ -40,9 +40,10 @@ import (
 
 // ModelVersion identifies the cost-model schema and the calibration
 // procedure. Cached models with a different version are recalibrated.
-// v2 added KMeansAssignNS (the K-Means assignment kernel cost), so v1
-// caches self-invalidate and re-measure.
-const ModelVersion = 2
+// v2 added KMeansAssignNS (the K-Means assignment kernel cost); v3 added
+// RPCShipNS (the per-task ship cost of the RPC execution backend), so
+// earlier caches self-invalidate and re-measure.
+const ModelVersion = 3
 
 // DictPoint is one calibrated operating point of a dictionary kind:
 // amortized per-operation costs measured while growing a dictionary to
@@ -127,6 +128,13 @@ type CostModel struct {
 	// k, which is what the optimizer could not price before the iterative
 	// phase was decomposed into shard kernels.
 	KMeansAssignNS float64 `json:"kmeans_assign_ns"`
+	// RPCShipNS is the per-task overhead of shipping one shard task to an
+	// RPC worker and absorbing its reply — gob encode, a loopback net/rpc
+	// round trip with a representative small payload, gob decode — in
+	// nanoseconds. It is a lower bound (real networks add latency and
+	// payload bandwidth); the shard-count decisions add it to ShardTaskNS
+	// for every task when pricing a remote backend.
+	RPCShipNS float64 `json:"rpc_ship_ns"`
 }
 
 // DictInsertNS returns the amortized per-insert cost of kind at the given

@@ -19,12 +19,17 @@ import (
 // round-trip, but only while the intermediate fits.
 const DefaultMemoryBudget int64 = 4 << 30
 
-// stragglerFactor models the residual imbalance of partitioned execution:
-// document sizes are heavy-tailed, so the last shard outlives the average
-// by roughly this fraction of one shard. Over-decomposing (more shards
-// than workers) shrinks the tail — the effect that made 2×GOMAXPROCS a
-// sensible blind default, now priced against measured per-task overhead.
+// stragglerFactor is the fallback residual-imbalance allowance of
+// partitioned execution: document sizes are heavy-tailed, so the last
+// shard outlives the average by roughly this fraction of one shard. It is
+// used when the input statistics carry no observed size variance; with a
+// measured Stats.DocSizeCV the allowance is derived from the data instead
+// (see rule.stragglerAt) and this constant becomes its upper cap.
 const stragglerFactor = 0.25
+
+// stragglerMin floors the derived straggler allowance: even perfectly
+// uniform shards pay some scheduling jitter.
+const stragglerMin = 0.02
 
 // bulkContentionFactor is the surcharge of the monolithic operators'
 // shared state under parallelism: in bulk TF/IDF every worker bumps the
@@ -32,6 +37,58 @@ const stragglerFactor = 0.25
 // serially, where the sharded dataflow uses contention-free shard
 // dictionaries and a parallel tree-merge.
 const bulkContentionFactor = 0.15
+
+// BackendProfile describes the execution backend to the shard-count
+// decisions: whether shard tasks leave the process, how many remote
+// workers back the plan, and the per-task ship cost. The zero value is
+// the local in-process backend.
+type BackendProfile struct {
+	// Remote marks an out-of-process backend (RPC workers): every shard
+	// task additionally pays ShipNS, and Workers add execution slots.
+	Remote bool
+	// Workers is the remote worker process count. Each is conservatively
+	// priced as one extra execution slot (a worker's own internal
+	// parallelism is not assumed).
+	Workers int
+	// ShipNS is the per-task ship overhead (gob encode + RPC round trip +
+	// decode), added to the executor task overhead for every shard task.
+	ShipNS float64
+}
+
+// LocalProfile describes the in-process pool backend: no ship cost, no
+// extra slots.
+func LocalProfile() BackendProfile { return BackendProfile{} }
+
+// RPCProfile describes an RPC backend of n workers, priced with the
+// model's calibrated ship cost.
+func RPCProfile(n int, m *CostModel) BackendProfile {
+	return BackendProfile{Remote: true, Workers: n, ShipNS: m.RPCShipNS}
+}
+
+// slots returns the execution-slot count the profile adds to the
+// coordinator's procs.
+func (b BackendProfile) slots(procs int) int {
+	if b.Remote {
+		return procs + b.Workers
+	}
+	return procs
+}
+
+// perTaskNS returns the full per-task overhead under the profile.
+func (b BackendProfile) perTaskNS(taskNS float64) float64 {
+	if b.Remote {
+		return taskNS + b.ShipNS
+	}
+	return taskNS
+}
+
+// String labels the profile in annotations.
+func (b BackendProfile) String() string {
+	if !b.Remote {
+		return "local"
+	}
+	return fmt.Sprintf("rpc×%d (+%s ship/task)", b.Workers, fmtNS(b.ShipNS))
+}
 
 // Options tunes the optimization pass.
 type Options struct {
@@ -45,6 +102,12 @@ type Options struct {
 	// MemoryBudget bounds the fusion decision's in-memory intermediate
 	// (0 selects DefaultMemoryBudget).
 	MemoryBudget int64
+	// Backend describes the execution backend the plan will run on; the
+	// zero value is the local pool. A remote profile adds the per-task
+	// ship cost to every shard task and its workers as execution slots, so
+	// the shard-count decisions price distribution honestly (an expensive
+	// ship can push the decision back toward fewer shards or bulk).
+	Backend BackendProfile
 }
 
 // Optimize derives the physical configuration of plan from the input
@@ -366,33 +429,69 @@ func estimateBulk(work float64, procs int) float64 {
 // P workers: per-document work still spreads across every worker (shards
 // divide the pool's readers when S < P), contention-free shard
 // dictionaries avoid the bulk surcharge, the straggler tail is one
-// shard's residual and shrinks as shards get smaller, and every shard
-// pays the calibrated task overhead. With one worker there is no
+// shard's residual (the straggler fraction, derived from observed size
+// variance or the fallback constant) and shrinks as shards get smaller,
+// and every shard pays the per-task overhead (executor bookkeeping plus,
+// on a remote backend, the ship cost). With one worker there is no
 // parallelism to buy and no tail to hide, so shards are pure overhead on
 // top of the serial work.
-func estimateSharded(work float64, s, procs int, taskNS float64) float64 {
-	est := work/float64(procs) + float64(s)*taskNS*shardStages
+func estimateSharded(work float64, s, procs int, perTaskNS, straggler float64) float64 {
+	est := work/float64(procs) + float64(s)*perTaskNS*shardStages
 	if procs > 1 {
-		est += stragglerFactor * work / float64(s)
+		est += straggler * work / float64(s)
 	}
 	return est
 }
 
 // chooseShardCount compares bulk execution against shard counts up to
 // 4×procs and returns the cheapest configuration and its estimate (1
-// means bulk execution wins).
-func chooseShardCount(work float64, procs, maxShards int, taskNS float64) (int, float64) {
+// means bulk execution wins). straggler supplies the imbalance allowance
+// at each candidate count. bulkEst is the caller's bulk baseline —
+// computed at the coordinator's own procs, because the monolithic
+// operator cannot ship to remote workers, while procs here may include
+// a remote backend's extra slots.
+func chooseShardCount(work float64, procs, maxShards int, perTaskNS float64, straggler func(int) float64, bulkEst float64) (int, float64) {
 	limit := 4 * procs
 	if maxShards > 0 && limit > maxShards {
 		limit = maxShards
 	}
-	bestS, bestEst := 1, estimateBulk(work, procs)
+	bestS, bestEst := 1, bulkEst
 	for s := 2; s <= limit; s++ {
-		if est := estimateSharded(work, s, procs, taskNS); est < bestEst {
+		if est := estimateSharded(work, s, procs, perTaskNS, straggler(s)); est < bestEst {
 			bestS, bestEst = s, est
 		}
 	}
 	return bestS, bestEst
+}
+
+// stragglerAt returns the straggler allowance at shard count s: the
+// expected relative overshoot of the largest shard, derived from the
+// sampled per-document size variation when Stats carries it. A shard of
+// m documents has relative standard deviation ≈ cv/√m, and the largest
+// of s such sums overshoots the mean by about √(2·ln s) standard
+// deviations — floored at stragglerMin (scheduling jitter) and capped at
+// the historical constant. Without a measured variance the constant is
+// used as-is.
+func (r *rule) stragglerAt(s int) float64 {
+	cv := 0.0
+	if r.st != nil {
+		cv = r.st.DocSizeCV
+	}
+	if cv <= 0 || s < 2 {
+		return stragglerFactor
+	}
+	m := float64(r.st.Docs) / float64(s)
+	if m < 1 {
+		m = 1
+	}
+	f := cv / math.Sqrt(m) * math.Sqrt(2*math.Log(float64(s)))
+	if f > stragglerFactor {
+		f = stragglerFactor
+	}
+	if f < stragglerMin {
+		f = stragglerMin
+	}
+	return f
 }
 
 // chooseShards decides the partitioned-execution degree, replacing the
@@ -415,28 +514,34 @@ func (r *rule) chooseShards(p *workflow.Plan) *workflow.Plan {
 		return p // nothing partitionable to price
 	}
 	var (
-		s    int
-		why  string
-		bulk = estimateBulk(work, r.opts.Procs)
+		s       int
+		why     string
+		bp      = r.opts.Backend
+		procs   = bp.slots(r.opts.Procs)
+		perTask = bp.perTaskNS(r.m.ShardTaskNS)
+		bulk    = estimateBulk(work, r.opts.Procs) // the monolith cannot ship
 	)
 	switch {
 	case r.opts.Shards > 0:
 		s = r.opts.Shards
 		why = fmt.Sprintf("shards=%d (pinned by explicit override; est %s, bulk est %s)",
-			s, fmtNS(estimateSharded(work, s, r.opts.Procs, r.m.ShardTaskNS)), fmtNS(bulk))
+			s, fmtNS(estimateSharded(work, s, procs, perTask, r.stragglerAt(s))), fmtNS(bulk))
 	case r.opts.Shards < 0:
 		s = 1
 		why = fmt.Sprintf("bulk execution (pinned by explicit override; est %s)", fmtNS(bulk))
 	default:
 		var est float64
-		s, est = chooseShardCount(work, r.opts.Procs, r.st.Docs, r.m.ShardTaskNS)
+		s, est = chooseShardCount(work, procs, r.st.Docs, perTask, r.stragglerAt, bulk)
 		if s > 1 {
-			why = fmt.Sprintf("shards=%d (est %s vs bulk %s; work %s over %d procs, %s/task overhead)",
-				s, fmtNS(est), fmtNS(bulk), fmtNS(work), r.opts.Procs, fmtNS(r.m.ShardTaskNS))
+			why = fmt.Sprintf("shards=%d (est %s vs bulk %s; work %s over %d slots, %s/task overhead, straggler %.3f)",
+				s, fmtNS(est), fmtNS(bulk), fmtNS(work), procs, fmtNS(perTask), r.stragglerAt(s))
 		} else {
-			why = fmt.Sprintf("bulk execution (sharding would not pay: est work %s on %d procs, %s/task overhead)",
-				fmtNS(work), r.opts.Procs, fmtNS(r.m.ShardTaskNS))
+			why = fmt.Sprintf("bulk execution (sharding would not pay: est work %s on %d slots, %s/task overhead)",
+				fmtNS(work), procs, fmtNS(perTask))
 		}
+	}
+	if bp.Remote {
+		why += "; backend=" + bp.String()
 	}
 	if s <= 1 {
 		p.AnnotatePlan(optimizerNotePrefix + " " + why)
@@ -486,31 +591,32 @@ func (r *rule) kmeansWork(k, iters int) float64 {
 // loopEstimate prices the iterative K-Means loop at s shards on procs
 // workers: assignment work spreads over min(s, procs) workers — a 1-shard
 // loop is serial, unlike the chunk-parallel bulk operator — every
-// iteration pays s shard tasks plus the barrier task, and on several
-// workers the straggler tail is one shard's residual per iteration
-// (stragglerFactor·work/s summed over iterations).
-func loopEstimate(work float64, s, iters, procs int, taskNS float64) float64 {
+// iteration pays s shard tasks (each at perTaskNS, which includes the
+// backend ship cost when remote) plus the barrier task (always local, so
+// taskNS only), and on several workers the straggler tail is one shard's
+// residual per iteration (straggler·work/s summed over iterations).
+func loopEstimate(work float64, s, iters, procs int, taskNS, perTaskNS, straggler float64) float64 {
 	par := s
 	if par > procs {
 		par = procs
 	}
-	est := work/float64(par) + float64(iters)*float64(s+1)*taskNS
+	est := work/float64(par) + float64(iters)*(float64(s)*perTaskNS+taskNS)
 	if procs > 1 && s > 1 {
-		est += stragglerFactor * work / float64(s)
+		est += straggler * work / float64(s)
 	}
 	return est
 }
 
 // chooseLoopShards returns the cheapest loop shard count (up to 4×procs,
 // capped by the document count) and its estimate.
-func chooseLoopShards(work float64, iters, procs, maxShards int, taskNS float64) (int, float64) {
+func chooseLoopShards(work float64, iters, procs, maxShards int, taskNS, perTaskNS float64, straggler func(int) float64) (int, float64) {
 	limit := 4 * procs
 	if maxShards > 0 && limit > maxShards {
 		limit = maxShards
 	}
-	bestS, bestEst := 1, loopEstimate(work, 1, iters, procs, taskNS)
+	bestS, bestEst := 1, loopEstimate(work, 1, iters, procs, taskNS, perTaskNS, straggler(1))
 	for s := 2; s <= limit; s++ {
-		if est := loopEstimate(work, s, iters, procs, taskNS); est < bestEst {
+		if est := loopEstimate(work, s, iters, procs, taskNS, perTaskNS, straggler(s)); est < bestEst {
 			bestS, bestEst = s, est
 		}
 	}
@@ -544,24 +650,30 @@ func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 		case *workflow.KMAssignOp:
 			work := r.kmeansWork(op.Opts.K, iters)
 			var (
-				s   int
-				why string
+				s       int
+				why     string
+				bp      = r.opts.Backend
+				procs   = bp.slots(r.opts.Procs)
+				perTask = bp.perTaskNS(r.m.ShardTaskNS)
 			)
 			switch {
 			case r.opts.Shards > 0:
 				s = r.opts.Shards
 				why = fmt.Sprintf("loop shards=%d (pinned by explicit override; est %s)",
-					s, fmtNS(loopEstimate(work, s, iters, r.opts.Procs, r.m.ShardTaskNS)))
+					s, fmtNS(loopEstimate(work, s, iters, procs, r.m.ShardTaskNS, perTask, r.stragglerAt(s))))
 			case r.opts.Shards < 0:
 				s = 1
 				why = fmt.Sprintf("loop shards=1 (pinned by explicit override; est %s)",
-					fmtNS(loopEstimate(work, 1, iters, r.opts.Procs, r.m.ShardTaskNS)))
+					fmtNS(loopEstimate(work, 1, iters, procs, r.m.ShardTaskNS, perTask, r.stragglerAt(1))))
 			default:
 				var est float64
-				s, est = chooseLoopShards(work, iters, r.opts.Procs, r.st.Docs, r.m.ShardTaskNS)
+				s, est = chooseLoopShards(work, iters, procs, r.st.Docs, r.m.ShardTaskNS, perTask, r.stragglerAt)
 				why = fmt.Sprintf(
-					"loop shards=%d (est %s; ~%d iterations × %s assign/iter; %s/task barrier overhead; may differ from map shard count)",
-					s, fmtNS(est), iters, fmtNS(work/float64(iters)), fmtNS(r.m.ShardTaskNS))
+					"loop shards=%d (est %s; ~%d iterations × %s assign/iter; %s/task overhead; may differ from map shard count)",
+					s, fmtNS(est), iters, fmtNS(work/float64(iters)), fmtNS(perTask))
+			}
+			if bp.Remote {
+				why += "; backend=" + bp.String()
 			}
 			if op.Shards != s {
 				repl[name] = &workflow.KMAssignOp{Opts: op.Opts, Shards: s}

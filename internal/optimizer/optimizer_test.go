@@ -362,28 +362,91 @@ func TestRuleValueIsReusableAcrossPlans(t *testing.T) {
 	}
 }
 
+// constStraggler is the fixed-allowance straggler model the pricing unit
+// tests use (the historical constant).
+func constStraggler(int) float64 { return stragglerFactor }
+
 func TestChooseShardCount(t *testing.T) {
 	taskNS := 20_000.0
 	// Big work on many procs: over-decompose past the worker count so work
 	// stealing can smooth stragglers, bounded by 4 waves.
-	s, _ := chooseShardCount(10e9, 8, 1<<20, taskNS)
+	s, _ := chooseShardCount(10e9, 8, 1<<20, taskNS, constStraggler, estimateBulk(10e9, 8))
 	if s < 8 || s > 32 {
 		t.Errorf("big work chose %d shards, want within [8, 32]", s)
 	}
 	// Tiny work: the per-task overhead dominates, sharding must not pay.
-	s, _ = chooseShardCount(50_000, 8, 1<<20, taskNS)
+	s, _ = chooseShardCount(50_000, 8, 1<<20, taskNS, constStraggler, estimateBulk(50_000, 8))
 	if s != 1 {
 		t.Errorf("tiny work chose %d shards, want 1", s)
 	}
 	// One processor: no parallelism to buy, stay bulk no matter the work.
-	s, _ = chooseShardCount(10e9, 1, 1<<20, taskNS)
+	s, _ = chooseShardCount(10e9, 1, 1<<20, taskNS, constStraggler, estimateBulk(10e9, 1))
 	if s != 1 {
 		t.Errorf("single proc chose %d shards, want 1", s)
 	}
 	// The document count caps the shard count.
-	s, _ = chooseShardCount(10e9, 8, 3, taskNS)
+	s, _ = chooseShardCount(10e9, 8, 3, taskNS, constStraggler, estimateBulk(10e9, 8))
 	if s > 3 {
 		t.Errorf("3-doc corpus chose %d shards", s)
+	}
+}
+
+func TestBackendProfilePricing(t *testing.T) {
+	taskNS := 20_000.0
+	// A ruinously expensive ship cost must push the decision to bulk even
+	// for work that sharding would otherwise win. The bulk baseline stays
+	// at the coordinator's own procs — the monolith cannot ship.
+	local, _ := chooseShardCount(10e9, 8, 1<<20, taskNS, constStraggler, estimateBulk(10e9, 8))
+	if local <= 1 {
+		t.Fatalf("local pricing chose bulk for heavy work")
+	}
+	bp := BackendProfile{Remote: true, Workers: 2, ShipNS: 10e9}
+	remote, _ := chooseShardCount(10e9, bp.slots(8), 1<<20, bp.perTaskNS(taskNS), constStraggler, estimateBulk(10e9, 8))
+	if remote != 1 {
+		t.Errorf("ruinous ship cost still chose %d shards, want bulk", remote)
+	}
+	// A cheap ship cost with extra workers adds slots: at least as many
+	// shards as the local decision.
+	cheap := BackendProfile{Remote: true, Workers: 8, ShipNS: 1000}
+	s, _ := chooseShardCount(10e9, cheap.slots(8), 1<<20, cheap.perTaskNS(taskNS), constStraggler, estimateBulk(10e9, 8))
+	if s < local {
+		t.Errorf("8 extra workers chose %d shards, local chose %d", s, local)
+	}
+	// Single-proc coordinator with 8 workers and a modest ship cost: the
+	// phantom-slot bug priced bulk as if it too had 9 slots and chose it;
+	// against the honest 1-proc bulk baseline, sharding must win.
+	many := BackendProfile{Remote: true, Workers: 8, ShipNS: 1e6}
+	s, _ = chooseShardCount(1e9, many.slots(1), 1<<20, many.perTaskNS(taskNS), constStraggler, estimateBulk(1e9, 1))
+	if s <= 1 {
+		t.Errorf("1 proc + 8 workers chose bulk; sharding onto workers must win against the 1-proc bulk baseline")
+	}
+}
+
+func TestStragglerFromVariance(t *testing.T) {
+	m := testModel()
+	// No variance recorded: the historical constant.
+	r := &rule{st: &Stats{Docs: 10000}, m: m, opts: Options{Procs: 8}}
+	if got := r.stragglerAt(8); got != stragglerFactor {
+		t.Errorf("no-variance straggler = %v, want the constant %v", got, stragglerFactor)
+	}
+	// Mild variance over many docs per shard: well below the constant,
+	// floored at stragglerMin.
+	r.st.DocSizeCV = 0.3
+	got := r.stragglerAt(8)
+	if got >= stragglerFactor || got < stragglerMin {
+		t.Errorf("derived straggler = %v, want in [%v, %v)", got, stragglerMin, stragglerFactor)
+	}
+	// Extreme variance cannot exceed the historical cap.
+	r.st.DocSizeCV = 50
+	r.st.Docs = 16
+	if got := r.stragglerAt(8); got > stragglerFactor {
+		t.Errorf("capped straggler = %v, want <= %v", got, stragglerFactor)
+	}
+	// More shards over the same corpus mean fewer docs per shard and a
+	// larger max-of-s overshoot: the allowance must not decrease.
+	r.st = &Stats{Docs: 100000, DocSizeCV: 1.5}
+	if a2, a32 := r.stragglerAt(2), r.stragglerAt(32); a32 < a2 {
+		t.Errorf("straggler at 32 shards (%v) < at 2 shards (%v)", a32, a2)
 	}
 }
 
@@ -591,15 +654,15 @@ func TestOptimizeAnnotatesBulkKMeans(t *testing.T) {
 	}
 	// A single processor prices the loop down to one shard: pure overhead,
 	// no parallelism to buy.
-	if s, _ := chooseLoopShards(10e9, 12, 1, 1<<20, 20_000); s != 1 {
+	if s, _ := chooseLoopShards(10e9, 12, 1, 1<<20, 20_000, 20_000, constStraggler); s != 1 {
 		t.Errorf("single proc chose %d loop shards, want 1", s)
 	}
 	// Heavy work on many procs over-decomposes past the worker count.
-	if s, _ := chooseLoopShards(10e9, 12, 8, 1<<20, 20_000); s < 8 {
+	if s, _ := chooseLoopShards(10e9, 12, 8, 1<<20, 20_000, 20_000, constStraggler); s < 8 {
 		t.Errorf("heavy work on 8 procs chose %d loop shards", s)
 	}
 	// Tiny per-iteration work: barrier overhead dominates, stay serial.
-	if s, _ := chooseLoopShards(100_000, 50, 8, 1<<20, 20_000); s != 1 {
+	if s, _ := chooseLoopShards(100_000, 50, 8, 1<<20, 20_000, 20_000, constStraggler); s != 1 {
 		t.Errorf("tiny iterative work chose %d loop shards, want 1", s)
 	}
 }

@@ -45,6 +45,13 @@ type Stats struct {
 	// sample actually read.
 	SampledDocs  int
 	SampledBytes int64
+	// DocSizeCV is the coefficient of variation (standard deviation over
+	// mean) of the sampled document sizes — the observed spread the
+	// shard-count decisions derive their straggler allowance from,
+	// replacing a blind constant. Zero when unknown (fewer than two
+	// sampled documents, or empty documents); the pricing then falls back
+	// to the historical constant.
+	DocSizeCV float64
 	// KMeansIters estimates how many iterations the K-Means stage will run
 	// — the multiplier of the iterative stage's cost, which earlier models
 	// could not see. Collect measures it with a pilot clustering of the
@@ -87,9 +94,10 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 	ids := make(map[string]uint32, 1<<12)
 	perDoc := make(map[string]uint32, 1<<8)
 	var (
-		docDistinctSum int64
-		pilot          []sparse.Vector
-		b              sparse.Builder
+		docDistinctSum   int64
+		pilot            []sparse.Vector
+		b                sparse.Builder
+		sizeSum, sizeSq2 float64 // running doc-size moments for DocSizeCV
 	)
 	for _, sub := range pario.Sample(src, sampleDocs, 8) {
 		for i := 0; i < sub.Len(); i++ {
@@ -99,6 +107,8 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 			}
 			st.SampledDocs++
 			st.SampledBytes += int64(len(content))
+			sizeSum += float64(len(content))
+			sizeSq2 += float64(len(content)) * float64(len(content))
 			clear(perDoc)
 			tk.Tokens(content, func(tok []byte) {
 				st.TotalTokens++ // sample tokens for now; scaled below
@@ -126,6 +136,11 @@ func Collect(src pario.Source, sampleDocs int) (*Stats, error) {
 	sampleTokens := st.TotalTokens
 	st.AvgDocTokens = float64(sampleTokens) / float64(st.SampledDocs)
 	st.AvgDocDistinct = float64(docDistinctSum) / float64(st.SampledDocs)
+	if mean := sizeSum / float64(st.SampledDocs); st.SampledDocs >= 2 && mean > 0 {
+		if variance := sizeSq2/float64(st.SampledDocs) - mean*mean; variance > 0 {
+			st.DocSizeCV = math.Sqrt(variance) / mean
+		}
+	}
 
 	// Scale the sample to the corpus. Bytes: exact when the source knows
 	// its size, mean-extrapolated otherwise.

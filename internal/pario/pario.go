@@ -259,6 +259,58 @@ func PartitionWeighted(src Source, shards, p int) *SubSource {
 	return &SubSource{Src: src, Lo: b[p], Hi: b[p+1]}
 }
 
+// SourceSpec is the serializable description of a contiguous document
+// shard: the shard's file paths plus its [Lo, Hi) index range within the
+// full corpus. It is what replaces an in-memory Source handle on the wire
+// when shard tasks ship to worker processes — the worker re-opens the same
+// files instead of receiving document bytes. Paths must resolve on the
+// worker (shared filesystem, or workers started in the same directory for
+// relative paths).
+type SourceSpec struct {
+	// Paths holds the shard's document file paths in document order.
+	Paths []string
+	// Lo and Hi delimit the shard's document index range within the full
+	// corpus, so shard-level outputs keep their global positions.
+	Lo, Hi int
+}
+
+// Open returns the shard as a Source reading the described files,
+// optionally throttled by a DiskSim. Document names are the paths, exactly
+// as a local FileSource scan would name them, so results are independent
+// of where the shard ran.
+func (s *SourceSpec) Open(disk *DiskSim) Source {
+	return &FileSource{Paths: s.Paths, Disk: disk}
+}
+
+// Describe returns the serializable description of src, when it has one:
+// a FileSource is described by its paths, and a SubSource by the described
+// sub-range of its underlying source. In-memory sources (MemSource) have
+// no on-disk identity and return false — their shard tasks stay in the
+// coordinator process. So does a FileSource throttled by a DiskSim: the
+// simulator's contention state is per-process, so a worker reading the
+// shard unthrottled would silently falsify the simulated phase timings.
+func Describe(src Source) (*SourceSpec, bool) {
+	switch s := src.(type) {
+	case *FileSource:
+		if s.Disk != nil {
+			return nil, false
+		}
+		return &SourceSpec{Paths: s.Paths, Lo: 0, Hi: len(s.Paths)}, true
+	case *SubSource:
+		base, ok := Describe(s.Src)
+		if !ok {
+			return nil, false
+		}
+		return &SourceSpec{
+			Paths: base.Paths[s.Lo:s.Hi],
+			Lo:    base.Lo + s.Lo,
+			Hi:    base.Lo + s.Hi,
+		}, true
+	default:
+		return nil, false
+	}
+}
+
 // Sample returns up to chunks contiguous SubSources spread evenly across
 // src, together covering about target documents — the cheap sampling
 // pre-pass the plan optimizer's statistics use. Spreading the sample over

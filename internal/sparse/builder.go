@@ -122,6 +122,39 @@ func (a *Accumulator) Reset() {
 	a.Count = 0
 }
 
+// Sparse returns the accumulator's non-zero entries in ascending index
+// order — the compact, deterministic form in which remote shard workers
+// ship centroid sums back to the coordinator. The returned slices are
+// fresh copies.
+func (a *Accumulator) Sparse() (idx []uint32, val []float64) {
+	sorted := append([]uint32(nil), a.dirty...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for k, ix := range sorted {
+		// dirty may carry an index twice if a sum canceled to zero and was
+		// re-touched; the sort makes duplicates adjacent.
+		if v := a.Sum[ix]; v != 0 && (k == 0 || sorted[k-1] != ix) {
+			idx = append(idx, ix)
+			val = append(val, v)
+		}
+	}
+	return idx, val
+}
+
+// SetSparse resets the accumulator and loads the given entries, the
+// inverse of Sparse (Count must be set by the caller). Entries load
+// bit-exactly: each Sum slot receives its value directly, never through an
+// addition, so a wire round trip reproduces the original sums.
+func (a *Accumulator) SetSparse(idx []uint32, val []float64) {
+	a.Reset()
+	for k, ix := range idx {
+		if val[k] == 0 {
+			continue
+		}
+		a.Sum[ix] = val[k]
+		a.dirty = append(a.dirty, ix)
+	}
+}
+
 // Mean writes Sum/Count into dst (a dense slice of the same dimension) and
 // reports whether the accumulator was non-empty. dst entries are fully
 // overwritten.

@@ -1,0 +1,171 @@
+package tfidf
+
+import (
+	"hpa/internal/dict"
+)
+
+// This file is the serialization boundary of the partitioned TF/IDF
+// kernels: gob-encodable forms of the option subset, the phase-1 shard
+// counts and the global term table, so CountShard and TransformShard tasks
+// can ship to worker processes. Dictionaries do not serialize as data
+// structures — they serialize as their (word, count) contents and are
+// rebuilt on the receiving side with the run's dictionary kind. That is
+// result-preserving by the same arguments that make sharding
+// result-preserving: document frequencies are commutative integer sums,
+// term IDs are assigned in lexicographic word order, and per-document
+// scoring reads each word exactly once, so dictionary iteration order (the
+// only thing a rebuild can change) never reaches the output.
+// (VectorShard needs no wire form: all its fields are exported and
+// gob-encodable as-is.)
+
+// WireOptions is the serializable subset of Options — everything except
+// the per-process fields (Recorder, Ctx) and custom stopword sets.
+type WireOptions struct {
+	DictKind      dict.Kind
+	GlobalPresize int
+	DocPresize    int
+	Shards        int
+	MinWordLen    int
+	Stem          bool
+	Normalize     bool
+}
+
+// Wire returns the options in serializable form, and whether they can ship
+// at all: options carrying a stopword set cannot (sets have no identity to
+// ship), so their shard tasks stay local. Recorder and Ctx are dropped —
+// they are per-process concerns the coordinator keeps.
+func (o Options) Wire() (WireOptions, bool) {
+	if o.Stopwords != nil {
+		return WireOptions{}, false
+	}
+	return WireOptions{
+		DictKind:      o.DictKind,
+		GlobalPresize: o.GlobalPresize,
+		DocPresize:    o.DocPresize,
+		Shards:        o.Shards,
+		MinWordLen:    o.MinWordLen,
+		Stem:          o.Stem,
+		Normalize:     o.Normalize,
+	}, true
+}
+
+// Options reconstructs the operator options on the worker side.
+func (w WireOptions) Options() Options {
+	return Options{
+		DictKind:      w.DictKind,
+		GlobalPresize: w.GlobalPresize,
+		DocPresize:    w.DocPresize,
+		Shards:        w.Shards,
+		MinWordLen:    w.MinWordLen,
+		Stem:          w.Stem,
+		Normalize:     w.Normalize,
+	}
+}
+
+// WireDocCounts is one document's term frequencies as parallel slices.
+type WireDocCounts struct {
+	Words  []string
+	Counts []uint32
+}
+
+// WireShardCounts is the gob-encodable form of ShardCounts: dictionaries
+// flattened to their contents. DFWords/DFCounts are present only when the
+// shard's DF dictionary was included (a count task's reply needs it; a
+// transform task's argument does not — by then the reduction has consumed
+// the DF dictionaries).
+type WireShardCounts struct {
+	Lo, Hi   int
+	Docs     []WireDocCounts
+	DocNames []string
+	DFWords  []string
+	DFCounts []uint32
+}
+
+// Wire flattens the shard counts for the wire. With withDF unset the
+// shard-local DF dictionary is omitted (and not read — safe after the
+// global merge consumed it). The receiver is not modified.
+func (sc *ShardCounts) Wire(withDF bool) *WireShardCounts {
+	w := &WireShardCounts{
+		Lo:       sc.Lo,
+		Hi:       sc.Hi,
+		Docs:     make([]WireDocCounts, len(sc.DocDicts)),
+		DocNames: sc.DocNames,
+	}
+	for i, d := range sc.DocDicts {
+		dc := WireDocCounts{
+			Words:  make([]string, 0, d.Len()),
+			Counts: make([]uint32, 0, d.Len()),
+		}
+		d.Range(func(word string, tf *uint32) bool {
+			dc.Words = append(dc.Words, word)
+			dc.Counts = append(dc.Counts, *tf)
+			return true
+		})
+		w.Docs[i] = dc
+	}
+	if withDF {
+		w.DFWords = make([]string, 0, sc.DF.Len())
+		w.DFCounts = make([]uint32, 0, sc.DF.Len())
+		sc.DF.Range(func(word string, v *TermInfo) bool {
+			w.DFWords = append(w.DFWords, word)
+			w.DFCounts = append(w.DFCounts, v.DF)
+			return true
+		})
+	}
+	return w
+}
+
+// ShardCounts rebuilds the shard with live dictionaries of the configured
+// kind — the inverse of Wire up to dictionary internals, which never
+// affect results.
+func (w *WireShardCounts) ShardCounts(opts Options) *ShardCounts {
+	if opts.GlobalPresize <= 0 {
+		opts.GlobalPresize = defaultGlobalPresize
+	}
+	sc := &ShardCounts{
+		Lo:       w.Lo,
+		Hi:       w.Hi,
+		DocDicts: make([]dict.Map[uint32], len(w.Docs)),
+		DF:       dict.New[TermInfo](opts.DictKind, dict.Options{Presize: opts.GlobalPresize}),
+		DocNames: w.DocNames,
+	}
+	for i, dc := range w.Docs {
+		d := dict.New[uint32](opts.DictKind, dict.Options{Presize: opts.DocPresize})
+		for k, word := range dc.Words {
+			*d.Ref(word) = dc.Counts[k]
+		}
+		sc.DocDicts[i] = d
+	}
+	for k, word := range w.DFWords {
+		sc.DF.Ref(word).DF = w.DFCounts[k]
+	}
+	return sc
+}
+
+// WireGlobal is the gob-encodable form of Global: the sorted term table
+// and document count; the lookup dictionary is rebuilt on arrival.
+type WireGlobal struct {
+	Terms   []string
+	DF      []uint32
+	NumDocs int
+}
+
+// Wire returns the global table in serializable form.
+func (g *Global) Wire() *WireGlobal {
+	return &WireGlobal{Terms: g.Terms, DF: g.DF, NumDocs: g.NumDocs}
+}
+
+// Global rebuilds the table with a live lookup dictionary of the given
+// kind. IDs are the slice positions — the lexicographic assignment the
+// coordinator already performed — so lookups resolve identically to the
+// original dictionary's.
+func (w *WireGlobal) Global(kind dict.Kind) *Global {
+	g := &Global{Terms: w.Terms, DF: w.DF, NumDocs: w.NumDocs}
+	g.Lookup = dict.New[TermInfo](kind, dict.Options{Presize: len(w.Terms)})
+	for i, word := range w.Terms {
+		*g.Lookup.Ref(word) = TermInfo{ID: uint32(i), DF: w.DF[i]}
+	}
+	g.Stats = g.Lookup.Stats()
+	g.Footprint = g.Lookup.Footprint()
+	return g
+}

@@ -1,0 +1,146 @@
+package workflow
+
+import "fmt"
+
+// This file defines the pluggable execution-backend contract: where the
+// executor's (node, shard) tasks actually run. The scheduler (exec.go)
+// stays the single owner of dependency tracking, ordering and reductions;
+// a Backend only decides, per dispatched task, whether the task's work
+// executes in this process (the zero-copy fast path every backend can
+// always take) or is shipped to a worker process as a serializable
+// descriptor. Because reductions remain on the coordinator and every
+// merge stays shard-index-ordered, results are bit-identical across
+// backends at any shard count — the determinism contract of the
+// partitioned substrate extends unchanged to distributed execution.
+//
+// What can leave the process: tasks whose operator (Remotable) or loop
+// state (RemotableLoop) can describe a shard's inputs in serializable form
+// — the TF/IDF count and transform kernels (shards of an on-disk corpus,
+// described by pario.SourceSpec) and the K-Means assignment loop's
+// per-iteration shard tasks (centroids out, kmeans.Accum back). What
+// cannot: splits, reductions (DF tree-merge, streaming gather, the loop's
+// per-iteration barrier), K-Means seeding (BeginLoop) and output — they
+// touch coordinator-owned state and run locally under every backend.
+
+// Task is one schedulable unit of plan execution handed to a Backend by
+// the executor.
+type Task struct {
+	// Run executes the task in-process against the coordinator's state —
+	// always available, and the zero-copy path LocalBackend takes
+	// unconditionally.
+	Run func() (Value, error)
+	// Remote, when non-nil, is the task's serializable description for
+	// backends that ship work to worker processes. Tasks bound to
+	// coordinator state (reductions, loop begin/barrier/finish, splits)
+	// have none.
+	Remote *RemoteTask
+}
+
+// RemoteTask describes one shard task in serializable form: a kernel name
+// resolved through the worker registry (RegisterKernel) plus
+// gob-encodable arguments, and the coordinator-side hook that integrates
+// the kernel's reply.
+type RemoteTask struct {
+	// Op is the kernel name in the worker registry.
+	Op string
+	// Args is the kernel's argument value; backends gob-encode it. It must
+	// be a concrete gob-encodable type matching what the kernel decodes.
+	Args any
+	// Affinity, when non-empty, pins every task sharing the key to one
+	// worker — how loop shards keep their cached documents on the worker
+	// that holds them across iterations.
+	Affinity string
+	// Phase, when non-empty, names the Breakdown phase the shipped task's
+	// wall-clock time (ship + compute + reply) is accounted to, so
+	// per-phase figures keep their meaning under remote execution.
+	Phase string
+	// Absorb decodes the kernel's gob-encoded reply and integrates it into
+	// coordinator state, returning the task's output value. It runs on the
+	// coordinator, in the task's goroutine.
+	Absorb func(reply []byte) (Value, error)
+}
+
+// Backend dispatches the executor's shard tasks. Implementations must be
+// safe for concurrent RunTask calls — the executor issues one per in-flight
+// task.
+type Backend interface {
+	// Name labels the backend in plan annotations and errors.
+	Name() string
+	// Workers returns how many remote worker processes back the backend
+	// (0 = none; the executor then skips building remote descriptors).
+	Workers() int
+	// RunTask executes one task: t.Run in-process, or t.Remote shipped to
+	// a worker. Implementations may block; the call runs inside a pool
+	// task, so in-flight remote calls occupy pool workers.
+	RunTask(ctx *Context, t *Task) (Value, error)
+}
+
+// LocalBackend is the default backend: every task runs in-process on the
+// helping-join pool exactly as before backends existed — zero copies, zero
+// serialization, no behavior change.
+type LocalBackend struct{}
+
+// Name implements Backend.
+func (LocalBackend) Name() string { return "local" }
+
+// Workers implements Backend.
+func (LocalBackend) Workers() int { return 0 }
+
+// RunTask implements Backend.
+func (LocalBackend) RunTask(_ *Context, t *Task) (Value, error) { return t.Run() }
+
+// Remotable is implemented by partition kernels whose shard tasks can ship
+// to worker processes.
+type Remotable interface {
+	PartitionKernel
+	// RemoteTask returns the serializable descriptor of shard idx over the
+	// given inputs, or false when this particular task cannot leave the
+	// process (in-memory source, unserializable options) and must run via
+	// Task.Run.
+	RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool)
+}
+
+// RemotableLoop is implemented by loop states whose per-iteration shard
+// tasks can ship. RemoteShardTask is called fresh each iteration (the
+// descriptor carries iteration state, e.g. current centroids).
+type RemotableLoop interface {
+	LoopState
+	RemoteShardTask(idx, total int) (*RemoteTask, bool)
+}
+
+// affinityReleaser is implemented by backends that pin tasks by affinity
+// key (RPCBackend) and can drop pins once the keyed work is finished.
+type affinityReleaser interface{ ReleaseAffinity(keys ...string) }
+
+// remoteLoopOp marks IterativeOps whose loop states implement
+// RemotableLoop, so AnnotateBackend can report placement without running
+// the plan.
+type remoteLoopOp interface{ loopShardsRemotable() }
+
+// AnnotateBackend attaches execution-placement annotations for running the
+// plan on b, rendered by Plan.Explain: which nodes' shard tasks may ship
+// to workers and what stays on the coordinator. It mutates and returns p.
+// Placement is advisory — at run time a task whose inputs cannot be
+// described (in-memory source, custom stopwords) falls back to the
+// coordinator.
+func AnnotateBackend(p *Plan, b Backend) *Plan {
+	if b == nil || b.Workers() == 0 {
+		p.AnnotatePlan("backend: local (in-process helping-join pool)")
+		return p
+	}
+	p.AnnotatePlan(fmt.Sprintf(
+		"backend: %s (%d workers); splits, reductions, seeding and output stay on the coordinator",
+		b.Name(), b.Workers()))
+	for _, name := range p.Nodes() {
+		op := p.Node(name).Op()
+		if _, ok := op.(Remotable); ok {
+			p.Annotate(name, fmt.Sprintf("tasks: remote (%s) when the shard is serializable", b.Name()))
+			continue
+		}
+		if _, ok := op.(remoteLoopOp); ok {
+			p.Annotate(name, fmt.Sprintf(
+				"loop shard tasks: remote (%s); seeding and per-iteration reduce: coordinator", b.Name()))
+		}
+	}
+	return p
+}

@@ -1,0 +1,301 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"net/rpc"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpa/internal/corpus"
+	"hpa/internal/kmeans"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// pipeBackend starts n in-process workers, each serving the worker
+// protocol over one end of a net.Pipe, and returns an RPCBackend over
+// them — real serialization and a real RPC loop, no network dependency.
+func pipeBackend(t testing.TB, n int) *RPCBackend {
+	t.Helper()
+	clients := make([]*rpc.Client, n)
+	for i := range clients {
+		coord, work := net.Pipe()
+		go ServeWorkerConn(work)
+		clients[i] = rpc.NewClient(coord)
+	}
+	b := NewRPCBackendClients(clients...)
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// diskCorpus writes a small deterministic corpus to a temp dir and opens
+// it as a FileSource — remotable shards need an on-disk identity.
+func diskCorpus(t testing.TB) *pario.FileSource {
+	t.Helper()
+	c := corpus.Generate(corpus.Mix().Scaled(0.01), nil)
+	dir := t.TempDir()
+	if err := c.WriteDir(dir, 64); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	src, err := corpus.OpenDir(dir, nil)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	return src
+}
+
+func runTFKMOn(t *testing.T, src pario.Source, shards int, backend Backend, scratch string) *TFKMReport {
+	t.Helper()
+	pool := par.NewPool(4)
+	defer pool.Close()
+	ctx := NewContext(pool)
+	ctx.ScratchDir = scratch
+	ctx.Backend = backend
+	cfg := TFKMConfig{
+		Mode:   Merged,
+		Shards: shards,
+		TFIDF:  tfidf.Options{Normalize: true},
+		KMeans: kmeans.Options{K: 8, Seed: 1},
+	}
+	rep, err := RunTFKM(src, ctx, cfg)
+	if err != nil {
+		t.Fatalf("RunTFKM(shards=%d, backend=%s): %v", shards, backend.Name(), err)
+	}
+	return rep
+}
+
+// TestCrossBackendDeterminism is the acceptance suite: the full
+// TF/IDF→K-Means plan over real worker serialization must produce
+// bit-identical scores, assignments and iteration counts to the local
+// pool, at every shard count.
+func TestCrossBackendDeterminism(t *testing.T) {
+	src := diskCorpus(t)
+	scratch := t.TempDir()
+	for _, shards := range []int{1, 4, 7} {
+		local := runTFKMOn(t, src, shards, LocalBackend{}, scratch)
+		remote := runTFKMOn(t, src, shards, pipeBackend(t, 2), scratch)
+
+		lr, rr := local.Clustering.Result, remote.Clustering.Result
+		if lr.Iterations != rr.Iterations {
+			t.Errorf("shards=%d: iterations differ: local %d, rpc %d", shards, lr.Iterations, rr.Iterations)
+		}
+		if lr.Inertia != rr.Inertia {
+			t.Errorf("shards=%d: inertia differs: local %v, rpc %v", shards, lr.Inertia, rr.Inertia)
+		}
+		if !reflect.DeepEqual(lr.Assign, rr.Assign) {
+			t.Errorf("shards=%d: assignments differ across backends", shards)
+		}
+		if !reflect.DeepEqual(lr.Counts, rr.Counts) {
+			t.Errorf("shards=%d: cluster counts differ across backends", shards)
+		}
+		if !reflect.DeepEqual(lr.Centroids, rr.Centroids) {
+			t.Errorf("shards=%d: centroids differ across backends", shards)
+		}
+
+		lt, rt := local.Clustering.TFIDF, remote.Clustering.TFIDF
+		if lt == nil || rt == nil {
+			t.Fatalf("shards=%d: merged run dropped the TF/IDF result", shards)
+		}
+		if !reflect.DeepEqual(lt.Terms, rt.Terms) || !reflect.DeepEqual(lt.DF, rt.DF) {
+			t.Errorf("shards=%d: term tables differ across backends", shards)
+		}
+		if len(lt.Vectors) != len(rt.Vectors) {
+			t.Fatalf("shards=%d: vector counts differ", shards)
+		}
+		for i := range lt.Vectors {
+			if !sparse.Equal(&lt.Vectors[i], &rt.Vectors[i]) {
+				t.Fatalf("shards=%d: TF/IDF vector %d differs across backends", shards, i)
+			}
+		}
+		if !reflect.DeepEqual(local.Clustering.DocNames, remote.Clustering.DocNames) {
+			t.Errorf("shards=%d: document names differ across backends", shards)
+		}
+	}
+}
+
+// TestAffinityReleasedAfterLoop: a finished loop must drop its session
+// pins so a long-lived backend does not grow one entry per loop shard
+// forever.
+func TestAffinityReleasedAfterLoop(t *testing.T) {
+	b := pipeBackend(t, 2)
+	src := diskCorpus(t)
+	runTFKMOn(t, src, 4, b, t.TempDir())
+	b.mu.Lock()
+	left := len(b.affinity)
+	b.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d affinity pins left after the loop finished", left)
+	}
+}
+
+// TestRPCBackendFallsBackLocally: shards of an in-memory corpus have no
+// serializable identity, so every task must quietly run on the
+// coordinator — same results, no errors.
+func TestRPCBackendFallsBackLocally(t *testing.T) {
+	c := corpus.Generate(corpus.Mix().Scaled(0.01), nil)
+	src := c.Source(nil)
+	scratch := t.TempDir()
+	local := runTFKMOn(t, src, 4, LocalBackend{}, scratch)
+	remote := runTFKMOn(t, src, 4, pipeBackend(t, 2), scratch)
+	if !reflect.DeepEqual(local.Clustering.Result.Assign, remote.Clustering.Result.Assign) {
+		t.Errorf("in-memory fallback produced different assignments")
+	}
+}
+
+// TestWorkerCrashFailsRun: a worker that dies mid-protocol must surface a
+// wrapped error from Plan.Run — never hang the join.
+func TestWorkerCrashFailsRun(t *testing.T) {
+	coord, work := net.Pipe()
+	go func() {
+		// Accept the first bytes, then die — the rudest possible worker.
+		buf := make([]byte, 16)
+		work.Read(buf)
+		work.Close()
+	}()
+	b := NewRPCBackendClients(rpc.NewClient(coord))
+	defer b.Close()
+
+	src := diskCorpus(t)
+	pool := par.NewPool(4)
+	defer pool.Close()
+	ctx := NewContext(pool)
+	ctx.ScratchDir = t.TempDir()
+	ctx.Backend = b
+	_, err := RunTFKM(src, ctx, TFKMConfig{
+		Mode:   Merged,
+		Shards: 4,
+		TFIDF:  tfidf.Options{Normalize: true},
+		KMeans: kmeans.Options{K: 8, Seed: 1},
+	})
+	if err == nil {
+		t.Fatalf("crashed worker did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "worker") {
+		t.Errorf("crash error does not name the worker: %v", err)
+	}
+}
+
+// TestUnknownKernelErrors: a version-skewed worker without the requested
+// kernel reports a clean error.
+func TestUnknownKernelErrors(t *testing.T) {
+	coord, work := net.Pipe()
+	go ServeWorkerConn(work)
+	client := rpc.NewClient(coord)
+	defer client.Close()
+	var resp RPCResponse
+	err := client.Call("Worker.Run", &RPCRequest{Op: "no.such.kernel"}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "no kernel") {
+		t.Fatalf("unknown kernel error = %v", err)
+	}
+}
+
+// gobRoundTrip encodes and re-decodes v through gob.
+func gobRoundTrip[T any](t *testing.T, v T) T {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob encode %T: %v", v, err)
+	}
+	var out T
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("gob decode %T: %v", v, err)
+	}
+	return out
+}
+
+// TestTaskDescriptorsGobRoundTrip covers the wire structs of every
+// built-in kernel.
+func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
+	count := CountTaskArgs{
+		Shard: pario.SourceSpec{Paths: []string{"/a/doc1.txt", "/a/doc2.txt"}, Lo: 4, Hi: 6},
+		Opts:  tfidf.WireOptions{DictKind: 1, MinWordLen: 2, Stem: true, Normalize: true},
+	}
+	if got := gobRoundTrip(t, count); !reflect.DeepEqual(got, count) {
+		t.Errorf("CountTaskArgs round trip: got %+v, want %+v", got, count)
+	}
+	tr := TransformTaskArgs{
+		Counts: &tfidf.WireShardCounts{
+			Lo: 1, Hi: 3,
+			Docs:     []tfidf.WireDocCounts{{Words: []string{"a", "b"}, Counts: []uint32{2, 1}}, {}},
+			DocNames: []string{"d1", "d2"},
+		},
+		Global: &tfidf.WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{2, 1}, NumDocs: 3},
+	}
+	got := gobRoundTrip(t, tr)
+	if !reflect.DeepEqual(got.Global, tr.Global) || got.Counts.Lo != tr.Counts.Lo ||
+		!reflect.DeepEqual(got.Counts.Docs[0], tr.Counts.Docs[0]) {
+		t.Errorf("TransformTaskArgs round trip mismatch")
+	}
+	km := KMAssignTaskArgs{
+		Session: "km-1-2-3",
+		Init: &KMShardInit{
+			Vectors:   []sparse.Vector{{Idx: []uint32{0, 5}, Val: []float64{1.25, -2.5}}},
+			Norms:     []float64{7.8125},
+			Dim:       6,
+			K:         2,
+			WantDists: true,
+		},
+		Centroids: [][]float64{{1, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 1}},
+		CNorms:    []float64{1, 1},
+		Assign:    []int32{-1},
+	}
+	if got := gobRoundTrip(t, km); !reflect.DeepEqual(got, km) {
+		t.Errorf("KMAssignTaskArgs round trip: got %+v, want %+v", got, km)
+	}
+}
+
+// TestSourceSpecDescribe covers the shard descriptor derivation.
+func TestSourceSpecDescribe(t *testing.T) {
+	fs := &pario.FileSource{Paths: []string{"p0", "p1", "p2", "p3", "p4", "p5"}}
+	spec, ok := pario.Describe(pario.Partition(fs, 3, 1))
+	if !ok {
+		t.Fatalf("SubSource over FileSource not describable")
+	}
+	if spec.Lo != 2 || spec.Hi != 4 || !reflect.DeepEqual(spec.Paths, []string{"p2", "p3"}) {
+		t.Errorf("shard 1/3 described as %+v", spec)
+	}
+	// Nested SubSources compose offsets.
+	outer := &pario.SubSource{Src: fs, Lo: 1, Hi: 6}
+	inner := &pario.SubSource{Src: outer, Lo: 2, Hi: 4}
+	spec, ok = pario.Describe(inner)
+	if !ok || spec.Lo != 3 || spec.Hi != 5 || !reflect.DeepEqual(spec.Paths, []string{"p3", "p4"}) {
+		t.Errorf("nested shard described as %+v (ok=%v)", spec, ok)
+	}
+	if _, ok := pario.Describe(&pario.MemSource{Docs: [][]byte{[]byte("x")}}); ok {
+		t.Errorf("MemSource claims to be describable")
+	}
+	// A disk-simulated scan must stay local: the simulator's contention
+	// state cannot ship, and an unthrottled worker read would falsify the
+	// simulated timings.
+	throttled := &pario.FileSource{Paths: []string{"p0"}, Disk: pario.HDD2016()}
+	if _, ok := pario.Describe(throttled); ok {
+		t.Errorf("disk-simulated FileSource claims to be describable")
+	}
+	if _, ok := pario.Describe(pario.Partition(throttled, 1, 0)); ok {
+		t.Errorf("shard of a disk-simulated FileSource claims to be describable")
+	}
+}
+
+// TestAnnotateBackend: Explain must say where tasks run.
+func TestAnnotateBackend(t *testing.T) {
+	src := &pario.FileSource{Paths: []string{filepath.Join("x", "d.txt")}}
+	plan := TFKMPlan(src, TFKMConfig{Mode: Merged, Shards: 4, KMeans: kmeans.Options{K: 1}})
+	AnnotateBackend(plan, pipeBackend(t, 2))
+	out := plan.Explain()
+	for _, want := range []string{"backend: rpc (2 workers)", "tasks: remote", "loop shard tasks: remote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain lacks %q:\n%s", want, out)
+		}
+	}
+	local := TFKMPlan(src, TFKMConfig{Mode: Merged})
+	AnnotateBackend(local, LocalBackend{})
+	if !strings.Contains(local.Explain(), "backend: local") {
+		t.Errorf("local Explain lacks backend note:\n%s", local.Explain())
+	}
+}

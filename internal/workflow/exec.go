@@ -197,6 +197,20 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 	running := 0
 	var firstErr error
 
+	// The execution backend decides where a dispatched task's work runs:
+	// LocalBackend (the default) executes in-process on this pool, a remote
+	// backend ships tasks that have a serializable descriptor to worker
+	// processes. Scheduling, ordering and reductions stay here either way,
+	// so results are backend-independent. Remote descriptors are skipped
+	// under a simsched Recorder — the serial trace needs every task's
+	// phases measured in-process.
+	backend := ctx.Backend
+	if backend == nil {
+		backend = LocalBackend{}
+	}
+	serial := ctx.Recorder.Enabled()
+	remoteOK := backend.Workers() > 0 && !serial
+
 	// spawn launches one partition task. What the task calls depends on the
 	// node class; every task gets a private context and breakdown and
 	// reports on the done channel.
@@ -248,46 +262,80 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			nctx.Breakdown = metrics.NewBreakdown()
 			nctx.Observe = nil
 			d.bd = nctx.Breakdown
+			// Every task routes through the backend: task.Run is the
+			// in-process path (unchanged behavior), task.Remote the
+			// serializable descriptor for shard tasks that may leave the
+			// process. Only map shards and loop shards are ever remotable;
+			// splits, reductions and loop begin/barrier/finish touch
+			// coordinator state and carry no descriptor.
+			var task Task
 			switch pi.class {
 			case classSplit:
-				d.out, d.err = n.op.(Splitter).Split(&nctx, ins, part, pi.nparts)
+				task.Run = func() (Value, error) {
+					return n.op.(Splitter).Split(&nctx, ins, part, pi.nparts)
+				}
 			case classMap:
-				d.out, d.err = n.op.(PartitionKernel).RunPartition(&nctx, ins, part, pi.nparts)
+				task.Run = func() (Value, error) {
+					return n.op.(PartitionKernel).RunPartition(&nctx, ins, part, pi.nparts)
+				}
+				if remoteOK {
+					if rm, ok := n.op.(Remotable); ok {
+						if rt, ok := rm.RemoteTask(ins, part, pi.nparts); ok {
+							task.Remote = rt
+						}
+					}
+				}
 			case classStream:
-				d.out, d.err = n.op.(StreamReducer).FinishReduce(&nctx, rstate)
+				task.Run = func() (Value, error) {
+					return n.op.(StreamReducer).FinishReduce(&nctx, rstate)
+				}
 			case classLoop:
 				switch t.kind {
 				case taskLoopBegin:
-					state, err := n.op.(IterativeOp).BeginLoop(&nctx, ins, pi.nparts)
-					if err == nil && state == nil {
-						err = fmt.Errorf("nil loop state")
+					task.Run = func() (Value, error) {
+						state, err := n.op.(IterativeOp).BeginLoop(&nctx, ins, pi.nparts)
+						if err == nil && state == nil {
+							err = fmt.Errorf("nil loop state")
+						}
+						return state, err
 					}
-					d.out, d.err = state, err
 				case taskLoopShard:
-					d.out, d.err = lstate.RunShard(&nctx, part, pi.nparts)
+					task.Run = func() (Value, error) {
+						return lstate.RunShard(&nctx, part, pi.nparts)
+					}
+					if remoteOK {
+						if rl, ok := lstate.(RemotableLoop); ok {
+							if rt, ok := rl.RemoteShardTask(part, pi.nparts); ok {
+								task.Remote = rt
+							}
+						}
+					}
 				case taskLoopEnd:
-					d.out, d.err = lstate.EndIteration(&nctx, lparts)
+					task.Run = func() (Value, error) {
+						return lstate.EndIteration(&nctx, lparts)
+					}
 				case taskLoopFinish:
-					d.out, d.err = lstate.Finish(&nctx)
+					task.Run = func() (Value, error) { return lstate.Finish(&nctx) }
 				}
 			default:
-				if mo, ok := n.op.(MultiOperator); ok && len(ins) > 1 {
-					d.out, d.err = mo.RunAll(&nctx, ins)
-				} else {
+				task.Run = func() (Value, error) {
+					if mo, ok := n.op.(MultiOperator); ok && len(ins) > 1 {
+						return mo.RunAll(&nctx, ins)
+					}
 					var single Value
 					if len(ins) > 0 {
 						single = ins[0]
 					}
-					d.out, d.err = n.op.Run(&nctx, single)
+					return n.op.Run(&nctx, single)
 				}
 			}
+			d.out, d.err = backend.RunTask(&nctx, &task)
 			if d.err != nil {
 				d.err = fmt.Errorf("workflow: operator %s: %w", n.op.Name(), d.err)
 			}
 		})
 	}
 
-	serial := ctx.Recorder.Enabled()
 	var ready []taskRef // tasks whose inputs are complete, awaiting dispatch
 	dispatch := func() {
 		for len(ready) > 0 && firstErr == nil && !(serial && running > 0) {

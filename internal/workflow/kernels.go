@@ -1,0 +1,268 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpa/internal/kmeans"
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// This file holds the built-in worker kernels — the serializable forms of
+// the shard tasks that can leave the coordinator process — and the
+// Remotable implementations of the operators that produce them:
+//
+//   - tfidf.count: a corpus shard described by pario.SourceSpec in, the
+//     shard's term counts (tfidf.WireShardCounts, DF included) back;
+//   - tfidf.transform: a shard's counts plus the global term table in,
+//     the shard's score vectors (*tfidf.VectorShard) back;
+//   - kmeans.assign: one loop shard's assignment iteration — centroids and
+//     previous assignments in, the shard's kmeans.Accum (wire form) and
+//     new assignments back. The shard's documents ship once, on the first
+//     iteration, and are cached in a worker-side session that backend
+//     affinity keeps on one worker.
+//
+// Kernels run the same functions the local path runs (tfidf.CountShard,
+// tfidf.TransformShard, kmeans.AssignRange), so remote results are
+// bit-identical to local ones by construction; the wire forms only ever
+// flatten dictionaries and accumulators, never recompute scores.
+
+func init() {
+	RegisterKernel("tfidf.count", kernel("tfidf.count", runCountKernel))
+	RegisterKernel("tfidf.transform", kernel("tfidf.transform", runTransformKernel))
+	RegisterKernel("kmeans.assign", kernel("kmeans.assign", runKMAssignKernel))
+}
+
+// workerPool is the worker process's compute pool, shared by every kernel
+// invocation (kernels may serve several shards concurrently).
+var workerPool = sync.OnceValue(func() *par.Pool { return par.NewPool(runtime.GOMAXPROCS(0)) })
+
+// CountTaskArgs are the tfidf.count kernel arguments.
+type CountTaskArgs struct {
+	// Shard describes the corpus shard (paths + global [Lo, Hi) range).
+	Shard pario.SourceSpec
+	// Opts is the serializable option subset of the TF/IDF operator.
+	Opts tfidf.WireOptions
+}
+
+// runCountKernel executes phase 1 over the described shard on the worker.
+func runCountKernel(a *CountTaskArgs) (*tfidf.WireShardCounts, error) {
+	opts := a.Opts.Options()
+	readers := workerPool().Workers()
+	sc, err := tfidf.CountShard(a.Shard.Open(nil), readers, opts)
+	if err != nil {
+		return nil, err
+	}
+	// CountShard derives [Lo, Hi) from SubSources; a spec-opened shard is a
+	// plain FileSource, so restore the global range from the descriptor.
+	sc.Lo, sc.Hi = a.Shard.Lo, a.Shard.Hi
+	return sc.Wire(true), nil
+}
+
+// TransformTaskArgs are the tfidf.transform kernel arguments.
+type TransformTaskArgs struct {
+	// Counts is the shard's phase-1 output, DF omitted (the global merge
+	// consumed it).
+	Counts *tfidf.WireShardCounts
+	// Global is the merged term table.
+	Global *tfidf.WireGlobal
+	// Opts is the serializable option subset.
+	Opts tfidf.WireOptions
+}
+
+// runTransformKernel executes phase 2 over one shard on the worker.
+func runTransformKernel(a *TransformTaskArgs) (*tfidf.VectorShard, error) {
+	opts := a.Opts.Options()
+	sc := a.Counts.ShardCounts(opts)
+	g := a.Global.Global(opts.DictKind)
+	return tfidf.TransformShard(g, sc, workerPool(), opts), nil
+}
+
+// KMShardInit carries a loop shard's per-loop constants, shipped once on
+// the shard's first iteration and cached in the worker session.
+type KMShardInit struct {
+	// Vectors and Norms are the shard's documents and their squared norms.
+	Vectors []sparse.Vector
+	Norms   []float64
+	// Dim is the dense dimensionality, K the cluster count.
+	Dim, K int
+	// WantDists makes the worker track and return per-document distances
+	// (the coordinator's ReseedFarthest policy needs them).
+	WantDists bool
+}
+
+// KMAssignTaskArgs are the kmeans.assign kernel arguments — one shard's
+// assignment iteration.
+type KMAssignTaskArgs struct {
+	// Session identifies the shard's worker-side session (loop + shard).
+	Session string
+	// Init is present on the shard's first iteration only.
+	Init *KMShardInit
+	// Centroids and CNorms are the current iteration's centroids.
+	Centroids [][]float64
+	CNorms    []float64
+	// Assign holds the shard's previous assignments (shard-local indexing),
+	// so the moved count stays exact whether or not the session survived.
+	Assign []int32
+}
+
+// KMAssignReply is the kmeans.assign kernel reply: exactly the state the
+// coordinator's ordered per-iteration reduce needs.
+type KMAssignReply struct {
+	// Accum is the shard's accumulator set in wire form.
+	Accum *kmeans.AccumWire
+	// Assign holds the shard's new assignments.
+	Assign []int32
+	// Dists holds per-document distances when the init requested them.
+	Dists []float64
+}
+
+// kmSession is a worker-side loop shard: the cached documents plus the
+// recycled accumulator, reused across the loop's iterations.
+type kmSession struct {
+	mu      sync.Mutex
+	docs    []sparse.Vector
+	norms   []float64
+	k       int
+	acc     *kmeans.Accum
+	dists   []float64
+	lastUse time.Time
+}
+
+// kmSessionTTL bounds how long an idle loop-shard session survives on a
+// worker; sessions are evicted lazily on the next kernel call, so a
+// long-running worker does not accumulate state from finished loops.
+const kmSessionTTL = 10 * time.Minute
+
+var kmSessions = struct {
+	sync.Mutex
+	m map[string]*kmSession
+}{m: make(map[string]*kmSession)}
+
+// kmSessionFor returns (creating if init allows) the session for one loop
+// shard, evicting expired sessions on the way.
+func kmSessionFor(id string, init *KMShardInit) (*kmSession, error) {
+	now := time.Now()
+	kmSessions.Lock()
+	defer kmSessions.Unlock()
+	for key, s := range kmSessions.m {
+		if key != id && now.Sub(s.lastUse) > kmSessionTTL {
+			delete(kmSessions.m, key)
+		}
+	}
+	s := kmSessions.m[id]
+	if s == nil {
+		if init == nil {
+			return nil, fmt.Errorf("loop shard session %q lost (worker restarted mid-loop?)", id)
+		}
+		s = &kmSession{
+			docs:  init.Vectors,
+			norms: init.Norms,
+			k:     init.K,
+			acc:   kmeans.NewAccumFor(init.K, init.Dim),
+		}
+		if init.WantDists {
+			s.dists = make([]float64, len(init.Vectors))
+		}
+		kmSessions.m[id] = s
+	}
+	s.lastUse = now
+	return s, nil
+}
+
+// runKMAssignKernel executes one loop shard's assignment iteration on the
+// worker: the same kmeans.AssignRange the coordinator would run, over the
+// session's cached documents.
+func runKMAssignKernel(a *KMAssignTaskArgs) (*KMAssignReply, error) {
+	s, err := kmSessionFor(a.Session, a.Init)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.docs)
+	if len(a.Assign) != n {
+		return nil, fmt.Errorf("loop shard %q: %d previous assignments for %d documents", a.Session, len(a.Assign), n)
+	}
+	if len(a.Centroids) != s.k || len(a.CNorms) != s.k {
+		return nil, fmt.Errorf("loop shard %q: %d centroids for k=%d", a.Session, len(a.Centroids), s.k)
+	}
+	s.acc.Reset()
+	kmeans.AssignRange(0, n, s.k, s.docs, s.norms, a.Centroids, a.CNorms, a.Assign, s.dists, s.acc)
+	return &KMAssignReply{Accum: s.acc.Wire(), Assign: a.Assign, Dists: s.dists}, nil
+}
+
+// decodeReply gob-decodes a kernel reply body on the coordinator.
+func decodeReply[R any](body []byte) (*R, error) {
+	var r R
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("workflow: decode kernel reply: %w", err)
+	}
+	return &r, nil
+}
+
+// RemoteTask implements Remotable: a tf-map shard ships when the corpus
+// shard has an on-disk identity and the options serialize.
+func (o *TFMapOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
+	src, ok := ins[0].(pario.Source)
+	if !ok {
+		return nil, false
+	}
+	spec, ok := pario.Describe(src)
+	if !ok {
+		return nil, false
+	}
+	wopts, ok := o.Opts.Wire()
+	if !ok {
+		return nil, false
+	}
+	opts := o.Opts
+	return &RemoteTask{
+		Op:    "tfidf.count",
+		Args:  CountTaskArgs{Shard: *spec, Opts: wopts},
+		Phase: tfidf.PhaseInputWC,
+		Absorb: func(body []byte) (Value, error) {
+			w, err := decodeReply[tfidf.WireShardCounts](body)
+			if err != nil {
+				return nil, err
+			}
+			return w.ShardCounts(opts), nil
+		},
+	}, true
+}
+
+// RemoteTask implements Remotable: a transform shard ships its counts and
+// the global table; the score vectors come back as a ready VectorShard.
+func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
+	sc, ok := ins[0].(*tfidf.ShardCounts)
+	if !ok {
+		return nil, false
+	}
+	g, ok := ins[1].(*tfidf.Global)
+	if !ok {
+		return nil, false
+	}
+	wopts, ok := o.Opts.Wire()
+	if !ok {
+		return nil, false
+	}
+	return &RemoteTask{
+		Op:    "tfidf.transform",
+		Args:  TransformTaskArgs{Counts: sc.Wire(false), Global: g.Wire(), Opts: wopts},
+		Phase: tfidf.PhaseTransform,
+		Absorb: func(body []byte) (Value, error) {
+			vs, err := decodeReply[tfidf.VectorShard](body)
+			if err != nil {
+				return nil, err
+			}
+			return vs, nil
+		},
+	}, true
+}

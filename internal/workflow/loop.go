@@ -2,9 +2,11 @@ package workflow
 
 import (
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hpa/internal/kmeans"
 	"hpa/internal/pario"
@@ -74,7 +76,9 @@ var kmResultType = reflect.TypeOf((*kmeans.Result)(nil))
 // kmeans.Accum) and one reduction task (kmeans.EndIteration merging the
 // shard accumulators in shard-index order and updating centroids), so the
 // clustering decision sequence — seeding, assignment tie-breaks,
-// convergence — is exactly the bulk Clusterer's.
+// convergence — is exactly the bulk Clusterer's. Shard ranges are weighted
+// by per-document nonzero counts (pario.WeightedBoundaries), balancing the
+// O(nnz × k) assignment work per shard; boundaries never affect results.
 //
 // Port 0 accepts the dataset in any of its shapes: the gathered vector
 // shards of the partitioned TF/IDF transform (*Partitions of
@@ -98,6 +102,10 @@ type KMAssignOp struct {
 
 // Name implements Operator.
 func (o *KMAssignOp) Name() string { return "km-assign" }
+
+// loopShardsRemotable marks the operator's loop states as RemotableLoop
+// for backend placement annotations.
+func (o *KMAssignOp) loopShardsRemotable() {}
 
 // Inputs implements TypedOperator. The port is dynamically typed: it
 // accepts gathered *Partitions of vector shards as well as the monolithic
@@ -123,13 +131,27 @@ func (o *KMAssignOp) LoopShards() int {
 }
 
 // kmLoopState is the K-Means loop state: the clusterer plus one recycled
-// accumulator set per shard.
+// accumulator set per shard, the nonzero-weighted shard boundaries, and
+// the bookkeeping remote shard sessions need.
 type kmLoopState struct {
 	c       *kmeans.Clusterer
 	n       int
+	dim     int
+	bounds  []int // shard boundaries over [0, n], nnz-weighted
 	accs    []*kmeans.Accum
 	ordered []*kmeans.Accum // scratch for the ordered reduce
+
+	// Remote-shard bookkeeping: the documents and norms to ship on a
+	// shard's first remote iteration, a loop-unique session prefix, and
+	// which shards already initialized their worker session.
+	docs    []sparse.Vector
+	norms   []float64
+	loopID  uint64
+	shipped []bool
 }
+
+// kmLoopSeq makes loop session prefixes process-unique.
+var kmLoopSeq atomic.Uint64
 
 // kmInput unpacks the assignment input into documents, dimensionality and
 // (when precomputed) per-document norms.
@@ -166,8 +188,15 @@ func kmInput(in Value) (docs []sparse.Vector, dim int, norms []float64, err erro
 	}
 }
 
-// BeginLoop implements IterativeOp: seeding and per-shard accumulator
-// allocation. Everything allocated here is recycled across iterations.
+// BeginLoop implements IterativeOp: seeding, per-shard accumulator
+// allocation, and the shard boundaries — weighted by per-document nonzero
+// counts (pario.WeightedBoundaries over each vector's NNZ), so every
+// shard carries close to equal assignment work (the kernel is O(nnz × k)
+// per document) instead of an equal document count. Boundaries are a pure
+// function of the vectors and the shard count, and per-document
+// assignment is position-independent, so results are bit-identical to the
+// count-balanced split. Everything allocated here is recycled across
+// iterations.
 func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState, error) {
 	docs, dim, norms, err := kmInput(ins[0])
 	if err != nil {
@@ -188,11 +217,21 @@ func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState
 	if err != nil {
 		return nil, err
 	}
+	weights := make([]int64, len(docs))
+	for i := range docs {
+		weights[i] = int64(docs[i].NNZ())
+	}
 	st := &kmLoopState{
 		c:       c,
 		n:       len(docs),
+		dim:     dim,
+		bounds:  pario.WeightedBoundaries(weights, shards),
 		accs:    make([]*kmeans.Accum, shards),
 		ordered: make([]*kmeans.Accum, 0, shards),
+		docs:    docs,
+		norms:   c.DocNorms(),
+		loopID:  kmLoopSeq.Add(1),
+		shipped: make([]bool, shards),
 	}
 	for q := range st.accs {
 		st.accs[q] = c.NewAccum()
@@ -206,10 +245,67 @@ func (s *kmLoopState) RunShard(ctx *Context, idx, total int) (any, error) {
 	a := s.accs[idx]
 	a.Reset()
 	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
-		lo, hi := pario.PartitionRange(s.n, total, idx)
-		s.c.AssignShard(lo, hi, a)
+		s.c.AssignShard(s.bounds[idx], s.bounds[idx+1], a)
 	})
 	return a, nil
+}
+
+// RemoteShardTask implements RemotableLoop: one iteration of one shard as
+// a kmeans.assign kernel call. The shard's documents and norms ship once
+// (Init) and stay cached in a worker session the affinity key pins; every
+// iteration ships the current centroids and the shard's previous
+// assignments, and absorbs the worker's accumulator wire form into the
+// shard's recycled Accum — the same partial the local path would produce,
+// bit for bit, because the worker runs the same kmeans.AssignRange over
+// the same documents.
+// sessionKey names one shard's worker-side session, unique per process
+// and loop.
+func (s *kmLoopState) sessionKey(idx int) string {
+	return fmt.Sprintf("km-%d-%d-%d", os.Getpid(), s.loopID, idx)
+}
+
+func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
+	lo, hi := s.bounds[idx], s.bounds[idx+1]
+	session := s.sessionKey(idx)
+	args := KMAssignTaskArgs{
+		Session:   session,
+		Centroids: s.c.Centroids(),
+		CNorms:    s.c.CentroidNorms(),
+		Assign:    s.c.Assignments()[lo:hi],
+	}
+	if !s.shipped[idx] {
+		args.Init = &KMShardInit{
+			Vectors:   s.docs[lo:hi],
+			Norms:     s.norms[lo:hi],
+			Dim:       s.dim,
+			K:         s.c.K(),
+			WantDists: s.c.TracksDists(),
+		}
+	}
+	acc := s.accs[idx]
+	return &RemoteTask{
+		Op:       "kmeans.assign",
+		Args:     args,
+		Affinity: session,
+		Phase:    kmeans.PhaseKMeans,
+		Absorb: func(body []byte) (Value, error) {
+			rep, err := decodeReply[KMAssignReply](body)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Accum == nil || len(rep.Assign) != hi-lo {
+				return nil, fmt.Errorf("%w: kmeans.assign reply for shard %d is malformed", ErrType, idx)
+			}
+			if err := acc.FromWire(rep.Accum); err != nil {
+				return nil, err
+			}
+			if err := s.c.ApplyShardAssignments(lo, rep.Assign, rep.Dists); err != nil {
+				return nil, err
+			}
+			s.shipped[idx] = true
+			return acc, nil
+		},
+	}, true
 }
 
 // EndIteration implements LoopState: the ordered reduce. The executor
@@ -231,8 +327,17 @@ func (s *kmLoopState) EndIteration(ctx *Context, partials []any) (bool, error) {
 	return s.c.Done(), nil
 }
 
-// Finish implements LoopState.
+// Finish implements LoopState. The loop's affinity pins are released so a
+// long-lived backend does not accumulate dead session keys; the worker
+// sessions themselves expire by TTL.
 func (s *kmLoopState) Finish(ctx *Context) (Value, error) {
+	if ar, ok := ctx.Backend.(affinityReleaser); ok {
+		keys := make([]string, len(s.shipped))
+		for idx := range keys {
+			keys[idx] = s.sessionKey(idx)
+		}
+		ar.ReleaseAffinity(keys...)
+	}
 	var res *kmeans.Result
 	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
 		res = s.c.Finalize()

@@ -1,0 +1,271 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// This file implements the RPC execution backend and its worker side: a
+// net/rpc + gob protocol carrying (kernel name, gob args) requests to
+// worker processes and gob replies back. A worker is this same binary in
+// worker mode (cmd/hpa-workflow -worker) serving the kernel registry; the
+// coordinator's RPCBackend ships every task that has a RemoteTask
+// descriptor and runs everything else in-process. Workers are stateless
+// except for the loop-shard session cache (kernels.go), which affinity
+// routing keeps on one worker per shard.
+
+// KernelFunc executes one registered worker kernel: gob-encoded arguments
+// in, gob-encoded reply out.
+type KernelFunc func(args []byte) ([]byte, error)
+
+var (
+	kernelMu sync.RWMutex
+	kernels  = make(map[string]KernelFunc)
+)
+
+// RegisterKernel adds a kernel to the worker registry under the given op
+// name — the name RemoteTask.Op resolves against on the worker. The
+// built-in kernels (tfidf.count, tfidf.transform, kmeans.assign) register
+// themselves; registering a taken name panics, like http.Handle.
+func RegisterKernel(name string, fn KernelFunc) {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if _, dup := kernels[name]; dup {
+		panic(fmt.Sprintf("workflow: kernel %q registered twice", name))
+	}
+	kernels[name] = fn
+}
+
+// kernel adapts a typed worker function to a KernelFunc: gob-decode the
+// args, run, gob-encode the reply.
+func kernel[A, R any](name string, fn func(a *A) (*R, error)) KernelFunc {
+	return func(body []byte) ([]byte, error) {
+		var a A
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
+			return nil, fmt.Errorf("workflow: kernel %s: decode args: %w", name, err)
+		}
+		r, err := fn(&a)
+		if err != nil {
+			return nil, fmt.Errorf("workflow: kernel %s: %w", name, err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+			return nil, fmt.Errorf("workflow: kernel %s: encode reply: %w", name, err)
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+// RPCRequest is one task shipped to a worker.
+type RPCRequest struct {
+	// Op is the kernel name in the registry.
+	Op string
+	// Body is the gob-encoded kernel argument.
+	Body []byte
+}
+
+// RPCResponse is a worker's reply.
+type RPCResponse struct {
+	// Body is the gob-encoded kernel result.
+	Body []byte
+}
+
+// Worker is the net/rpc service a worker process exposes.
+type Worker struct{}
+
+// Run executes one registered kernel. Kernel errors return as RPC errors,
+// which the coordinator wraps with worker identity.
+func (Worker) Run(req *RPCRequest, resp *RPCResponse) error {
+	kernelMu.RLock()
+	fn := kernels[req.Op]
+	kernelMu.RUnlock()
+	if fn == nil {
+		return fmt.Errorf("workflow: worker has no kernel %q (version mismatch?)", req.Op)
+	}
+	body, err := fn(req.Body)
+	if err != nil {
+		return err
+	}
+	resp.Body = body
+	return nil
+}
+
+// newWorkerServer returns an rpc.Server serving the Worker service (a
+// fresh instance per listener, so tests can serve several workers in one
+// process).
+func newWorkerServer() *rpc.Server {
+	s := rpc.NewServer()
+	if err := s.RegisterName("Worker", Worker{}); err != nil {
+		panic(err) // static registration; cannot fail
+	}
+	return s
+}
+
+// ServeWorkerConn serves the worker protocol on one connection until it
+// closes — the in-process form (net.Pipe) the tests and the calibration
+// use.
+func ServeWorkerConn(conn io.ReadWriteCloser) {
+	newWorkerServer().ServeConn(conn)
+}
+
+// ServeWorker accepts connections on lis and serves each until it closes.
+// It returns the first Accept error (closing the listener shuts the worker
+// down).
+func ServeWorker(lis net.Listener) error {
+	s := newWorkerServer()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ListenAndServeWorker runs a worker on the given TCP address (the
+// cmd/hpa-workflow -worker mode). ready, when non-nil, receives the bound
+// address once listening — how a parent process spawning workers on ":0"
+// learns the chosen ports.
+func ListenAndServeWorker(addr string, ready chan<- string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("workflow: worker listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- lis.Addr().String()
+	}
+	return ServeWorker(lis)
+}
+
+// RPCBackend ships remotable shard tasks to worker processes over net/rpc
+// and runs everything else in-process. Tasks without an affinity key are
+// spread round-robin; tasks sharing one stick to the worker that first
+// received the key. A failed worker call fails the task (and with it the
+// plan run) with a wrapped error — there is no silent retry, because a
+// retried loop shard could observe different session state and break the
+// bit-identical contract.
+type RPCBackend struct {
+	clients []*rpc.Client
+	labels  []string
+
+	mu       sync.Mutex
+	affinity map[string]int
+	next     int
+}
+
+// NewRPCBackend dials the given worker addresses (TCP) and returns a
+// backend over them. All workers must be reachable; on error, already
+// dialed connections are closed.
+func NewRPCBackend(addrs []string) (*RPCBackend, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("workflow: rpc backend needs at least one worker address")
+	}
+	b := &RPCBackend{affinity: make(map[string]int)}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("workflow: dial worker %s: %w", addr, err)
+		}
+		b.clients = append(b.clients, c)
+		b.labels = append(b.labels, addr)
+	}
+	return b, nil
+}
+
+// NewRPCBackendClients wraps already-established rpc clients (e.g. over
+// net.Pipe with ServeWorkerConn on the other end) — the in-process form
+// used by tests and benchmarks.
+func NewRPCBackendClients(clients ...*rpc.Client) *RPCBackend {
+	b := &RPCBackend{clients: clients, affinity: make(map[string]int)}
+	for i := range clients {
+		b.labels = append(b.labels, fmt.Sprintf("client%d", i))
+	}
+	return b
+}
+
+// Close closes the worker connections.
+func (b *RPCBackend) Close() error {
+	var first error
+	for _, c := range b.clients {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Name implements Backend.
+func (b *RPCBackend) Name() string { return "rpc" }
+
+// Workers implements Backend.
+func (b *RPCBackend) Workers() int { return len(b.clients) }
+
+// pick selects the worker for an affinity key ("" = plain round-robin).
+func (b *RPCBackend) pick(key string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if key != "" {
+		if i, ok := b.affinity[key]; ok {
+			return i
+		}
+	}
+	i := b.next % len(b.clients)
+	b.next++
+	if key != "" {
+		b.affinity[key] = i
+	}
+	return i
+}
+
+// ReleaseAffinity drops affinity pins, so a long-lived backend serving
+// many plan runs does not accumulate one map entry per finished loop
+// shard (session keys are loop-unique and can never be picked again).
+// Loop states release their keys when the loop finishes.
+func (b *RPCBackend) ReleaseAffinity(keys ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range keys {
+		delete(b.affinity, k)
+	}
+}
+
+// RunTask implements Backend: tasks with a remote descriptor ship to a
+// worker; the rest run in-process. The shipped task's wall-clock time
+// (encode + RPC + decode + absorb) is accounted to the descriptor's phase
+// key, so breakdowns keep their meaning.
+func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
+	rt := t.Remote
+	if rt == nil {
+		return t.Run()
+	}
+	call := func() (Value, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rt.Args); err != nil {
+			return nil, fmt.Errorf("workflow: rpc backend: encode %s args: %w", rt.Op, err)
+		}
+		i := b.pick(rt.Affinity)
+		var resp RPCResponse
+		if err := b.clients[i].Call("Worker.Run", &RPCRequest{Op: rt.Op, Body: buf.Bytes()}, &resp); err != nil {
+			return nil, fmt.Errorf("workflow: rpc backend: worker %s: task %s: %w", b.labels[i], rt.Op, err)
+		}
+		return rt.Absorb(resp.Body)
+	}
+	if rt.Phase == "" || ctx == nil || ctx.Breakdown == nil {
+		return call()
+	}
+	var out Value
+	err := ctx.Breakdown.TimeSpanErr(rt.Phase, func() error {
+		var cerr error
+		out, cerr = call()
+		return cerr
+	})
+	return out, err
+}

@@ -63,6 +63,31 @@
 // unpartitioned plan at any shard count (asserted by the determinism
 // tests, for every dictionary kind and both empty-cluster policies).
 //
+// # Execution backends
+//
+// Where the executor's (node, shard) tasks physically run is pluggable
+// (Backend, Context.Backend): LocalBackend — the default — executes every
+// task in-process on the pool, and RPCBackend ships tasks that have a
+// serializable descriptor to worker processes over net/rpc + gob (a
+// worker is this engine's kernel registry served by ServeWorker; see
+// cmd/hpa-workflow -worker). The scheduler never moves: dependency
+// tracking, shard ordering and every reduction stay on the coordinator,
+// and remote kernels run the same shard functions the local path runs
+// (tfidf.CountShard, tfidf.TransformShard, kmeans.AssignRange), so
+// results are bit-identical across backends at any shard count.
+//
+// Remotable tasks are the TF/IDF count and transform shards — their
+// corpus shards travel as pario.SourceSpec path descriptors, their
+// dictionaries as flattened (word, count) wire forms — and the K-Means
+// assignment loop's per-iteration shard tasks, whose documents ship once
+// into a worker-side session (pinned to one worker by backend affinity)
+// and whose per-iteration traffic is centroids out, kmeans.Accum wire
+// forms and assignments back. Splits, the DF tree-merge, the streaming
+// gather, the per-iteration barrier, K-Means seeding and output always
+// run on the coordinator; tasks whose inputs cannot be described
+// (in-memory sources, disk-simulated sources, stopword-bearing options)
+// quietly fall back to the local path.
+//
 // Fusion is a graph rewrite: a plan containing an explicit materialize/load
 // operator pair around an edge is rewritten by FuseRule into one without
 // them. Running the original plan and the fused plan therefore measures
@@ -115,7 +140,15 @@ type Context struct {
 	// Ctx, when non-nil, cancels the run cooperatively: nodes not yet
 	// started are abandoned once the context is done, and
 	// cancellation-aware operators (TF/IDF input) abort mid-phase.
+	// Cancellation does not propagate into tasks already shipped to remote
+	// workers; the run stops once their in-flight replies drain.
 	Ctx context.Context
+	// Backend selects where shard tasks execute: nil (or LocalBackend)
+	// runs everything in-process on Pool; an RPCBackend ships serializable
+	// shard tasks to worker processes. Results are bit-identical across
+	// backends — scheduling, reductions and all merge ordering stay on the
+	// coordinator.
+	Backend Backend
 }
 
 // NewContext returns a context with an empty breakdown.
