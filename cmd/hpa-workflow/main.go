@@ -32,11 +32,18 @@
 // re-calibration), samples the corpus, and chooses the dictionary kind,
 // the fusion decision and the shard count by estimated cost.
 //
-// Precedence of -optimize vs. the manual flags: -optimize overrides -dict
-// and -mode (the optimizer picks the dictionary per operator and decides
-// fusion itself); an explicit -shards N (N >= 1, or -1 for bulk) still
-// pins the shard count, and only -shards 0 (auto) lets the model choose
-// it.
+// Precedence of -optimize vs. the manual flags: a flag left at its
+// default cedes the decision to the optimizer; a flag set explicitly on
+// the command line pins it. Concretely, -optimize alone picks the
+// dictionary kind per operator and decides fusion itself; an explicit
+// -dict pins the dictionary kind for every operator, an explicit -mode
+// pins the fusion decision (merged pins fused, discrete pins the
+// materialized ARFF hand-off), and an explicit -shards N (N >= 1, or -1
+// for bulk) pins the shard count. Only flags at their defaults are
+// optimized; pinned decisions are annotated in -explain output as
+// "pinned by explicit override". Passing a flag explicitly at its
+// default value (e.g. -dict map-arena) also pins — explicitness, not the
+// value, is what's detected.
 //
 // -worker ADDR turns the binary into a task worker: it listens on ADDR
 // (e.g. ":7070", or ":0" to pick a free port — the bound address is
@@ -105,11 +112,15 @@ func main() {
 		diskSim  = flag.String("disksim", "off", "storage model: off or hdd")
 		sweep    = flag.String("sweep", "", "comma-separated thread counts for a Figure 3-style sweep")
 		explain  = flag.Bool("explain", false, "print the validated plan DAG and exit")
-		optimize = flag.Bool("optimize", false, "derive dict kind, fusion and shard count from a calibrated cost model (overrides -dict and -mode; explicit -shards still pins)")
+		optimize = flag.Bool("optimize", false, "derive dict kind, fusion and shard count from a calibrated cost model (explicitly-set -dict/-mode/-shards pin the corresponding decision)")
 		worker   = flag.String("worker", "", "run as a task worker listening on this address (e.g. :7070; :0 picks a port) instead of running a workflow")
 		workers  = flag.String("workers", "", "comma-separated worker addresses to ship shard tasks to (started with -worker)")
 	)
 	flag.Parse()
+	// Explicitly-set flags pin optimizer decisions (see the precedence
+	// paragraph in the package doc).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *worker != "" {
 		ready := make(chan string, 1)
 		errc := make(chan error, 1)
@@ -235,9 +246,19 @@ func main() {
 		if workerCount > 0 {
 			profile = optimizer.RPCProfile(workerCount, model)
 		}
+		opts := optimizer.Options{Procs: procs, Shards: pin, Backend: profile}
+		if explicit["dict"] {
+			opts.Dict = optimizer.PinDict(kind)
+		}
+		if explicit["mode"] {
+			if wmode == workflow.Merged {
+				opts.Fusion = optimizer.FusionFuse
+			} else {
+				opts.Fusion = optimizer.FusionMaterialize
+			}
+		}
 		plan := workflow.TFKMPlan(src, base)
-		return plan.Apply(optimizer.Rule(stats, model,
-			optimizer.Options{Procs: procs, Shards: pin, Backend: profile})), nil
+		return plan.Apply(optimizer.Rule(stats, model, opts)), nil
 	}
 
 	if *explain {

@@ -100,7 +100,36 @@
 // OptimizerOptions.Shards set instead: plan.Apply(hpa.OptimizeRule(stats,
 // model, hpa.OptimizerOptions{Shards: 8})). Optimized plans produce
 // bit-identical results to unoptimized ones — every decision is
-// result-invariant.
+// result-invariant. Individual decisions pin the same way: OptimizerOptions
+// .Dict (via PinDictKind) forces the dictionary kind for every operator and
+// .Fusion (FusionFuse / FusionMaterialize) forces the fusion decision, each
+// annotated in Explain output as "pinned by explicit override".
+//
+// # Serving
+//
+// Beyond batch runs, the library serves resident analytics: one long-lived
+// process holds the execution environment, publishes workflow outputs as
+// named, versioned in-memory indexes, and answers top-k similarity queries
+// against them without re-reading the corpus. The pieces:
+//
+//   - WorkflowEnv splits the resident half of a workflow context (pool,
+//     storage model, scratch space, backend) from per-run state; NewRun
+//     mints a private context per request so concurrent runs never share
+//     mutable state.
+//   - Planner packages the cost model with cached per-corpus statistics,
+//     so repeated submissions over the same corpus skip the sampling
+//     pre-pass.
+//   - NewQueryVocab freezes a TF/IDF result's term table and IDF weights
+//     into an immutable query-side vocabulary; QueryVectorizer turns query
+//     text into a vector bit-identical to what the corpus run would have
+//     produced for the same text.
+//   - IndexRegistry stores named, versioned IndexArtifact values with
+//     atomic publish and lock-free reads: queries in flight keep the
+//     version they loaded while a new one swaps in.
+//   - NewServer wires these behind HTTP (see cmd/hpa-serve): plan
+//     submission with bounded, per-tenant fair admission (shed with 429 +
+//     Retry-After past budget) and a hot top-k query path whose answers
+//     are bit-identical to the batch simsearch path.
 //
 // The subpackages under internal/ implement the pieces; this package is the
 // supported surface.
@@ -114,6 +143,7 @@ import (
 	"hpa/internal/optimizer"
 	"hpa/internal/par"
 	"hpa/internal/pario"
+	"hpa/internal/serve"
 	"hpa/internal/simsearch"
 	"hpa/internal/sparse"
 	"hpa/internal/text"
@@ -549,3 +579,86 @@ func NewSearcher(ix *SearchIndex) *Searcher { return simsearch.NewSearcher(ix) }
 func BruteForceTopK(vectors []Vector, query *Vector, k int) []Match {
 	return simsearch.BruteForceTopK(vectors, query, k)
 }
+
+// Serving surface (see the Serving section of the package doc and
+// cmd/hpa-serve).
+type (
+	// QueryVocab is an immutable query-side vocabulary frozen from a
+	// TF/IDF result: term IDs, document frequencies and the tokenizer
+	// configuration, everything needed to vectorize query text exactly as
+	// the corpus run did.
+	QueryVocab = tfidf.QueryVocab
+	// QueryVectorizer turns query text into a sparse vector through a
+	// QueryVocab. One per goroutine; scratch is reused across calls.
+	QueryVectorizer = tfidf.QueryVectorizer
+	// WorkflowEnv is the resident half of a workflow context: pool, disk
+	// model, scratch space and backend, shared across runs. NewRun mints
+	// the per-run WorkflowContext.
+	WorkflowEnv = workflow.Env
+	// Planner packages a cost model with cached per-corpus statistics for
+	// repeated optimized plan construction.
+	Planner = optimizer.Planner
+	// FusionPin pins the optimizer's fusion decision (FusionAuto lets the
+	// cost model choose).
+	FusionPin = optimizer.FusionPin
+	// ServeConfig configures an analytics Server.
+	ServeConfig = serve.Config
+	// Server is the resident multi-tenant analytics service; mount
+	// Server.Handler on any http.Server.
+	Server = serve.Server
+	// IndexRegistry stores named, versioned resident index artifacts with
+	// atomic publish and lock-free reads.
+	IndexRegistry = serve.Registry
+	// IndexArtifact is one published, immutable resident index version.
+	IndexArtifact = serve.IndexArtifact
+	// ServePlanRequest / ServePlanResponse are the wire forms of plan
+	// submission; ServeQueryRequest / ServeQueryResponse of the top-k
+	// query path.
+	ServePlanRequest   = serve.PlanRequest
+	ServePlanResponse  = serve.PlanResponse
+	ServeQueryRequest  = serve.QueryRequest
+	ServeQueryResponse = serve.QueryResponse
+	// ServeIndexInfo describes one registry entry on the wire.
+	ServeIndexInfo = serve.IndexInfo
+	// ServeOverloadError is returned when admission sheds a request; its
+	// RetryAfter estimates when capacity frees up.
+	ServeOverloadError = serve.OverloadError
+)
+
+// Fusion pins for OptimizerOptions.Fusion.
+const (
+	FusionAuto        = optimizer.FusionAuto
+	FusionFuse        = optimizer.FusionFuse
+	FusionMaterialize = optimizer.FusionMaterialize
+)
+
+// PinDictKind returns a dictionary-kind pin for OptimizerOptions.Dict: the
+// optimizer applies k to every operator instead of choosing by cost.
+func PinDictKind(k DictKind) *DictKind { return optimizer.PinDict(k) }
+
+// NewQueryVocab freezes a TF/IDF result into an immutable query-side
+// vocabulary. opts must be the options the result was produced with (the
+// tokenizer configuration is replicated; the dictionary kind is irrelevant
+// at query time).
+func NewQueryVocab(r *TFIDFResult, opts TFIDFOptions) (*QueryVocab, error) {
+	return tfidf.NewQueryVocab(r, opts)
+}
+
+// NewWorkflowEnv returns a resident execution environment over the pool;
+// set Disk, ScratchDir and Backend as needed, then mint per-run contexts
+// with Env.NewRun.
+func NewWorkflowEnv(pool *Pool) *WorkflowEnv { return workflow.NewEnv(pool) }
+
+// NewPlanner returns a planner over a calibrated cost model. StatsFor
+// caches per-corpus statistics; PlanTFKM builds optimized plans reusing
+// both residents.
+func NewPlanner(m *CostModel, opts OptimizerOptions) *Planner {
+	return optimizer.NewPlanner(m, opts)
+}
+
+// NewIndexRegistry returns an empty resident index registry.
+func NewIndexRegistry() *IndexRegistry { return serve.NewRegistry() }
+
+// NewServer wires a resident analytics service from the config; serve its
+// Handler with net/http. See cmd/hpa-serve for the curl walkthrough.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }

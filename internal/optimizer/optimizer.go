@@ -90,6 +90,35 @@ func (b BackendProfile) String() string {
 	return fmt.Sprintf("rpc×%d (+%s ship/task)", b.Workers, fmtNS(b.ShipNS))
 }
 
+// FusionPin pins the optimizer's fusion decision.
+type FusionPin int
+
+const (
+	// FusionAuto lets the memory-budget model decide (the default).
+	FusionAuto FusionPin = iota
+	// FusionFuse forces every materialize/load boundary fused, regardless
+	// of the estimated resident size.
+	FusionFuse
+	// FusionMaterialize keeps every materialize/load pair, paying the ARFF
+	// round trip.
+	FusionMaterialize
+)
+
+// String labels the pin in annotations and flag errors.
+func (f FusionPin) String() string {
+	switch f {
+	case FusionFuse:
+		return "fuse"
+	case FusionMaterialize:
+		return "materialize"
+	default:
+		return "auto"
+	}
+}
+
+// PinDict returns a dictionary-kind pin for Options.Dict.
+func PinDict(k dict.Kind) *dict.Kind { return &k }
+
 // Options tunes the optimization pass.
 type Options struct {
 	// Procs is the worker parallelism the plan will run under (0 selects
@@ -99,6 +128,13 @@ type Options struct {
 	// (an explicit user override), < 0 forces the bulk-synchronous plan,
 	// 0 lets the cost model choose.
 	Shards int
+	// Dict pins the dictionary kind for every dictionary-bearing operator
+	// (nil lets the cost model choose; see PinDict). The pass still
+	// annotates the decision, marked as pinned.
+	Dict *dict.Kind
+	// Fusion pins the fusion decision at every materialize/load boundary;
+	// the zero value lets the memory-budget model decide.
+	Fusion FusionPin
 	// MemoryBudget bounds the fusion decision's in-memory intermediate
 	// (0 selects DefaultMemoryBudget).
 	MemoryBudget int64
@@ -279,6 +315,11 @@ func (r *rule) wordCountBestKind() (dict.Kind, string) {
 func (r *rule) chooseDicts(p *workflow.Plan) *workflow.Plan {
 	tfKind, tfNote := r.tfidfBestKind()
 	wcKind, wcNote := r.wordCountBestKind()
+	if r.opts.Dict != nil {
+		tfKind, wcKind = *r.opts.Dict, *r.opts.Dict
+		note := fmt.Sprintf("dict=%s (pinned by explicit override)", tfKind)
+		tfNote, wcNote = note, note
+	}
 	repl := make(map[string]workflow.Operator)
 	notes := make(map[string]string)
 	setTF := func(name string, opts *tfidf.Options, op workflow.Operator, note bool) {
@@ -373,6 +414,15 @@ func (r *rule) chooseFusion(p *workflow.Plan) *workflow.Plan {
 		}
 	}
 	if !hasPair {
+		return p
+	}
+	switch r.opts.Fusion {
+	case FusionFuse:
+		next := p.Apply(workflow.FuseRule())
+		next.AnnotatePlan("fusion: fused (pinned by explicit override)")
+		return next
+	case FusionMaterialize:
+		p.AnnotatePlan("fusion: kept materialized (pinned by explicit override)")
 		return p
 	}
 	bytes := r.arffBytes()

@@ -1,0 +1,94 @@
+package optimizer
+
+import (
+	"sync"
+
+	"hpa/internal/pario"
+	"hpa/internal/workflow"
+)
+
+// Planner is the resident, request-independent half of plan optimization:
+// the calibrated cost model, the default optimizer options, and a cache of
+// per-corpus input statistics — everything that is reusable across
+// requests and used to be rebuilt per run. A long-lived server constructs
+// one Planner at boot (calibrating or loading the cached model once) and
+// builds an optimized plan per admitted request; a batch process can keep
+// calling Collect/Rule directly.
+//
+// Statistics are cached under a caller-chosen key (typically the corpus
+// path): sampling reads ~256 documents, which is noise for one batch run
+// but a hot-path tax when thousands of requests target the same resident
+// corpus. Invalidate evicts a key after the underlying corpus changes.
+//
+// Planner is safe for concurrent use.
+type Planner struct {
+	model *CostModel
+	opts  Options
+
+	mu    sync.Mutex
+	stats map[string]*Stats
+}
+
+// NewPlanner returns a planner over a calibrated model and the default
+// options applied to every plan it builds.
+func NewPlanner(model *CostModel, opts Options) *Planner {
+	return &Planner{model: model, opts: opts, stats: make(map[string]*Stats)}
+}
+
+// Model returns the planner's cost model.
+func (p *Planner) Model() *CostModel { return p.model }
+
+// Options returns the planner's default optimizer options.
+func (p *Planner) Options() Options { return p.opts }
+
+// StatsFor returns the input statistics cached under key, sampling src on
+// the first request. Concurrent first requests for the same key may both
+// sample; one result wins the cache — statistics are deterministic for a
+// fixed source, so either is correct.
+func (p *Planner) StatsFor(key string, src pario.Source) (*Stats, error) {
+	p.mu.Lock()
+	st, ok := p.stats[key]
+	p.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	st, err := Collect(src, 0)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if prev, ok := p.stats[key]; ok {
+		st = prev
+	} else {
+		p.stats[key] = st
+	}
+	p.mu.Unlock()
+	return st, nil
+}
+
+// Invalidate evicts the statistics cached under key (after the corpus
+// behind it changed).
+func (p *Planner) Invalidate(key string) {
+	p.mu.Lock()
+	delete(p.stats, key)
+	p.mu.Unlock()
+}
+
+// PlanTFKM builds the optimized TF/IDF→K-Means plan for src under the
+// planner's default options. The config's Mode and Shards are reset before
+// optimization — the cost model owns the fusion and sharding decisions;
+// pin them through the options (Shards, Dict, Fusion) instead.
+func (p *Planner) PlanTFKM(src pario.Source, cfg workflow.TFKMConfig, st *Stats) *workflow.Plan {
+	return p.PlanTFKMWith(src, cfg, st, p.opts)
+}
+
+// PlanTFKMWith is PlanTFKM with per-request option overrides (for example
+// a request-pinned shard count or dictionary kind) layered over the same
+// resident model and statistics.
+func (p *Planner) PlanTFKMWith(src pario.Source, cfg workflow.TFKMConfig, st *Stats, opts Options) *workflow.Plan {
+	base := cfg
+	base.Mode = workflow.Discrete
+	base.Shards = 0
+	base.Backend = nil
+	return workflow.TFKMPlan(src, base).Apply(Rule(st, p.model, opts))
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OverloadError is returned when a request is shed: the queue is past its
+// budget and accepting more work would only grow latency unboundedly.
+// RetryAfter estimates when capacity should free up, from the recent mean
+// run time and the current backlog.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded, retry after %s", e.RetryAfter)
+}
+
+// AdmissionStats is a snapshot of the controller's counters.
+type AdmissionStats struct {
+	Running   int   `json:"running"`
+	Queued    int   `json:"queued"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+}
+
+// Admission is the plan scheduler of the server: a bounded queue of
+// concurrent plans sharing one pool and backend. At most maxRunning plans
+// execute at once; up to maxQueued more wait, dequeued round-robin across
+// tenants so one tenant's backlog cannot starve another; past that budget
+// requests are shed immediately with an OverloadError instead of queueing
+// without bound.
+type Admission struct {
+	maxRunning int
+	maxQueued  int
+
+	mu      sync.Mutex
+	running int
+	queued  int
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with waiters, in round-robin order
+	cursor  int
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	// meanRunNS is an EWMA of completed run durations, for Retry-After.
+	meanRunNS atomic.Int64
+}
+
+type tenantQueue struct {
+	name    string
+	waiters []*waiter
+}
+
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// NewAdmission returns a controller admitting maxRunning concurrent plans
+// with a queue budget of maxQueued (both at least 1).
+func NewAdmission(maxRunning, maxQueued int) *Admission {
+	if maxRunning < 1 {
+		maxRunning = 1
+	}
+	if maxQueued < 1 {
+		maxQueued = 1
+	}
+	return &Admission{
+		maxRunning: maxRunning,
+		maxQueued:  maxQueued,
+		tenants:    make(map[string]*tenantQueue),
+	}
+}
+
+// Acquire admits one plan for tenant, blocking in the fair queue when all
+// slots are busy. It returns a release function the caller must invoke
+// when the plan finishes, or an *OverloadError when the queue budget is
+// exhausted (the request is shed without waiting), or ctx's error when the
+// caller gave up while queued.
+func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.running < a.maxRunning && a.queued == 0 {
+		a.running++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	}
+	if a.queued >= a.maxQueued {
+		retry := a.retryAfterLocked()
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return nil, &OverloadError{RetryAfter: retry}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	tq := a.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: tenant}
+		a.tenants[tenant] = tq
+	}
+	if len(tq.waiters) == 0 {
+		a.ring = append(a.ring, tq)
+	}
+	tq.waiters = append(tq.waiters, w)
+	a.queued++
+	a.mu.Unlock()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-w.ready:
+		a.admitted.Add(1)
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, give it
+			// back and dispatch the next waiter.
+			a.running--
+			a.dispatchLocked()
+			a.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		a.removeWaiterLocked(tenant, w)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release closure for one admitted plan.
+func (a *Admission) releaseFunc() func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.observeRun(time.Since(start))
+			a.completed.Add(1)
+			a.mu.Lock()
+			a.running--
+			a.dispatchLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked grants free slots to queued waiters, one tenant at a time
+// in ring order: each grant advances the cursor, so tenants with backlogs
+// interleave instead of draining FIFO.
+func (a *Admission) dispatchLocked() {
+	for a.running < a.maxRunning && a.queued > 0 && len(a.ring) > 0 {
+		if a.cursor >= len(a.ring) {
+			a.cursor = 0
+		}
+		tq := a.ring[a.cursor]
+		w := tq.waiters[0]
+		tq.waiters = tq.waiters[1:]
+		a.queued--
+		if len(tq.waiters) == 0 {
+			a.ring = append(a.ring[:a.cursor], a.ring[a.cursor+1:]...)
+			// cursor now points at the next tenant already.
+		} else {
+			a.cursor++
+		}
+		a.running++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// removeWaiterLocked drops a cancelled waiter from its tenant queue.
+func (a *Admission) removeWaiterLocked(tenant string, w *waiter) {
+	tq := a.tenants[tenant]
+	if tq == nil {
+		return
+	}
+	for i, cand := range tq.waiters {
+		if cand == w {
+			tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	if len(tq.waiters) == 0 {
+		for i, cand := range a.ring {
+			if cand == tq {
+				a.ring = append(a.ring[:i], a.ring[i+1:]...)
+				if a.cursor > i {
+					a.cursor--
+				}
+				break
+			}
+		}
+	}
+}
+
+// observeRun folds one run duration into the EWMA behind Retry-After.
+func (a *Admission) observeRun(d time.Duration) {
+	const alpha = 0.25
+	prev := a.meanRunNS.Load()
+	if prev == 0 {
+		a.meanRunNS.Store(int64(d))
+		return
+	}
+	a.meanRunNS.Store(int64((1-alpha)*float64(prev) + alpha*float64(d)))
+}
+
+// retryAfterLocked estimates when a shed request could succeed: the
+// backlog ahead of it, in units of mean run time over the slot count,
+// clamped to [1s, 60s].
+func (a *Admission) retryAfterLocked() time.Duration {
+	mean := time.Duration(a.meanRunNS.Load())
+	if mean <= 0 {
+		mean = time.Second
+	}
+	est := mean * time.Duration(1+a.queued/a.maxRunning)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Stats snapshots the controller.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	running, queued := a.running, a.queued
+	a.mu.Unlock()
+	return AdmissionStats{
+		Running:   running,
+		Queued:    queued,
+		Admitted:  a.admitted.Load(),
+		Completed: a.completed.Load(),
+		Shed:      a.shed.Load(),
+	}
+}
+
+// queryGate bounds the in-flight query count on the hot path. Unlike plan
+// admission there is no queue: a query past the budget is shed immediately
+// (fail fast), because queries are short and the caller's retry is cheaper
+// than a queue's latency.
+type queryGate struct {
+	sem    chan struct{}
+	served atomic.Int64
+	shed   atomic.Int64
+}
+
+func newQueryGate(maxInflight int) *queryGate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &queryGate{sem: make(chan struct{}, maxInflight)}
+}
+
+// tryAcquire claims a query slot without blocking; the caller must invoke
+// the returned release when done.
+func (g *queryGate) tryAcquire() (release func(), ok bool) {
+	select {
+	case g.sem <- struct{}{}:
+		g.served.Add(1)
+		return func() { <-g.sem }, true
+	default:
+		g.shed.Add(1)
+		return nil, false
+	}
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := NewAdmission(2, 4)
+	rel1, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Running != 2 || st.Admitted != 2 {
+		t.Fatalf("stats after two grants: %+v", st)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	st = a.Stats()
+	if st.Running != 0 || st.Completed != 2 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+func TestAdmissionShedsPastQueueBudget(t *testing.T) {
+	a := NewAdmission(1, 1)
+	rel, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot.
+	queued := make(chan struct{})
+	go func() {
+		r, err := a.Acquire(context.Background(), "a")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		close(queued)
+		r()
+	}()
+	// Wait until the waiter is visibly queued.
+	for i := 0; ; i++ {
+		if a.Stats().Queued == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request must be shed, not queued.
+	_, err = a.Acquire(context.Background(), "b")
+	var over *OverloadError
+	if !errors.As(err, &over) {
+		t.Fatalf("expected OverloadError, got %v", err)
+	}
+	if over.RetryAfter < time.Second || over.RetryAfter > time.Minute {
+		t.Fatalf("Retry-After out of clamp: %v", over.RetryAfter)
+	}
+	if a.Stats().Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", a.Stats().Shed)
+	}
+	rel()
+	<-queued
+}
+
+// TestAdmissionFairRoundRobin: with one slot, tenant A's backlog must not
+// starve tenant B — after B arrives, grants alternate between tenants
+// instead of draining A first.
+func TestAdmissionFairRoundRobin(t *testing.T) {
+	a := NewAdmission(1, 16)
+	rel, err := a.Acquire(context.Background(), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string) {
+		before := a.Stats().Queued
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background(), tenant)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			r()
+		}()
+		// Wait until this waiter is queued so arrival order is fixed.
+		for i := 0; a.Stats().Queued <= before; i++ {
+			if i > 1000 {
+				t.Fatalf("waiter for %s never queued", tenant)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// A floods first, then B submits one.
+	enqueue("A")
+	enqueue("A")
+	enqueue("A")
+	enqueue("B")
+	rel() // start draining
+	wg.Wait()
+
+	// B queued behind three A's but must be granted by the second slot
+	// (round-robin across tenants), not last.
+	pos := -1
+	for i, tenant := range order {
+		if tenant == "B" {
+			pos = i
+		}
+	}
+	if pos == -1 || pos > 1 {
+		t.Fatalf("tenant B granted at position %d of %v; round-robin should interleave it", pos, order)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	rel, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, "a")
+		done <- err
+	}()
+	for i := 0; a.Stats().Queued < 1; i++ {
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	if st := a.Stats(); st.Queued != 0 {
+		t.Fatalf("cancelled waiter left queue state: %+v", st)
+	}
+	rel()
+	// The slot freed by release must be grantable again.
+	rel2, err := a.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// TestAdmissionConcurrentChurn hammers the controller from many tenants
+// under -race: every admitted request must eventually complete and the
+// final state must be empty.
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := NewAdmission(3, 8)
+	tenants := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := a.Acquire(context.Background(), tenants[(g+i)%len(tenants)])
+				if err != nil {
+					var over *OverloadError
+					if !errors.As(err, &over) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("controller not drained: %+v", st)
+	}
+	if st.Admitted != st.Completed {
+		t.Fatalf("admitted %d != completed %d", st.Admitted, st.Completed)
+	}
+}
+
+func TestQueryGateShedsBeyondBudget(t *testing.T) {
+	g := newQueryGate(2)
+	r1, ok := g.tryAcquire()
+	if !ok {
+		t.Fatal("first acquire failed")
+	}
+	r2, ok := g.tryAcquire()
+	if !ok {
+		t.Fatal("second acquire failed")
+	}
+	if _, ok := g.tryAcquire(); ok {
+		t.Fatal("third acquire succeeded past the budget")
+	}
+	if g.shed.Load() != 1 {
+		t.Fatalf("shed = %d, want 1", g.shed.Load())
+	}
+	r1()
+	if _, ok := g.tryAcquire(); !ok {
+		t.Fatal("acquire after release failed")
+	}
+	r2()
+}

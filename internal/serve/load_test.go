@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLoad is the service's load proof, sized to run in -short CI:
+// one published index, N concurrent clients issuing a query mix, all
+// admitted answers bit-identical to the single-threaded reference, a p99
+// latency budget on the hot path, and a version republish landing mid-load
+// without a single inconsistent answer.
+func TestServeLoad(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInflightQueries: 64})
+
+	// Publish v1 over HTTP (the same path production uses).
+	resp, raw := ts.postJSON(t, "/v1/plans", PlanRequest{
+		Corpus: "abstracts", K: 4, Seed: 7, Publish: "abstracts",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("publish plan: %d %s", resp.StatusCode, raw)
+	}
+
+	queries := []string{
+		"the analysis of data and methods",
+		"new results for the study",
+		"a model of large systems",
+		"research on the development of theory",
+	}
+	// Reference answers per (version, query), via the artifact path
+	// directly — the same kernels the HTTP path uses. References for a new
+	// version are computed lazily under a lock the first time any client
+	// sees it, because a republished version becomes visible to clients
+	// the instant the registry swaps.
+	type key struct {
+		version uint64
+		query   string
+	}
+	computeRef := func(a *IndexArtifact, q string) []QueryMatch {
+		matches := a.TopK([]byte(q), 5)
+		out := make([]QueryMatch, len(matches))
+		for i, m := range matches {
+			out[i] = QueryMatch{Doc: m.Doc, Name: a.DocNames[m.Doc], Score: m.Score}
+			if a.Clusters != nil {
+				out[i].Cluster = a.Clusters.Assign[m.Doc]
+			}
+		}
+		return out
+	}
+	var refMu sync.Mutex
+	refs := map[key][]QueryMatch{}
+	getRef := func(version uint64, q string) ([]QueryMatch, error) {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if r, ok := refs[key{version, q}]; ok {
+			return r, nil
+		}
+		a, ok := ts.srv.Registry().Get("abstracts")
+		if !ok || a.Version != version {
+			return nil, fmt.Errorf("no reference for version %d", version)
+		}
+		r := computeRef(a, q)
+		refs[key{version, q}] = r
+		return r, nil
+	}
+	art1, _ := ts.srv.Registry().Get("abstracts")
+	for _, q := range queries {
+		refs[key{art1.Version, q}] = computeRef(art1, q)
+	}
+
+	clients := 8
+	perClient := 60
+	if testing.Short() {
+		clients, perClient = 4, 30
+	}
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			client := &http.Client{}
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				body, _ := json.Marshal(QueryRequest{Text: q, K: 5})
+				t0 := time.Now()
+				resp, err := client.Post(ts.http.URL+"/v1/indexes/abstracts/query",
+					"application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query %q: status %d", q, resp.StatusCode)
+					return
+				}
+				ref, err := getRef(qr.Version, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(qr.Matches, ref) {
+					errs <- fmt.Errorf("version %d query %q diverged:\n got %v\nwant %v",
+						qr.Version, q, qr.Matches, ref)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	close(start)
+	// Mid-load: republish the index through the plan path. Every in-flight
+	// query must answer consistently for whichever version it loaded.
+	resp, raw = ts.postJSON(t, "/v1/plans", PlanRequest{
+		Corpus: "abstracts", K: 4, Seed: 11, Publish: "abstracts",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("republish plan: %d %s", resp.StatusCode, raw)
+	}
+	art2, _ := ts.srv.Registry().Get("abstracts")
+	if art2.Version != 2 {
+		t.Fatalf("republish produced version %d, want 2", art2.Version)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// With a generous gate nothing on the hot path may shed.
+	if shed := ts.srv.gate.shed.Load(); shed != 0 {
+		t.Fatalf("hot path shed %d queries under budgeted load", shed)
+	}
+
+	// p99 latency budget. The bar is generous (in-process HTTP on shared
+	// CI hardware) — it exists to catch lock contention on the hot path,
+	// not to benchmark.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if budget := 500 * time.Millisecond; p99 > budget {
+		t.Fatalf("p99 query latency %v exceeds budget %v (median %v)",
+			p99, budget, latencies[len(latencies)/2])
+	}
+	t.Logf("load: %d queries, p50=%v p99=%v, shed=0",
+		len(latencies), latencies[len(latencies)/2], p99)
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpa/internal/kmeans"
+	"hpa/internal/simsearch"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// IndexArtifact is one published, immutable resident index version: the
+// inverted similarity index over a corpus's TF/IDF vectors, the query-side
+// vocabulary that vectorizes incoming text against the same term IDs and
+// IDF weights, and optionally the clustering model trained alongside.
+// Everything inside is read-only after Publish; any number of queries may
+// use an artifact concurrently, and an artifact stays valid after a newer
+// version replaces it in the registry — in-flight queries finish on the
+// version they started on.
+type IndexArtifact struct {
+	// Name is the registry key; Version counts publishes under that name
+	// from 1.
+	Name    string
+	Version uint64
+	// Vocab vectorizes query text against the resident term table.
+	Vocab *tfidf.QueryVocab
+	// Index answers top-k cosine queries over the corpus vectors.
+	Index *simsearch.Index
+	// Clusters optionally carries the K-Means model of the same run, so
+	// query hits can report their cluster.
+	Clusters *kmeans.Result
+	// DocNames maps document index to name.
+	DocNames []string
+	// BuiltAt stamps the publish.
+	BuiltAt time.Time
+
+	// scratch recycles per-query state (vectorizer + searcher); both are
+	// bound to this artifact's immutable vocab/index, so pooled values can
+	// never observe a version change.
+	scratch sync.Pool
+}
+
+// Docs returns the indexed document count.
+func (a *IndexArtifact) Docs() int { return a.Index.NumDocs() }
+
+// Dim returns the vocabulary size.
+func (a *IndexArtifact) Dim() int { return a.Index.Dim() }
+
+// querySession is the reusable per-query scratch of one artifact.
+type querySession struct {
+	vec      *tfidf.QueryVectorizer
+	searcher *simsearch.Searcher
+	q        sparse.Vector
+}
+
+// TopK vectorizes query text through the artifact's vocabulary and returns
+// the k most similar documents. Safe for concurrent use; repeated queries
+// recycle scratch through an internal pool.
+func (a *IndexArtifact) TopK(query []byte, k int) []simsearch.Match {
+	s, _ := a.scratch.Get().(*querySession)
+	if s == nil {
+		s = &querySession{vec: a.Vocab.NewVectorizer(), searcher: simsearch.NewSearcher(a.Index)}
+	}
+	s.vec.Vectorize(query, &s.q)
+	out := s.searcher.TopK(&s.q, k)
+	a.scratch.Put(s)
+	return out
+}
+
+// Registry is the named, versioned store of resident index artifacts.
+// Reads are lock-free: Get and List load an immutable map snapshot through
+// an atomic pointer, so the query hot path never contends with publishes —
+// the registry analogue of oidadb's RW conjugation (reads see a stable
+// loaded state, writes swap in atomically and never block readers).
+// Publishes are serialized among themselves by a mutex and install a
+// copy-on-write map; an in-flight query keeps whatever artifact pointer it
+// loaded, so a swap never blocks or corrupts it.
+type Registry struct {
+	mu      sync.Mutex // serializes publishers only
+	entries atomic.Pointer[map[string]*IndexArtifact]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	m := make(map[string]*IndexArtifact)
+	r.entries.Store(&m)
+	return r
+}
+
+// Get returns the current artifact published under name. Lock-free.
+func (r *Registry) Get(name string) (*IndexArtifact, bool) {
+	a, ok := (*r.entries.Load())[name]
+	return a, ok
+}
+
+// List returns the current artifacts sorted by name. Lock-free.
+func (r *Registry) List() []*IndexArtifact {
+	m := *r.entries.Load()
+	out := make([]*IndexArtifact, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of published names.
+func (r *Registry) Len() int { return len(*r.entries.Load()) }
+
+// Publish installs art as the current version of art.Name, assigning the
+// next version number and the build timestamp, and returns it. The swap is
+// atomic: queries either see the previous version or the new one, never a
+// partial state.
+func (r *Registry) Publish(art *IndexArtifact) (*IndexArtifact, error) {
+	if art == nil || art.Name == "" {
+		return nil, fmt.Errorf("serve: artifact needs a name")
+	}
+	if art.Vocab == nil || art.Index == nil {
+		return nil, fmt.Errorf("serve: artifact %q needs a vocabulary and an index", art.Name)
+	}
+	if art.Vocab.NumDocs() != art.Index.NumDocs() {
+		return nil, fmt.Errorf("serve: artifact %q: vocabulary covers %d documents, index %d",
+			art.Name, art.Vocab.NumDocs(), art.Index.NumDocs())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.entries.Load()
+	art.Version = 1
+	if prev, ok := old[art.Name]; ok {
+		art.Version = prev.Version + 1
+	}
+	if art.BuiltAt.IsZero() {
+		art.BuiltAt = time.Now()
+	}
+	next := make(map[string]*IndexArtifact, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[art.Name] = art
+	r.entries.Store(&next)
+	return art, nil
+}
+
+// Drop removes name from the registry. In-flight queries holding the
+// artifact finish normally.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.entries.Load()
+	if _, ok := old[name]; !ok {
+		return false
+	}
+	next := make(map[string]*IndexArtifact, len(old))
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.entries.Store(&next)
+	return true
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hpa/internal/corpus"
+	"hpa/internal/metrics"
+	"hpa/internal/par"
+	"hpa/internal/simsearch"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+func servePool(t *testing.T) *par.Pool {
+	t.Helper()
+	p := par.NewPool(2)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// buildArtifact runs the batch TF/IDF pipeline over a generated corpus and
+// packages the result as a publishable artifact. seedScale perturbs the
+// corpus so distinct versions are distinguishable.
+func buildArtifact(t *testing.T, pool *par.Pool, name string, scale float64) (*IndexArtifact, *tfidf.Result) {
+	t.Helper()
+	c := corpus.Generate(corpus.Mix().Scaled(scale), nil)
+	opts := tfidf.Options{Normalize: true}
+	res, err := tfidf.Run(c.Source(nil), pool, opts, metrics.NewBreakdown())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab, err := tfidf.NewQueryVocab(res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := simsearch.Build(res.Vectors, res.Dim(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &IndexArtifact{Name: name, Vocab: vocab, Index: ix, DocNames: res.DocNames}, res
+}
+
+func TestRegistryPublishVersionsAndGet(t *testing.T) {
+	pool := servePool(t)
+	reg := NewRegistry()
+	if _, ok := reg.Get("abstracts"); ok {
+		t.Fatal("empty registry returned an artifact")
+	}
+	a1, _ := buildArtifact(t, pool, "abstracts", 0.002)
+	pub, err := reg.Publish(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Version != 1 || pub.BuiltAt.IsZero() {
+		t.Fatalf("first publish: version=%d builtAt=%v", pub.Version, pub.BuiltAt)
+	}
+	a2, _ := buildArtifact(t, pool, "abstracts", 0.003)
+	if _, err := reg.Publish(a2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Get("abstracts")
+	if !ok || got != a2 || got.Version != 2 {
+		t.Fatalf("Get after republish: ok=%v version=%d", ok, got.Version)
+	}
+	if n := reg.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (republish must not add a name)", n)
+	}
+	if !reg.Drop("abstracts") {
+		t.Fatal("Drop returned false for a published name")
+	}
+	if _, ok := reg.Get("abstracts"); ok {
+		t.Fatal("Get found a dropped artifact")
+	}
+	if reg.Drop("abstracts") {
+		t.Fatal("Drop returned true for an absent name")
+	}
+}
+
+func TestRegistryPublishValidation(t *testing.T) {
+	pool := servePool(t)
+	reg := NewRegistry()
+	if _, err := reg.Publish(nil); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+	if _, err := reg.Publish(&IndexArtifact{Name: "x"}); err == nil {
+		t.Fatal("artifact without vocab/index accepted")
+	}
+	art, _ := buildArtifact(t, pool, "", 0.002)
+	if _, err := reg.Publish(art); err == nil {
+		t.Fatal("unnamed artifact accepted")
+	}
+}
+
+// TestRegistrySwapDuringInflightQueries publishes new versions while
+// queries run: under -race this proves the lock-free read path, and each
+// query must come back internally consistent (results valid for whichever
+// version it loaded).
+func TestRegistrySwapDuringInflightQueries(t *testing.T) {
+	pool := servePool(t)
+	reg := NewRegistry()
+	v1, _ := buildArtifact(t, pool, "live", 0.002)
+	v2, _ := buildArtifact(t, pool, "live", 0.004)
+	if _, err := reg.Publish(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference answers per version, via the same artifact query path.
+	// (Computed up front; the map is read-only while the queriers run.)
+	query := []byte("the study of new methods and data")
+	wantByVersion := map[uint64][]simsearch.Match{
+		1: v1.TopK(query, 5),
+		2: v2.TopK(query, 5),
+	}
+
+	const queriers = 8
+	const perQuerier = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, queriers)
+	start := make(chan struct{})
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perQuerier; i++ {
+				art, ok := reg.Get("live")
+				if !ok {
+					errs <- fmt.Errorf("artifact vanished mid-flight")
+					return
+				}
+				got := art.TopK(query, 5)
+				want := wantByVersion[art.Version]
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("version %d query diverged: got %v want %v", art.Version, got, want)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	// Swap versions while the queriers run.
+	if _, err := reg.Publish(v2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestArtifactTopKMatchesBruteForce: the pooled artifact query path must be
+// bit-identical to brute force over the raw vectors — the served contract.
+func TestArtifactTopKMatchesBruteForce(t *testing.T) {
+	pool := servePool(t)
+	art, res := buildArtifact(t, pool, "ref", 0.002)
+	queries := []string{
+		"the study of new methods and data",
+		"results of the analysis",
+		"zzz-unknown-term only",
+		"",
+	}
+	vec := art.Vocab.NewVectorizer()
+	for _, q := range queries {
+		got := art.TopK([]byte(q), 7)
+		var qv sparse.Vector
+		vec.Vectorize([]byte(q), &qv)
+		want := simsearch.BruteForceTopK(res.Vectors, &qv, 7)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %q: artifact path %v, brute force %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package simsearch
+
+import (
+	"reflect"
+	"testing"
+
+	"hpa/internal/par"
+	"hpa/internal/sparse"
+)
+
+// tieCollection builds a collection with exact score ties: identical
+// vectors produce bitwise-equal cosine scores, so ordering within a tie
+// group is decided purely by the tie-break rule. Two groups are
+// interleaved by doc index — group A (score tier 1) on even docs, group B
+// (a strictly higher tier) on odd docs — so "lower doc ID first" is
+// distinguishable from insertion order.
+func tieCollection(n int) []sparse.Vector {
+	var a, b sparse.Vector
+	a.Append(0, 1.0)
+	a.Append(1, 1.0)
+	b.Append(0, 1.0)
+	docs := make([]sparse.Vector, n)
+	for i := range docs {
+		src := &a
+		if i%2 == 1 {
+			src = &b
+		}
+		var v sparse.Vector
+		for j, idx := range src.Idx {
+			v.Append(idx, src.Val[j])
+		}
+		docs[i] = v
+	}
+	return docs
+}
+
+// TestTopKTieBreakDeterministic is the served-path determinism contract:
+// matches with bitwise-equal scores are ordered by ascending doc ID, the
+// indexed path agrees exactly (DeepEqual, not tolerance) with
+// BruteForceTopK, and a k boundary cutting through a tie group keeps the
+// lowest doc IDs of that group.
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	const n = 20
+	docs := tieCollection(n)
+	var q sparse.Vector
+	q.Append(0, 1.0)
+
+	pool := par.NewPool(2)
+	defer pool.Close()
+	ix, err := Build(docs, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(ix)
+
+	for _, k := range []int{1, 3, n / 2, n/2 + 3, n, n + 5} {
+		got := s.TopK(&q, k)
+		want := BruteForceTopK(docs, &q, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: indexed path diverged from brute force\n got %v\nwant %v", k, got, want)
+		}
+		// Equal scores must be ordered by ascending doc ID.
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Score == got[i].Score && got[i-1].Doc >= got[i].Doc {
+				t.Fatalf("k=%d: tie at score %v ordered %d before %d", k, got[i].Score, got[i-1].Doc, got[i].Doc)
+			}
+			if got[i-1].Score < got[i].Score {
+				t.Fatalf("k=%d: scores not descending at %d", k, i)
+			}
+		}
+		// Repeated queries on the same searcher are bit-identical.
+		if again := s.TopK(&q, k); !reflect.DeepEqual(got, again) {
+			t.Fatalf("k=%d: repeated query diverged", k)
+		}
+	}
+
+	// The odd docs (group B, aligned with the query) outrank the even docs
+	// (group A); a k cutting through group B must keep its lowest doc IDs.
+	got := s.TopK(&q, 3)
+	for i, wantDoc := range []int{1, 3, 5} {
+		if got[i].Doc != wantDoc {
+			t.Fatalf("k=3: match %d is doc %d, want %d (lowest tied doc IDs first)", i, got[i].Doc, wantDoc)
+		}
+	}
+	// A k cutting into group A keeps group B whole, then group A's lowest.
+	got = s.TopK(&q, n/2+2)
+	for i := 0; i < n/2; i++ {
+		if got[i].Doc != 2*i+1 {
+			t.Fatalf("match %d is doc %d, want %d (group B first)", i, got[i].Doc, 2*i+1)
+		}
+	}
+	for i, wantDoc := range []int{0, 2} {
+		if got[n/2+i].Doc != wantDoc {
+			t.Fatalf("match %d is doc %d, want %d (group A's lowest doc IDs)", n/2+i, got[n/2+i].Doc, wantDoc)
+		}
+	}
+}
