@@ -140,6 +140,7 @@ func main() {
 	}
 
 	var backend workflow.Backend = workflow.LocalBackend{}
+	var rpcBackend *workflow.RPCBackend
 	workerCount := 0
 	if *workers != "" {
 		addrs := strings.Split(*workers, ",")
@@ -152,6 +153,7 @@ func main() {
 		}
 		defer rb.Close()
 		backend = rb
+		rpcBackend = rb
 		workerCount = rb.Workers()
 	}
 	if *shards < -1 {
@@ -347,6 +349,24 @@ func main() {
 				fmt.Fprintf(os.Stderr, "kmeans: %d iterations, mean %s per iteration (assign+reduce)\n",
 					iters, (span / time.Duration(iters)).Round(time.Microsecond))
 			}
+			if ps := rep.Clustering.Result.Prune; ps.Enabled {
+				fmt.Fprintf(os.Stderr, "kmeans pruning: skipped %d of %d document-iterations (%.1f%% of k-way scans avoided)\n",
+					ps.Skipped, ps.DocIterations, 100*ps.SkipRate())
+			}
+		}
+	}
+	// Close the optimizer feedback loop on distributed runs: report what
+	// shipping a task actually cost next to the model's calibrated loopback
+	// lower bound, so stale or unrepresentative models are visible.
+	if rpcBackend != nil {
+		if ns, samples := rpcBackend.MeasuredShipNS(); samples > 0 {
+			line := fmt.Sprintf("rpc ship: measured %s/task (EWMA over %d tasks)",
+				time.Duration(ns).Round(time.Microsecond), samples)
+			if model != nil {
+				line += fmt.Sprintf(" vs model RPCShipNS %s/task (loopback lower bound)",
+					time.Duration(model.RPCShipNS).Round(time.Microsecond))
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	fmt.Print(table.String())

@@ -272,6 +272,22 @@ func KMeans(docs []Vector, dim int, pool *Pool, opts KMeansOptions) (*KMeansResu
 	return kmeans.Run(docs, dim, pool, opts, nil)
 }
 
+// PruneMode selects whether the K-Means assignment kernel uses
+// triangle-inequality pruning (KMeansOptions.Prune). Results are
+// bit-identical with pruning on or off.
+type PruneMode = kmeans.PruneMode
+
+// Prune modes for KMeansOptions.Prune.
+const (
+	PruneAuto = kmeans.PruneAuto
+	PruneOn   = kmeans.PruneOn
+	PruneOff  = kmeans.PruneOff
+)
+
+// PruneStats reports what assignment pruning did during a clustering run
+// (KMeansResult.Prune).
+type PruneStats = kmeans.PruneStats
+
 // SimpleKMeans is the WEKA-analogue dense, single-threaded baseline.
 type SimpleKMeans = kmeans.SimpleKMeans
 

@@ -1,0 +1,269 @@
+// Package flatwire provides the primitives of the engine's flat wire
+// codecs: explicit little-endian append/consume of fixed-width scalars and
+// contiguous scalar blocks over plain []byte buffers.
+//
+// The hot task payloads (tfidf.VectorShard score vectors, kmeans.AccumWire
+// accumulator state) originally shipped through encoding/gob, whose
+// reflective walk and per-slice framing dominate encode cost and allocate
+// per field. A flat codec writes one preallocated buffer with a fixed
+// layout — magic header, scalar counts, then raw value blocks — so encoding
+// is a handful of copies and decoding is bounds-checked slicing. Every
+// codec built on this package validates structurally on decode (magic,
+// lengths, truncation, trailing bytes) and returns errors, never panics: a
+// malformed worker reply must fail the task, not the coordinator.
+//
+// Readers are sticky-error: after the first failed consume, every further
+// read returns zero values and Err() reports the first failure, so decoders
+// read the whole layout linearly and check once.
+package flatwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrMalformed reports a structurally invalid flat buffer. Decode errors
+// wrap it, so callers can test errors.Is(err, ErrMalformed).
+var ErrMalformed = errors.New("flatwire: malformed buffer")
+
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendU64 appends v little-endian.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendI64 appends v little-endian (two's complement).
+func AppendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendF64 appends v as its IEEE 754 bits, little-endian.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendU32s appends len(vs) raw little-endian values (no length prefix —
+// the codec's layout carries counts).
+func AppendU32s(b []byte, vs []uint32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// AppendI32s appends len(vs) raw little-endian values.
+func AppendI32s(b []byte, vs []int32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+// AppendI64s appends len(vs) raw little-endian values.
+func AppendI64s(b []byte, vs []int64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+// AppendF64s appends len(vs) raw IEEE 754 bit patterns.
+func AppendF64s(b []byte, vs []float64) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// AppendString appends a u32 length prefix and the bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// SizeString returns the encoded size of a length-prefixed string.
+func SizeString(s string) int { return 4 + len(s) }
+
+// Reader consumes a flat buffer linearly with a sticky error.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer for consumption.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first consume failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+	}
+}
+
+// take returns the next n bytes, or nil after recording truncation.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) || r.off+n < r.off {
+		r.fail("need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// U32 consumes one little-endian uint32.
+func (r *Reader) U32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 consumes one little-endian uint64.
+func (r *Reader) U64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// I64 consumes one little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 consumes one IEEE 754 value.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Count consumes a u32 count and validates it against the remaining bytes
+// at the given per-element width, so a corrupted count fails fast instead
+// of driving a giant allocation.
+func (r *Reader) Count(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || elemSize > 0 && n > (len(r.b)-r.off)/elemSize {
+		r.fail("count %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return 0
+	}
+	return n
+}
+
+// U32s consumes n raw values into a fresh slice (nil when n is 0).
+func (r *Reader) U32s(n int) []uint32 {
+	s := r.take(4 * n)
+	if s == nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(s[4*i:])
+	}
+	return out
+}
+
+// I32s consumes n raw values into a fresh slice (nil when n is 0).
+func (r *Reader) I32s(n int) []int32 {
+	s := r.take(4 * n)
+	if s == nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(s[4*i:]))
+	}
+	return out
+}
+
+// I64s consumes n raw values into a fresh slice (nil when n is 0).
+func (r *Reader) I64s(n int) []int64 {
+	s := r.take(8 * n)
+	if s == nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(s[8*i:]))
+	}
+	return out
+}
+
+// F64s consumes n raw values into a fresh slice (nil when n is 0).
+func (r *Reader) F64s(n int) []float64 {
+	s := r.take(8 * n)
+	if s == nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s[8*i:]))
+	}
+	return out
+}
+
+// F64sInto consumes n raw values into dst (which must have length n) —
+// the allocation-free form for preallocated block decodes.
+func (r *Reader) F64sInto(dst []float64) {
+	s := r.take(8 * len(dst))
+	if s == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(s[8*i:]))
+	}
+}
+
+// U32sInto consumes raw values into dst (which must have length n).
+func (r *Reader) U32sInto(dst []uint32) {
+	s := r.take(4 * len(dst))
+	if s == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(s[4*i:])
+	}
+}
+
+// String consumes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Count(1)
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// Magic consumes a u32 and checks it against want.
+func (r *Reader) Magic(want uint32, what string) {
+	got := r.U32()
+	if r.err == nil && got != want {
+		r.fail("%s: magic %#x, want %#x", what, got, want)
+	}
+}
+
+// Done validates that the buffer was consumed exactly: no prior error and
+// no trailing bytes.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		r.fail("%d trailing bytes", len(r.b)-r.off)
+	}
+	return r.err
+}

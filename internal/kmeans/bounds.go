@@ -1,0 +1,252 @@
+package kmeans
+
+import (
+	"math"
+
+	"hpa/internal/sparse"
+)
+
+// This file implements triangle-inequality assignment pruning
+// (Hamerly/Elkan-style per-document bounds), engineered for this engine's
+// stricter contract: results must stay bit-identical to the unpruned
+// kernel — assignments, per-iteration inertia (which feeds the Tol
+// convergence test), distances and centroids — across every shard count
+// and execution backend.
+//
+// # Why the bounds are result-invariant
+//
+// The unpruned kernel computes, for document i, the float expression
+//
+//	d_j = cnorms[j] − 2·Dot(v_i, c_j) + docNorms[i]
+//
+// for every centroid j and keeps the first minimum (ties break to the
+// lowest index). Because the per-iteration inertia history drives
+// convergence, a pruned kernel cannot skip document i entirely: it must
+// still contribute i's exact distance to its assigned centroid a. So the
+// pruned kernel always computes d_a — with the identical expression, via
+// the shared distTo helper — and only ever skips the other k−1 distance
+// computations. The skip is taken when it is provable that the full scan
+// would have kept assignment a and returned exactly d_a:
+//
+//   - Upper[i] is exact, not an estimate: it is sqrt(max(d_a, 0)) of the
+//     distance just computed this iteration.
+//   - Lower[i] conservatively under-estimates sqrt(max(d_j, 0)) for every
+//     j ≠ a. It is seeded from the second-best distance of a full scan and
+//     decays each iteration by the (padded) maximum centroid drift plus a
+//     rounding margin, per the triangle inequality: a centroid that moved
+//     by δ changes any document's distance by at most δ.
+//   - Skip iff Upper[i] < Lower[i], strictly. Then max(d_a,0) < max(d_j,0)
+//     for every j ≠ a, hence d_a < d_j in the raw (unclamped) floats the
+//     scan compares — so the scan's argmin is a even under the
+//     lowest-index tie-break (ties are impossible under strict
+//     inequality), and its bestD is the d_a already in hand.
+//
+// The rounding margin closes the gap between computed float distances and
+// the real distances the triangle inequality speaks about: every bound
+// transfer pays boundsEps — a conservative absolute bound on
+// |sqrt(max(d,0)) − true distance| derived from the operand magnitudes —
+// twice, and centroid drifts are padded by the same margin. The margin is
+// orders of magnitude above accumulated rounding error and orders of
+// magnitude below typical bound gaps, so correctness never hinges on exact
+// float behavior while skip rates stay high. When in doubt the test fails
+// and the kernel falls back to the full scan — pruning can only ever cost
+// a little speed, never a bit of the result.
+
+// PruneMode selects whether assignment pruning is active.
+type PruneMode int
+
+const (
+	// PruneAuto enables pruning when it is expected to pay (k >= 4, where
+	// a skip saves at least three of four distance computations). The
+	// optimizer may resolve Auto by price instead.
+	PruneAuto PruneMode = iota
+	// PruneOn forces pruning.
+	PruneOn
+	// PruneOff forces the plain full-scan kernel.
+	PruneOff
+)
+
+// String labels the mode in annotations and flags.
+func (m PruneMode) String() string {
+	switch m {
+	case PruneOn:
+		return "on"
+	case PruneOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// pruneAutoMinK is the cluster count at which PruneAuto turns pruning on.
+const pruneAutoMinK = 4
+
+// Active resolves the mode at cluster count k: PruneOn always, PruneOff
+// never, PruneAuto when k is large enough that a skip saves most of the
+// scan. Exported so the plan optimizer prices the same resolution the
+// clusterer will execute.
+func (m PruneMode) Active(k int) bool {
+	switch m {
+	case PruneOn:
+		return true
+	case PruneOff:
+		return false
+	default:
+		return k >= pruneAutoMinK
+	}
+}
+
+// PruneStats reports how much work pruning avoided. Rates are meaningful
+// after the first iteration: iteration 1 always scans fully (bounds do
+// not exist yet).
+type PruneStats struct {
+	// Enabled reports whether the run maintained bounds at all.
+	Enabled bool
+	// DocIterations counts document-iterations processed (documents ×
+	// iterations) while pruning was enabled.
+	DocIterations int64
+	// Skipped counts document-iterations whose k-way distance scan was
+	// skipped: only the single distance to the assigned centroid was
+	// computed.
+	Skipped int64
+}
+
+// SkipRate returns the fraction of document-iterations that skipped the
+// k-way scan (0 when pruning was off or nothing ran).
+func (s PruneStats) SkipRate() float64 {
+	if s.DocIterations == 0 {
+		return 0
+	}
+	return float64(s.Skipped) / float64(s.DocIterations)
+}
+
+// machEps is the double-precision machine epsilon (2^-52).
+const machEps = 2.220446049250313e-16
+
+// BoundsPass carries the per-document bounds state through AssignRange —
+// one instance per bounds owner (the coordinator's Clusterer, or one
+// worker-side loop-shard session), indexed exactly like the assign slice
+// it rides with (absolute document positions on the coordinator,
+// shard-local positions on a worker). A nil *BoundsPass selects the plain
+// unpruned kernel, bit for bit the pre-pruning code path.
+type BoundsPass struct {
+	// Upper holds, per document, the exact computed distance (non-squared)
+	// to the assigned centroid as of the last processed iteration.
+	Upper []float64
+	// Lower holds, per document, a conservative lower bound on the
+	// distance to every centroid other than the assigned one. Negative
+	// infinity forces a full scan.
+	Lower []float64
+	// Drift holds the padded per-centroid movement since the previous
+	// iteration (set via SetDrift each iteration).
+	Drift []float64
+
+	// maxDrift1/maxDrift2 are the largest and second-largest padded drifts
+	// and argMax the index of the largest — so a document assigned to the
+	// fastest-moving centroid decays its lower bound by the second-largest
+	// drift (the relevant maximum over j ≠ a).
+	maxDrift1, maxDrift2 float64
+	argMax               int32
+	// epsBase scales the per-document rounding margin; it folds in the
+	// dense dimensionality (the length of the float summations whose
+	// rounding the margin must dominate).
+	epsBase float64
+}
+
+// NewBoundsPass allocates bounds for n documents over the given dense
+// dimensionality. All lower bounds start at −Inf: the first iteration
+// scans fully and seeds them.
+func NewBoundsPass(n, dim int) *BoundsPass {
+	bp := &BoundsPass{
+		Upper:   make([]float64, n),
+		Lower:   make([]float64, n),
+		epsBase: boundsEpsBase(dim),
+	}
+	for i := range bp.Lower {
+		bp.Lower[i] = math.Inf(-1)
+	}
+	return bp
+}
+
+// boundsEpsBase returns the dimension-dependent factor of the rounding
+// margin: sqrt(machEps × ops) with ops a generous bound on the length of
+// any float summation in the distance expression (the dot product and the
+// norm accumulations, at most dim terms each), times a safety factor.
+func boundsEpsBase(dim int) float64 {
+	ops := float64(dim) + 1024
+	return 8 * math.Sqrt(machEps*ops)
+}
+
+// eps returns the per-document rounding margin: an upper bound on
+// |sqrt(max(d,0)) − true distance| for the computed distance expression,
+// scaled by the operand magnitudes (|sqrt a − sqrt b| ≤ sqrt|a−b|, and the
+// absolute error of the squared-distance expression is bounded by
+// ops × machEps × the magnitude of its operands).
+func (bp *BoundsPass) eps(docNormSq, cnormMax float64) float64 {
+	return bp.epsBase * math.Sqrt(docNormSq+cnormMax+1)
+}
+
+// SetDrift installs the iteration's padded per-centroid drifts and
+// precomputes the largest and second-largest — called once per iteration
+// before AssignRange, with drifts already padded by the producer
+// (Clusterer.EndIteration or the wire).
+func (bp *BoundsPass) SetDrift(drift []float64) {
+	bp.Drift = drift
+	bp.maxDrift1, bp.maxDrift2, bp.argMax = 0, 0, -1
+	for j, d := range drift {
+		if d > bp.maxDrift1 {
+			bp.maxDrift2 = bp.maxDrift1
+			bp.maxDrift1 = d
+			bp.argMax = int32(j)
+		} else if d > bp.maxDrift2 {
+			bp.maxDrift2 = d
+		}
+	}
+}
+
+// maxDriftOther returns the largest padded drift over centroids other than
+// a — the decay the triangle inequality charges document bounds under
+// assignment a.
+func (bp *BoundsPass) maxDriftOther(a int32) float64 {
+	if a == bp.argMax {
+		return bp.maxDrift2
+	}
+	return bp.maxDrift1
+}
+
+// maxCNorm returns the largest squared centroid norm — the magnitude the
+// per-document rounding margin scales with.
+func maxCNorm(cnorms []float64) float64 {
+	m := 0.0
+	for _, c := range cnorms {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// padDrift converts a computed centroid movement into its conservative
+// wire form: the computed value plus a rounding margin covering the drift
+// expression's own float error, so padded drift ≥ true drift always.
+func padDrift(drift, cnormOld, cnormNew, epsBase float64) float64 {
+	return drift + epsBase*math.Sqrt(cnormOld+cnormNew+1)
+}
+
+// distDrift returns the Euclidean distance between two dense centroid
+// vectors — the per-centroid drift the bounds decay by.
+func distDrift(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// distTo is the distance expression of the assignment kernel, shared by
+// the full scan and the pruned path so both produce bitwise-identical
+// floats for the same (document, centroid) pair.
+func distTo(v *sparse.Vector, centroid []float64, cnorm, docNorm float64) float64 {
+	return cnorm - 2*sparse.DotDense(v, centroid) + docNorm
+}

@@ -1,0 +1,72 @@
+package kmeans
+
+import (
+	"testing"
+
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+)
+
+// BenchmarkAssignPruned measures what triangle-inequality pruning buys on
+// the assignment kernel: a full clustering loop through the deterministic
+// sharded path (the workflow engine's execution shape) with bounds off and
+// on, over separated blobs (the favorable case — most documents skip after
+// the first iterations) and overlapping sparse vectors (the adversarial
+// case — bound gaps are narrow, skips rarer). The pruned runs report their
+// skip rate as a metric. Results are bit-identical either way (the
+// TestPruneBitIdentical contract), so any ns/op gap is pure kernel savings
+// minus bounds upkeep. Run with
+//
+//	go test ./internal/kmeans -run '^$' -bench AssignPruned -benchtime 5x
+//
+// and record the output as BENCH_pruned.json.
+func BenchmarkAssignPruned(b *testing.B) {
+	blobDocs, _ := blobs(2000, 8, 32, 7)
+	datasets := []struct {
+		name string
+		docs []sparse.Vector
+		dim  int
+		opts Options
+	}{
+		{"blobs-k8", blobDocs, 32, Options{K: 8, Seed: 3, MaxIter: 30}},
+		{"sparse-k16", sparseMix(1500, 64, 11), 64, Options{K: 16, Seed: 1, MaxIter: 30}},
+	}
+	const shards = 4
+	for _, ds := range datasets {
+		for _, mode := range []PruneMode{PruneOff, PruneOn} {
+			b.Run(ds.name+"/prune="+mode.String(), func(b *testing.B) {
+				pool := par.NewPool(1)
+				defer pool.Close()
+				opts := ds.opts
+				opts.Prune = mode
+				var stats PruneStats
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := New(ds.docs, ds.dim, pool, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					accs := make([]*Accum, shards)
+					for q := range accs {
+						accs[q] = c.NewAccum()
+					}
+					for !c.Done() {
+						for q := range accs {
+							accs[q].Reset()
+							lo, hi := pario.PartitionRange(len(ds.docs), shards, q)
+							c.AssignShard(lo, hi, accs[q])
+						}
+						c.EndIteration(accs)
+					}
+					stats = c.Finalize().Prune
+				}
+				b.StopTimer()
+				if mode == PruneOn {
+					b.ReportMetric(100*stats.SkipRate(), "skip%")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package kmeans
+
+import (
+	"fmt"
+
+	"hpa/internal/flatwire"
+)
+
+// This file is the flat wire codec of AccumWire — the per-iteration
+// worker→coordinator payload of the distributed K-Means loop, shipped once
+// per shard per iteration. The flat layout concatenates every cluster's
+// sparse centroid-sum entries into two contiguous blocks and decodes them
+// into two shared backing arrays, so absorbing a shard's accumulator is a
+// few allocations instead of gob's per-cluster reflective walk. Floats
+// travel as IEEE 754 bit patterns: the decoded accumulator state is
+// bit-identical, which the deterministic ordered reduce requires.
+//
+// Layout (little-endian):
+//
+//	magic u32 | k u32
+//	inertia f64 | changed i64 | skipped i64
+//	counts i64 × k         (cluster member counts)
+//	nnz    u32 × k         (per-cluster entry counts)
+//	totalNNZ u64
+//	idx    u32 × totalNNZ  (all clusters' indices, concatenated)
+//	val    f64 × totalNNZ  (all clusters' values, concatenated)
+
+// accumWireMagic identifies a flat AccumWire buffer.
+const accumWireMagic uint32 = 0x48504157 // "HPAW"
+
+// EncodeFlat returns the accumulator wire form in flat layout, appended to
+// dst (pass nil to allocate exactly). The receiver is not modified.
+func (w *AccumWire) EncodeFlat(dst []byte) []byte {
+	k := len(w.Idx)
+	total := 0
+	for j := range w.Idx {
+		total += len(w.Idx[j])
+	}
+	size := 4 + 4 + 8 + 8 + 8 + 8*k + 4*k + 8 + 4*total + 8*total
+	if dst == nil {
+		dst = make([]byte, 0, size)
+	}
+	b := flatwire.AppendU32(dst, accumWireMagic)
+	b = flatwire.AppendU32(b, uint32(k))
+	b = flatwire.AppendF64(b, w.Inertia)
+	b = flatwire.AppendI64(b, int64(w.Changed))
+	b = flatwire.AppendI64(b, w.Skipped)
+	b = flatwire.AppendI64s(b, w.Counts)
+	for j := range w.Idx {
+		b = flatwire.AppendU32(b, uint32(len(w.Idx[j])))
+	}
+	b = flatwire.AppendU64(b, uint64(total))
+	for j := range w.Idx {
+		b = flatwire.AppendU32s(b, w.Idx[j])
+	}
+	for j := range w.Val {
+		b = flatwire.AppendF64s(b, w.Val[j])
+	}
+	return b
+}
+
+// decodeFlatAccumWire decodes one flat AccumWire from r (which may carry
+// further payload after it — the kmeans.assign reply concatenates the
+// accumulator with assignment and distance blocks). Structural validation
+// only; FromWire still checks cluster count and dimension bounds against
+// the receiving accumulator.
+func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
+	r.Magic(accumWireMagic, "kmeans accum")
+	k := r.Count(12) // ≥ 8 (counts) + 4 (nnz) bytes per cluster follow
+	w := &AccumWire{
+		Inertia: r.F64(),
+		Changed: int(r.I64()),
+		Skipped: r.I64(),
+		Counts:  r.I64s(k),
+	}
+	nnz := r.U32s(k)
+	total := int(r.U64())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
+	}
+	sum := 0
+	for _, c := range nnz {
+		sum += int(c)
+	}
+	if sum != total {
+		return nil, fmt.Errorf("kmeans: decode accum: per-cluster entry counts sum to %d, header says %d", sum, total)
+	}
+	idx := make([]uint32, total)
+	val := make([]float64, total)
+	r.U32sInto(idx)
+	r.F64sInto(val)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
+	}
+	w.Idx = make([][]uint32, k)
+	w.Val = make([][]float64, k)
+	off := 0
+	for j, c := range nnz {
+		w.Idx[j] = idx[off : off+int(c) : off+int(c)]
+		w.Val[j] = val[off : off+int(c) : off+int(c)]
+		off += int(c)
+	}
+	return w, nil
+}
+
+// DecodeFlatAccumWire decodes a standalone flat AccumWire buffer,
+// validating magic, counts, truncation and trailing bytes.
+func DecodeFlatAccumWire(b []byte) (*AccumWire, error) {
+	r := flatwire.NewReader(b)
+	w, err := decodeFlatAccumWire(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
+	}
+	return w, nil
+}
+
+// ConsumeFlatAccumWire decodes one flat AccumWire from the front of a
+// larger reply buffer — the composite-codec form.
+func ConsumeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
+	return decodeFlatAccumWire(r)
+}

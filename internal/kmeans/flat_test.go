@@ -1,0 +1,118 @@
+package kmeans
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"hpa/internal/flatwire"
+)
+
+// flatTestAccum builds a wire accumulator with the shapes the codec must
+// handle: an empty cluster, awkward floats, skip/changed tallies.
+func flatTestAccum() *AccumWire {
+	return &AccumWire{
+		Idx:     [][]uint32{{0, 3, 7}, {}, {1}},
+		Val:     [][]float64{{1.25, -0.1, math.SmallestNonzeroFloat64}, {}, {math.Pi}},
+		Counts:  []int64{5, 0, 2},
+		Inertia: 42.00000000000001,
+		Changed: 3,
+		Skipped: 17,
+	}
+}
+
+// TestAccumWireFlatRoundTrip: the flat codec must reproduce the
+// accumulator wire form bit-for-bit and agree with the gob path.
+func TestAccumWireFlatRoundTrip(t *testing.T) {
+	w := flatTestAccum()
+	got, err := DecodeFlatAccumWire(w.EncodeFlat(nil))
+	if err != nil {
+		t.Fatalf("DecodeFlatAccumWire: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var viaGob AccumWire
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	for name, dec := range map[string]*AccumWire{"flat": got, "gob": &viaGob} {
+		if math.Float64bits(dec.Inertia) != math.Float64bits(w.Inertia) {
+			t.Errorf("%s: inertia bits differ", name)
+		}
+		if dec.Changed != w.Changed || dec.Skipped != w.Skipped {
+			t.Errorf("%s: tallies %d/%d, want %d/%d", name, dec.Changed, dec.Skipped, w.Changed, w.Skipped)
+		}
+		if !reflect.DeepEqual(dec.Counts, w.Counts) {
+			t.Errorf("%s: counts %v", name, dec.Counts)
+		}
+		if len(dec.Idx) != len(w.Idx) {
+			t.Fatalf("%s: %d clusters, want %d", name, len(dec.Idx), len(w.Idx))
+		}
+		for j := range w.Idx {
+			if len(dec.Idx[j]) != len(w.Idx[j]) || len(dec.Val[j]) != len(w.Val[j]) {
+				t.Fatalf("%s: cluster %d entry counts differ", name, j)
+			}
+			for e := range w.Idx[j] {
+				if dec.Idx[j][e] != w.Idx[j][e] ||
+					math.Float64bits(dec.Val[j][e]) != math.Float64bits(w.Val[j][e]) {
+					t.Errorf("%s: cluster %d entry %d differs", name, j, e)
+				}
+			}
+		}
+	}
+}
+
+// TestAccumWireFlatComposite: ConsumeFlatAccumWire must stop exactly at
+// the accumulator's end, leaving a trailing payload readable — the
+// kmeans.assign reply concatenates further blocks after it.
+func TestAccumWireFlatComposite(t *testing.T) {
+	w := flatTestAccum()
+	b := w.EncodeFlat(nil)
+	b = flatwire.AppendU32(b, 0xcafe)
+	r := flatwire.NewReader(b)
+	if _, err := ConsumeFlatAccumWire(r); err != nil {
+		t.Fatalf("ConsumeFlatAccumWire: %v", err)
+	}
+	if got := r.U32(); got != 0xcafe {
+		t.Errorf("trailing payload = %#x", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestAccumWireFlatMalformed: structural corruption fails with an error,
+// never a panic or a silently wrong accumulator.
+func TestAccumWireFlatMalformed(t *testing.T) {
+	good := flatTestAccum().EncodeFlat(nil)
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte{9, 9, 9, 9}, good[4:]...),
+		"truncated":  good[:len(good)-5],
+		"trailing":   append(append([]byte{}, good...), 0),
+		"short head": good[:6],
+	}
+	// Corrupt a per-cluster entry count: nnz block starts after
+	// magic(4)+k(4)+inertia(8)+changed(8)+skipped(8)+counts(8×3).
+	bad := append([]byte{}, good...)
+	bad[4+4+8+8+8+24]++
+	cases["nnz sum mismatch"] = bad
+
+	for name, b := range cases {
+		w, err := DecodeFlatAccumWire(b)
+		if err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, w)
+			continue
+		}
+		if name != "nnz sum mismatch" && !errors.Is(err, flatwire.ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
+		}
+	}
+}

@@ -42,6 +42,26 @@
 // through a par.Reducer and runs AssignShard per chunk on the pool, so the
 // bulk operator and the workflow engine's iterative shard loop execute
 // identical per-document code.
+//
+// # Assignment pruning
+//
+// The assignment kernel optionally carries Hamerly-style per-document
+// bounds (bounds.go) that let a document skip the k-way centroid scan
+// when its exact upper bound to the assigned centroid is provably below
+// a conservative lower bound on every other centroid. Pruning is
+// controlled by Options.Prune (PruneAuto enables it at k >= 4) and is
+// result-invariant by construction: the skipped scan's outcome —
+// assignment, distance, inertia contribution — is proven identical to
+// the full scan's, so clusterings are bit-identical with pruning on or
+// off, at any shard count and on any backend (asserted by
+// TestPruneBitIdentical and the workflow engine's matrix test). Bounds
+// state is a pure per-document function — it lives beside the
+// assignments in per-shard slices, travels with loop sessions, and the
+// per-iteration drift that decays lower bounds is computed in the
+// deterministic EndIteration reduce — so skip counts themselves are
+// reproducible. Result.Prune reports what pruning did (document-
+// iterations skipped vs scanned); BENCH_pruned.json records the kernel
+// savings.
 package kmeans
 
 import (
@@ -92,7 +112,17 @@ type Options struct {
 	DocNorms []float64
 	// Empty selects how clusters that lose all members are handled.
 	Empty EmptyPolicy
+	// Prune selects triangle-inequality assignment pruning (bounds.go):
+	// per-document distance bounds let most documents skip the k-way
+	// distance scan after the first iterations. Results are bit-identical
+	// with pruning on or off — assignments, inertia history, centroids and
+	// convergence are unchanged; only the work to compute them shrinks.
+	// PruneAuto (the default) enables it when k is large enough to pay.
+	Prune PruneMode
 }
+
+// pruneEnabled resolves the Prune mode against the cluster count.
+func (o *Options) pruneEnabled() bool { return o.Prune.Active(o.K) }
 
 // validate checks the options against a document count and applies the
 // defaults, so both implementations (Clusterer and SimpleKMeans) share one
@@ -157,6 +187,9 @@ type Result struct {
 	History []float64
 	// Converged reports whether the run stopped before MaxIter.
 	Converged bool
+	// Prune reports how much assignment work triangle-inequality pruning
+	// skipped (zero-valued when pruning was off).
+	Prune PruneStats
 }
 
 // Clusterer holds all state for the optimized operator. Every buffer is
@@ -183,16 +216,27 @@ type Clusterer struct {
 	prev      float64 // previous iteration's inertia (+Inf before the first)
 	done      bool
 	converged bool
+
+	// Pruning state (nil/empty when pruning is off): per-document bounds,
+	// the previous iteration's centroids and norms for drift computation,
+	// and the padded drifts remote shards ship each iteration.
+	bp         *BoundsPass
+	prevCents  [][]float64
+	prevCNorms []float64
+	drift      []float64
+	pruneStats PruneStats
 }
 
 // Accum is one strand's (or loop shard's) per-iteration accumulator set:
-// per-cluster running sums and counts, the local inertia contribution and
-// the number of documents whose assignment changed. Accums are allocated
-// once (NewAccum) and recycled across iterations via Reset.
+// per-cluster running sums and counts, the local inertia contribution, the
+// number of documents whose assignment changed and the number of k-way
+// scans pruning skipped. Accums are allocated once (NewAccum) and recycled
+// across iterations via Reset.
 type Accum struct {
 	accs    []*sparse.Accumulator
 	inertia float64
 	changed int
+	skipped int64
 }
 
 // Reset clears the accumulator set for the next iteration, retaining every
@@ -203,6 +247,7 @@ func (a *Accum) Reset() {
 	}
 	a.inertia = 0
 	a.changed = 0
+	a.skipped = 0
 }
 
 // NewAccum allocates an accumulator set sized for the clusterer (k dense
@@ -263,6 +308,16 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 	}
 	c.views = par.NewReducer(c.NewAccum, (*Accum).Reset)
 	c.seed()
+	if c.opts.pruneEnabled() {
+		c.bp = NewBoundsPass(len(docs), dim)
+		c.prevCents = make([][]float64, opts.K)
+		for j := range c.prevCents {
+			c.prevCents[j] = append([]float64(nil), c.centroids[j]...)
+		}
+		c.prevCNorms = append([]float64(nil), c.cnorms...)
+		c.drift = make([]float64, opts.K)
+		c.pruneStats.Enabled = true
+	}
 	return c, nil
 }
 
@@ -343,7 +398,7 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 	if rec.Enabled() {
 		start = time.Now()
 	}
-	AssignRange(lo, hi, c.opts.K, c.docs, c.docNorms, c.centroids, c.cnorms, c.assign, c.dists, a)
+	AssignRange(lo, hi, c.opts.K, c.docs, c.docNorms, c.centroids, c.cnorms, c.assign, c.dists, c.bp, a)
 	if rec.Enabled() {
 		rec.Task(time.Since(start), 0, false)
 	}
@@ -357,21 +412,89 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 // accumulated into a, and their entries of assign (and dists, when
 // non-nil) — all indexed by absolute document position — are updated in
 // place. AssignRange allocates nothing.
+//
+// A non-nil bp activates triangle-inequality pruning: a document whose
+// (exact) distance to its assigned centroid provably beats a conservative
+// lower bound on every other distance skips the k-way scan and contributes
+// the identical distance, assignment and accumulation the scan would have —
+// see bounds.go for the invariance argument. bp is indexed like assign.
 func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
-	centroids [][]float64, cnorms []float64, assign []int32, dists []float64, a *Accum) {
+	centroids [][]float64, cnorms []float64, assign []int32, dists []float64,
+	bp *BoundsPass, a *Accum) {
+	if bp == nil {
+		for i := lo; i < hi; i++ {
+			v := &docs[i]
+			best, bestD := int32(0), math.Inf(1)
+			for j := 0; j < k; j++ {
+				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+				if d < bestD {
+					bestD = d
+					best = int32(j)
+				}
+			}
+			if bestD < 0 {
+				bestD = 0
+			}
+			if assign[i] != best {
+				assign[i] = best
+				a.changed++
+			}
+			if dists != nil {
+				dists[i] = bestD
+			}
+			a.accs[best].Accumulate(v)
+			a.inertia += bestD
+		}
+		return
+	}
+	cnMax := maxCNorm(cnorms)
 	for i := lo; i < hi; i++ {
 		v := &docs[i]
-		best, bestD := int32(0), math.Inf(1)
+		if cur := assign[i]; cur >= 0 {
+			// The distance to the assigned centroid is mandatory either way
+			// (it feeds inertia), so the upper bound is exact, not estimated.
+			d := distTo(v, centroids[cur], cnorms[cur], docNorms[i])
+			cd := d
+			if cd < 0 {
+				cd = 0
+			}
+			m := bp.eps(docNorms[i], cnMax)
+			l := bp.Lower[i] - bp.maxDriftOther(cur) - 2*m
+			u := math.Sqrt(cd)
+			bp.Lower[i] = l
+			bp.Upper[i] = u
+			if u < l {
+				// Provably still the argmin: the scan would keep cur with
+				// this exact distance. Contribute identically and move on.
+				if dists != nil {
+					dists[i] = cd
+				}
+				a.accs[cur].Accumulate(v)
+				a.inertia += cd
+				a.skipped++
+				continue
+			}
+		}
+		best, bestD, secD := int32(0), math.Inf(1), math.Inf(1)
 		for j := 0; j < k; j++ {
-			d := cnorms[j] - 2*sparse.DotDense(v, centroids[j]) + docNorms[i]
+			d := distTo(v, centroids[j], cnorms[j], docNorms[i])
 			if d < bestD {
-				bestD = d
-				best = int32(j)
+				secD = bestD
+				bestD, best = d, int32(j)
+			} else if d < secD {
+				secD = d
 			}
 		}
 		if bestD < 0 {
 			bestD = 0
 		}
+		if secD < 0 {
+			secD = 0
+		}
+		bp.Upper[i] = math.Sqrt(bestD)
+		// No shave at seed time: the per-iteration decay above charges the
+		// rounding margin before the bound is ever consumed.
+		bp.Lower[i] = math.Sqrt(secD)
 		if assign[i] != best {
 			assign[i] = best
 			a.changed++
@@ -420,6 +543,23 @@ func (c *Clusterer) EndIteration(accs []*Accum) (float64, int) {
 			c.reseedEmpty(j)
 		}
 		// KeepCentroid: empty clusters keep their previous centroid.
+	}
+	if c.bp != nil {
+		// Drift is measured after the empty-cluster policy ran, so a
+		// reseeded (teleported) centroid charges its full jump. Each drift
+		// is padded by the rounding margin of its own computation, making
+		// padded drift ≥ true drift in exact arithmetic.
+		for j := range c.centroids {
+			c.drift[j] = padDrift(distDrift(c.centroids[j], c.prevCents[j]),
+				c.prevCNorms[j], c.cnorms[j], c.bp.epsBase)
+			copy(c.prevCents[j], c.centroids[j])
+		}
+		copy(c.prevCNorms, c.cnorms)
+		c.bp.SetDrift(c.drift)
+		for _, a := range accs {
+			c.pruneStats.Skipped += a.skipped
+		}
+		c.pruneStats.DocIterations += int64(len(c.docs))
 	}
 	c.iter++
 	c.inertia = inertia
@@ -513,6 +653,7 @@ func (c *Clusterer) Finalize() *Result {
 		Iterations: c.iter,
 		History:    append([]float64(nil), c.history...),
 		Converged:  c.converged,
+		Prune:      c.pruneStats,
 	}
 	for j := range r.Centroids {
 		r.Centroids[j] = append([]float64(nil), c.centroids[j]...)

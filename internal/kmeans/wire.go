@@ -27,6 +27,9 @@ type AccumWire struct {
 	Inertia float64
 	// Changed is the shard's moved-assignment count.
 	Changed int
+	// Skipped is the shard's count of documents whose k-way distance scan
+	// triangle-inequality pruning skipped this iteration (bounds.go).
+	Skipped int64
 }
 
 // Wire returns the accumulator set in serializable form. The receiver is
@@ -38,6 +41,7 @@ func (a *Accum) Wire() *AccumWire {
 		Counts:  make([]int64, len(a.accs)),
 		Inertia: a.inertia,
 		Changed: a.changed,
+		Skipped: a.skipped,
 	}
 	for j, acc := range a.accs {
 		w.Idx[j], w.Val[j] = acc.Sparse()
@@ -73,6 +77,7 @@ func (a *Accum) FromWire(w *AccumWire) error {
 	}
 	a.inertia = w.Inertia
 	a.changed = w.Changed
+	a.skipped = w.Skipped
 	return nil
 }
 
@@ -104,6 +109,22 @@ func (c *Clusterer) K() int { return c.opts.K }
 // distances (the ReseedFarthest empty policy) — remote shards must then
 // ship distances back for ApplyShardAssignments.
 func (c *Clusterer) TracksDists() bool { return c.dists != nil }
+
+// PruneEnabled reports whether the run maintains assignment-pruning bounds
+// (bounds.go). Remote shards then keep their own shard-local BoundsPass and
+// need the padded per-centroid drifts shipped each iteration.
+func (c *Clusterer) PruneEnabled() bool { return c.bp != nil }
+
+// Drift returns the padded per-centroid drifts of the last EndIteration —
+// what a remote shard's BoundsPass decays its bounds by. Nil before the
+// first iteration (remote bounds start at −Inf and scan fully, so no decay
+// is needed) and when pruning is off. Read-only; rewritten by EndIteration.
+func (c *Clusterer) Drift() []float64 {
+	if c.bp == nil || c.iter == 0 {
+		return nil
+	}
+	return c.drift
+}
 
 // ApplyShardAssignments installs a remotely computed shard's assignments
 // (and, when the clusterer tracks them, distances) at document offset lo —

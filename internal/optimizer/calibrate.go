@@ -129,6 +129,7 @@ func Calibrate(opts CalibrationOptions) (*CostModel, error) {
 	m.ARFFWriteBPS, m.ARFFReadBPS = w, r
 	m.ShardTaskNS = calibrateShardOverhead(opts.ShardTasks)
 	m.KMeansAssignNS = calibrateKMeansAssign(opts)
+	m.KMeansAssignPrunedNS = calibrateKMeansAssignPruned(opts)
 	m.RPCShipNS = calibrateRPCShip(opts.RPCTasks)
 	return m, nil
 }
@@ -282,14 +283,9 @@ func (*calReduce) FinishReduce(_ *workflow.Context, state any) (workflow.Value, 
 	return *state.(*int), nil
 }
 
-// calibrateKMeansAssign measures the K-Means assignment kernel
-// (kmeans.AssignShard) on a synthetic sparse matrix and returns its cost
-// per (non-zero component × cluster) in nanoseconds — the unit the
-// iterative-stage estimate scales by iterations × documents × mean
-// non-zeros × k. The measurement runs the real kernel over recycled
-// accumulators, so it prices exactly the loop the executor dispatches.
-func calibrateKMeansAssign(opts CalibrationOptions) float64 {
-	const k = 8
+// calKMeansMatrix synthesizes the sparse matrix both assignment-kernel
+// calibrations run over (deterministic, so the two rates are comparable).
+func calKMeansMatrix(opts CalibrationOptions) ([]sparse.Vector, int) {
 	docs := opts.KMeansDocs
 	nnz := opts.KMeansTermsPerDoc
 	dim := nnz * 16
@@ -304,9 +300,21 @@ func calibrateKMeansAssign(opts CalibrationOptions) float64 {
 		}
 		b.Build(&vecs[i])
 	}
+	return vecs, dim
+}
+
+// calibrateKMeansAssign measures the K-Means assignment kernel
+// (kmeans.AssignShard) on a synthetic sparse matrix and returns its cost
+// per (non-zero component × cluster) in nanoseconds — the unit the
+// iterative-stage estimate scales by iterations × documents × mean
+// non-zeros × k. The measurement runs the real kernel over recycled
+// accumulators, so it prices exactly the loop the executor dispatches.
+func calibrateKMeansAssign(opts CalibrationOptions) float64 {
+	const k = 8
+	vecs, dim := calKMeansMatrix(opts)
 	pool := par.NewPool(1)
 	defer pool.Close()
-	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1})
+	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1, Prune: kmeans.PruneOff})
 	if err != nil {
 		// Cannot happen with the synthetic matrix; conservative fallback.
 		return 1.5
@@ -324,6 +332,41 @@ func calibrateKMeansAssign(opts CalibrationOptions) float64 {
 	}
 	ops *= passes
 	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// calibrateKMeansAssignPruned measures the bounded assignment kernel over
+// the same matrix, driven as a short real loop (assign, then the centroid
+// update that sets the drifts) so bounds warm up and decay exactly as they
+// do in production. Only the assignment passes are timed; the returned
+// rate divides the same iterations × nnz × k unit count as the full-scan
+// calibration, so the two rates differ exactly by what pruning saves net
+// of bounds maintenance.
+func calibrateKMeansAssignPruned(opts CalibrationOptions) float64 {
+	const k = 8
+	vecs, dim := calKMeansMatrix(opts)
+	pool := par.NewPool(1)
+	defer pool.Close()
+	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1, Prune: kmeans.PruneOn})
+	if err != nil {
+		return 1.5 // cannot happen with the synthetic matrix
+	}
+	acc := c.NewAccum()
+	accs := []*kmeans.Accum{acc}
+	const passes = 3
+	var assignNS int64
+	for p := 0; p < passes; p++ {
+		acc.Reset()
+		start := time.Now()
+		c.AssignShard(0, len(vecs), acc)
+		assignNS += time.Since(start).Nanoseconds()
+		c.EndIteration(accs)
+	}
+	var ops int64
+	for i := range vecs {
+		ops += int64(len(vecs[i].Idx)) * k
+	}
+	ops *= passes
+	return float64(assignNS) / float64(ops)
 }
 
 // calibrateShardOverhead times a plan of empty partition tasks (split ->

@@ -41,9 +41,10 @@ import (
 // ModelVersion identifies the cost-model schema and the calibration
 // procedure. Cached models with a different version are recalibrated.
 // v2 added KMeansAssignNS (the K-Means assignment kernel cost); v3 added
-// RPCShipNS (the per-task ship cost of the RPC execution backend), so
-// earlier caches self-invalidate and re-measure.
-const ModelVersion = 3
+// RPCShipNS (the per-task ship cost of the RPC execution backend); v4
+// added KMeansAssignPrunedNS (the bounded assignment kernel's effective
+// cost), so earlier caches self-invalidate and re-measure.
+const ModelVersion = 4
 
 // DictPoint is one calibrated operating point of a dictionary kind:
 // amortized per-operation costs measured while growing a dictionary to
@@ -128,6 +129,15 @@ type CostModel struct {
 	// k, which is what the optimizer could not price before the iterative
 	// phase was decomposed into shard kernels.
 	KMeansAssignNS float64 `json:"kmeans_assign_ns"`
+	// KMeansAssignPrunedNS is the effective cost of the bounded (pruned)
+	// assignment kernel per (non-zero component × cluster), measured across
+	// a short converging loop so it amortizes bounds maintenance and bakes
+	// in the skip rate the bounds actually achieve. It is the rate the
+	// K-Means stage estimate uses instead of KMeansAssignNS when the
+	// operator's Prune mode resolves to on; after the first iterations most
+	// documents skip the k-way scan, so this rate is well below the
+	// full-scan rate on clusterable data.
+	KMeansAssignPrunedNS float64 `json:"kmeans_assign_pruned_ns"`
 	// RPCShipNS is the per-task overhead of shipping one shard task to an
 	// RPC worker and absorbing its reply — gob encode, a loopback net/rpc
 	// round trip with a representative small payload, gob decode — in

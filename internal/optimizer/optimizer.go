@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hpa/internal/dict"
+	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
 	"hpa/internal/tfidf"
 	"hpa/internal/workflow"
@@ -627,15 +628,40 @@ func (r *rule) kmIters() int {
 
 // kmeansWork estimates the total assignment work of the K-Means stage in
 // nanoseconds: iterations × documents × mean non-zeros × k distance
-// units, each priced at the calibrated kernel cost. This is the
+// units, each priced at the calibrated kernel cost — the full-scan rate,
+// or (when the stage's Prune mode resolves to on and the model carries a
+// pruned rate) the bounded kernel's effective rate, which bakes in the
+// skip rate the bounds achieve on a converging loop. This is the
 // iteration-count-dependent cost the model could not capture while
 // K-Means was an opaque whole-matrix operator.
-func (r *rule) kmeansWork(k, iters int) float64 {
+func (r *rule) kmeansWork(k, iters int, pruned bool) float64 {
 	if k < 1 {
 		k = 8 // the operator's conventional default when unconfigured
 	}
+	rate := r.m.KMeansAssignNS
+	if pruned && r.m.KMeansAssignPrunedNS > 0 {
+		rate = r.m.KMeansAssignPrunedNS
+	}
 	nnz := float64(r.st.Docs) * r.st.AvgDocDistinct
-	return float64(iters) * nnz * float64(k) * r.m.KMeansAssignNS
+	return float64(iters) * nnz * float64(k) * rate
+}
+
+// kmPruneResolved resolves a K-Means stage's Prune mode the way the
+// clusterer will (kmeans.PruneMode.Active at the effective k), returning
+// the resolution and the annotation fragment describing it.
+func (r *rule) kmPruneResolved(opts kmeans.Options) (bool, string) {
+	k := opts.K
+	if k < 1 {
+		k = 8
+	}
+	if !opts.Prune.Active(k) {
+		return false, fmt.Sprintf("; prune=off (mode %s at k=%d)", opts.Prune, k)
+	}
+	if r.m.KMeansAssignPrunedNS <= 0 {
+		return true, fmt.Sprintf("; prune=on (mode %s; no calibrated pruned rate, priced at full-scan rate)", opts.Prune)
+	}
+	return true, fmt.Sprintf("; prune=on (mode %s; assign priced at pruned rate %.2g vs full %.2g ns/unit)",
+		opts.Prune, r.m.KMeansAssignPrunedNS, r.m.KMeansAssignNS)
 }
 
 // loopEstimate prices the iterative K-Means loop at s shards on procs
@@ -692,13 +718,15 @@ func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 	for _, name := range p.Nodes() {
 		switch op := p.Node(name).Op().(type) {
 		case *workflow.KMeansOp:
-			work := r.kmeansWork(op.Opts.K, iters)
+			pruned, pruneNote := r.kmPruneResolved(op.Opts)
+			work := r.kmeansWork(op.Opts.K, iters, pruned)
 			notes[name] = fmt.Sprintf(
-				"kmeans: bulk est %s (~%d iterations, %s assign work/iter over %d procs)",
+				"kmeans: bulk est %s (~%d iterations, %s assign work/iter over %d procs)%s",
 				fmtNS(work/float64(r.opts.Procs)), iters,
-				fmtNS(work/float64(iters)), r.opts.Procs)
+				fmtNS(work/float64(iters)), r.opts.Procs, pruneNote)
 		case *workflow.KMAssignOp:
-			work := r.kmeansWork(op.Opts.K, iters)
+			pruned, pruneNote := r.kmPruneResolved(op.Opts)
+			work := r.kmeansWork(op.Opts.K, iters, pruned)
 			var (
 				s       int
 				why     string
@@ -722,6 +750,7 @@ func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 					"loop shards=%d (est %s; ~%d iterations × %s assign/iter; %s/task overhead; may differ from map shard count)",
 					s, fmtNS(est), iters, fmtNS(work/float64(iters)), fmtNS(perTask))
 			}
+			why += pruneNote
 			if bp.Remote {
 				why += "; backend=" + bp.String()
 			}

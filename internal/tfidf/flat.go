@@ -1,0 +1,119 @@
+package tfidf
+
+import (
+	"fmt"
+
+	"hpa/internal/flatwire"
+	"hpa/internal/sparse"
+)
+
+// This file is the flat wire codec of VectorShard — the hottest
+// worker→coordinator payload of the partitioned TF/IDF transform. The gob
+// path walks the shard reflectively and allocates per vector; the flat
+// layout below writes one exactly-sized buffer and decodes into two shared
+// backing arrays (all Idx entries contiguous, all Val entries contiguous),
+// so a shard's score vectors cost a handful of allocations no matter how
+// many documents it carries. Floats travel as their IEEE 754 bit patterns:
+// the decoded shard is bit-identical to the encoded one.
+//
+// Layout (little-endian):
+//
+//	magic u32 | lo u64 | hi u64 | dim u64 | dictFootprint i64
+//	nDocs u32 | totalNNZ u64
+//	nnz   u32 × nDocs      (per-document entry counts)
+//	idx   u32 × totalNNZ   (all vectors' indices, concatenated)
+//	val   f64 × totalNNZ   (all vectors' values, concatenated)
+//	norms f64 × nDocs
+//	names (u32 len + bytes) × nDocs
+
+// vectorShardMagic identifies a flat VectorShard buffer.
+const vectorShardMagic uint32 = 0x48505653 // "HPVS"
+
+// EncodeFlat returns the shard in flat wire form, appended to dst (pass nil
+// to allocate exactly). The receiver is not modified.
+func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
+	total := 0
+	names := 0
+	for i := range vs.Vectors {
+		total += vs.Vectors[i].NNZ()
+	}
+	for _, name := range vs.DocNames {
+		names += flatwire.SizeString(name)
+	}
+	n := len(vs.Vectors)
+	size := 4 + 4*8 + 4 + 8 + 4*n + 4*total + 8*total + 8*n + names
+	if dst == nil {
+		dst = make([]byte, 0, size)
+	}
+	b := flatwire.AppendU32(dst, vectorShardMagic)
+	b = flatwire.AppendU64(b, uint64(vs.Lo))
+	b = flatwire.AppendU64(b, uint64(vs.Hi))
+	b = flatwire.AppendU64(b, uint64(vs.Dim))
+	b = flatwire.AppendI64(b, vs.DictFootprint)
+	b = flatwire.AppendU32(b, uint32(n))
+	b = flatwire.AppendU64(b, uint64(total))
+	for i := range vs.Vectors {
+		b = flatwire.AppendU32(b, uint32(vs.Vectors[i].NNZ()))
+	}
+	for i := range vs.Vectors {
+		b = flatwire.AppendU32s(b, vs.Vectors[i].Idx)
+	}
+	for i := range vs.Vectors {
+		b = flatwire.AppendF64s(b, vs.Vectors[i].Val)
+	}
+	b = flatwire.AppendF64s(b, vs.Norms)
+	for _, name := range vs.DocNames {
+		b = flatwire.AppendString(b, name)
+	}
+	return b
+}
+
+// DecodeFlatVectorShard decodes a flat VectorShard buffer, validating the
+// layout (magic, counts, truncation, trailing bytes) and returning an error
+// for any malformed input. Vector entries decode into two shared backing
+// arrays, subsliced per document.
+func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
+	r := flatwire.NewReader(b)
+	r.Magic(vectorShardMagic, "tfidf vector shard")
+	vs := &VectorShard{
+		Lo:  int(r.U64()),
+		Hi:  int(r.U64()),
+		Dim: int(r.U64()),
+	}
+	vs.DictFootprint = r.I64()
+	n := r.Count(4)
+	total := int(r.U64())
+	nnz := r.U32s(n)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode vector shard: %w", err)
+	}
+	sum := 0
+	for _, c := range nnz {
+		sum += int(c)
+	}
+	if sum != total {
+		return nil, fmt.Errorf("tfidf: decode vector shard: per-document entry counts sum to %d, header says %d", sum, total)
+	}
+	idx := make([]uint32, total)
+	val := make([]float64, total)
+	r.U32sInto(idx)
+	r.F64sInto(val)
+	vs.Vectors = make([]sparse.Vector, n)
+	off := 0
+	for i, c := range nnz {
+		vs.Vectors[i] = sparse.Vector{
+			Idx: idx[off : off+int(c) : off+int(c)],
+			Val: val[off : off+int(c) : off+int(c)],
+		}
+		off += int(c)
+	}
+	vs.Norms = r.F64s(n)
+	vs.DocNames = make([]string, n)
+	for i := range vs.DocNames {
+		vs.DocNames[i] = r.String()
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode vector shard: %w", err)
+	}
+	return vs, nil
+}

@@ -1,0 +1,113 @@
+package tfidf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"hpa/internal/flatwire"
+	"hpa/internal/sparse"
+)
+
+// flatTestShard builds a shard with the shapes the codec must handle:
+// empty vectors, shared-prefix names, exact and awkward float values.
+func flatTestShard() *VectorShard {
+	return &VectorShard{
+		Lo: 3, Hi: 7, Dim: 10, DictFootprint: 12345,
+		Vectors: []sparse.Vector{
+			{Idx: []uint32{0, 4, 9}, Val: []float64{1.25, -0.0078125, math.SmallestNonzeroFloat64}},
+			{},                                      // an empty document
+			{Idx: []uint32{2}, Val: []float64{0.1}}, // not exactly representable
+			{Idx: []uint32{1, 8}, Val: []float64{math.Pi, -math.MaxFloat64}},
+		},
+		Norms:    []float64{1.5625, 0, 0.010000000000000002, 9.869604401089358},
+		DocNames: []string{"docs/a.txt", "docs/b.txt", "", "docs/deep/nested/c.txt"},
+	}
+}
+
+// TestVectorShardFlatRoundTrip: the flat codec must reproduce the shard
+// bit-for-bit, and agree exactly with what the gob path would have carried.
+func TestVectorShardFlatRoundTrip(t *testing.T) {
+	vs := flatTestShard()
+	got, err := DecodeFlatVectorShard(vs.EncodeFlat(nil))
+	if err != nil {
+		t.Fatalf("DecodeFlatVectorShard: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(vs); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var viaGob VectorShard
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	for name, dec := range map[string]*VectorShard{"flat": got, "gob": &viaGob} {
+		if dec.Lo != vs.Lo || dec.Hi != vs.Hi || dec.Dim != vs.Dim || dec.DictFootprint != vs.DictFootprint {
+			t.Errorf("%s: header fields differ: %+v", name, dec)
+		}
+		if len(dec.Vectors) != len(vs.Vectors) {
+			t.Fatalf("%s: %d vectors, want %d", name, len(dec.Vectors), len(vs.Vectors))
+		}
+		for i := range vs.Vectors {
+			if !sparse.Equal(&dec.Vectors[i], &vs.Vectors[i]) {
+				t.Errorf("%s: vector %d differs", name, i)
+			}
+		}
+		for i := range vs.Norms {
+			if math.Float64bits(dec.Norms[i]) != math.Float64bits(vs.Norms[i]) {
+				t.Errorf("%s: norm %d bits differ", name, i)
+			}
+		}
+		if !reflect.DeepEqual(dec.DocNames, vs.DocNames) {
+			t.Errorf("%s: names %v", name, dec.DocNames)
+		}
+	}
+}
+
+// TestVectorShardFlatAppends: EncodeFlat must append to dst, leaving an
+// existing prefix intact — the transform reply writes its header first.
+func TestVectorShardFlatAppends(t *testing.T) {
+	vs := flatTestShard()
+	prefix := []byte{0xaa, 0xbb}
+	b := vs.EncodeFlat(prefix)
+	if !bytes.Equal(b[:2], prefix) {
+		t.Fatalf("prefix overwritten: % x", b[:2])
+	}
+	if _, err := DecodeFlatVectorShard(b[2:]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+// TestVectorShardFlatMalformed: every structural corruption must fail with
+// an error — never a panic, never a silently wrong shard.
+func TestVectorShardFlatMalformed(t *testing.T) {
+	good := flatTestShard().EncodeFlat(nil)
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated":    good[:len(good)/2],
+		"trailing":     append(append([]byte{}, good...), 0),
+		"short header": good[:10],
+	}
+	// Corrupt the per-document entry counts so their sum disagrees with the
+	// header total: nnz block starts after magic(4)+3×u64(24)+i64(8)+n(4)+total(8).
+	bad := append([]byte{}, good...)
+	bad[4+24+8+4+8]++
+	cases["nnz sum mismatch"] = bad
+
+	for name, b := range cases {
+		vs, err := DecodeFlatVectorShard(b)
+		if err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, vs)
+			continue
+		}
+		if name != "nnz sum mismatch" && !errors.Is(err, flatwire.ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type Global struct {
 	Stats dict.Stats
 	// Footprint is the merged dictionary's resident size.
 	Footprint int64
+
+	// hashOnce/hash cache the content digest (ContentHash); the table is
+	// immutable once built.
+	hashOnce sync.Once
+	hash     uint64
 }
 
 // VectorShard is the phase-2 ("transform") output of one shard: the score

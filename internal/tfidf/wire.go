@@ -155,6 +155,46 @@ func (g *Global) Wire() *WireGlobal {
 	return &WireGlobal{Terms: g.Terms, DF: g.DF, NumDocs: g.NumDocs}
 }
 
+// ContentHash returns an FNV-1a digest of the table's semantic content —
+// the sorted terms, their document frequencies and the corpus document
+// count, exactly the fields that determine every transform output. Two
+// corpora (or two runs over one corpus) with equal content hash to the same
+// value regardless of dictionary kind or merge history, so workers can
+// cache the rebuilt table keyed by this hash and the coordinator can ship
+// the hash instead of the body.
+func (w *WireGlobal) ContentHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(w.NumDocs))
+	mix(uint64(len(w.Terms)))
+	for i, term := range w.Terms {
+		mix(uint64(len(term)))
+		for j := 0; j < len(term); j++ {
+			h ^= uint64(term[j])
+			h *= prime64
+		}
+		mix(uint64(w.DF[i]))
+	}
+	return h
+}
+
+// ContentHash returns the table's content digest (see WireGlobal.
+// ContentHash), computed once and cached — the coordinator asks for it per
+// transform shard.
+func (g *Global) ContentHash() uint64 {
+	g.hashOnce.Do(func() { g.hash = g.Wire().ContentHash() })
+	return g.hash
+}
+
 // Global rebuilds the table with a live lookup dictionary of the given
 // kind. IDs are the slice positions — the lexicographic assignment the
 // coordinator already performed — so lookups resolve identically to the

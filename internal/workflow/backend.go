@@ -50,6 +50,12 @@ type RemoteTask struct {
 	// worker — how loop shards keep their cached documents on the worker
 	// that holds them across iterations.
 	Affinity string
+	// Scope, when non-empty, names the plan run that created the task. A
+	// backend groups affinity pins by scope so the executor can release a
+	// whole run's pins when it finishes — the safety net behind the loop
+	// states' own targeted release, and the reason a long-lived serve
+	// backend cannot leak pins from runs that errored out mid-loop.
+	Scope string
 	// Phase, when non-empty, names the Breakdown phase the shipped task's
 	// wall-clock time (ship + compute + reply) is accounted to, so
 	// per-phase figures keep their meaning under remote execution.
@@ -111,6 +117,27 @@ type RemotableLoop interface {
 // affinityReleaser is implemented by backends that pin tasks by affinity
 // key (RPCBackend) and can drop pins once the keyed work is finished.
 type affinityReleaser interface{ ReleaseAffinity(keys ...string) }
+
+// scopeReleaser is implemented by backends that track affinity pins per
+// plan run (RemoteTask.Scope); the executor releases the run's scope when
+// Plan.Run returns, on every path including errors.
+type scopeReleaser interface{ ReleaseScope(scope string) }
+
+// needResend is the error RemoteTask.Absorb returns when a worker's reply
+// is a cache miss — the worker lacks a body the coordinator optimistically
+// replaced with its key (the global term table by content hash, a shard's
+// counts by session). The backend then re-sends the task with Args to the
+// SAME worker and absorbs the second reply; any other worker would miss
+// again. One resend is allowed per task: a second miss is a hard error.
+type needResend struct {
+	// Args is the full argument value to re-send (missing bodies inlined).
+	Args any
+}
+
+// Error implements error.
+func (*needResend) Error() string {
+	return "workflow: worker reply requests a resend with inlined payload"
+}
 
 // remoteLoopOp marks IterativeOps whose loop states implement
 // RemotableLoop, so AnnotateBackend can report placement without running

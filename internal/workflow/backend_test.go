@@ -213,8 +213,9 @@ func gobRoundTrip[T any](t *testing.T, v T) T {
 // built-in kernel.
 func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 	count := CountTaskArgs{
-		Shard: pario.SourceSpec{Paths: []string{"/a/doc1.txt", "/a/doc2.txt"}, Lo: 4, Hi: 6},
-		Opts:  tfidf.WireOptions{DictKind: 1, MinWordLen: 2, Stem: true, Normalize: true},
+		Shard:   pario.SourceSpec{Paths: []string{"/a/doc1.txt", "/a/doc2.txt"}, Lo: 4, Hi: 6},
+		Session: "tf-9-1-0",
+		Opts:    tfidf.WireOptions{DictKind: 1, MinWordLen: 2, Stem: true, Normalize: true},
 	}
 	if got := gobRoundTrip(t, count); !reflect.DeepEqual(got, count) {
 		t.Errorf("CountTaskArgs round trip: got %+v, want %+v", got, count)
@@ -225,11 +226,14 @@ func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 			Docs:     []tfidf.WireDocCounts{{Words: []string{"a", "b"}, Counts: []uint32{2, 1}}, {}},
 			DocNames: []string{"d1", "d2"},
 		},
-		Global: &tfidf.WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{2, 1}, NumDocs: 3},
+		CountsSession: "tf-9-1-0",
+		Global:        &tfidf.WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{2, 1}, NumDocs: 3},
+		GlobalHash:    0xdeadbeefcafef00d,
 	}
 	got := gobRoundTrip(t, tr)
 	if !reflect.DeepEqual(got.Global, tr.Global) || got.Counts.Lo != tr.Counts.Lo ||
-		!reflect.DeepEqual(got.Counts.Docs[0], tr.Counts.Docs[0]) {
+		!reflect.DeepEqual(got.Counts.Docs[0], tr.Counts.Docs[0]) ||
+		got.CountsSession != tr.CountsSession || got.GlobalHash != tr.GlobalHash {
 		t.Errorf("TransformTaskArgs round trip mismatch")
 	}
 	km := KMAssignTaskArgs{
@@ -240,10 +244,12 @@ func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 			Dim:       6,
 			K:         2,
 			WantDists: true,
+			Prune:     true,
 		},
 		Centroids: [][]float64{{1, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 1}},
 		CNorms:    []float64{1, 1},
 		Assign:    []int32{-1},
+		Drift:     []float64{0.25, 0.5},
 	}
 	if got := gobRoundTrip(t, km); !reflect.DeepEqual(got, km) {
 		t.Errorf("KMAssignTaskArgs round trip: got %+v, want %+v", got, km)

@@ -3,10 +3,16 @@ package workflow
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"hpa/internal/metrics"
 )
+
+// runScopeSeq numbers plan runs process-wide; each run's remote tasks carry
+// the resulting scope so a scope-aware backend can release every affinity
+// pin the run created once Plan.Run returns (see RemoteTask.Scope).
+var runScopeSeq atomic.Uint64
 
 // taskKind distinguishes the loop-node task flavors; every other node class
 // uses taskRun.
@@ -211,6 +217,19 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 	serial := ctx.Recorder.Enabled()
 	remoteOK := backend.Workers() > 0 && !serial
 
+	// Scope this run's affinity pins so they cannot outlive it: every remote
+	// descriptor is stamped with a run-unique scope, and the whole scope is
+	// released when Run returns — on success (where the loop states have
+	// usually released their keys already; this is the backstop for operators
+	// without a finish hook) and on every error path (where they have not).
+	var runScope string
+	if remoteOK {
+		if sr, ok := backend.(scopeReleaser); ok {
+			runScope = fmt.Sprintf("run-%d", runScopeSeq.Add(1))
+			defer sr.ReleaseScope(runScope)
+		}
+	}
+
 	// spawn launches one partition task. What the task calls depends on the
 	// node class; every task gets a private context and breakdown and
 	// reports on the done channel.
@@ -281,6 +300,7 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				if remoteOK {
 					if rm, ok := n.op.(Remotable); ok {
 						if rt, ok := rm.RemoteTask(ins, part, pi.nparts); ok {
+							rt.Scope = runScope
 							task.Remote = rt
 						}
 					}
@@ -306,6 +326,7 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 					if remoteOK {
 						if rl, ok := lstate.(RemotableLoop); ok {
 							if rt, ok := rl.RemoteShardTask(part, pi.nparts); ok {
+								rt.Scope = runScope
 								task.Remote = rt
 							}
 						}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hpa/internal/dict"
+	"hpa/internal/flatwire"
 	"hpa/internal/kmeans"
 	"hpa/internal/par"
 	"hpa/internal/pario"
@@ -33,11 +36,21 @@ import (
 // tfidf.TransformShard, kmeans.AssignRange), so remote results are
 // bit-identical to local ones by construction; the wire forms only ever
 // flatten dictionaries and accumulators, never recompute scores.
+//
+// Two hot payloads bypass gob: the tfidf.transform reply (a flat
+// VectorShard behind a miss-flag header) and the kmeans.assign reply (a
+// flat AccumWire plus assignment/distance blocks). Both carry floats as
+// IEEE 754 bit patterns, so flat shipping preserves the bit-identity
+// contract. The transform kernel additionally resolves two worker-side
+// caches before computing: the global term table by content hash (shipped
+// as a hash, pulled inline only on the first miss per worker) and the
+// shard's phase-1 counts by session key (cached by the count kernel on the
+// same worker, routed back by affinity).
 
 func init() {
 	RegisterKernel("tfidf.count", kernel("tfidf.count", runCountKernel))
-	RegisterKernel("tfidf.transform", kernel("tfidf.transform", runTransformKernel))
-	RegisterKernel("kmeans.assign", kernel("kmeans.assign", runKMAssignKernel))
+	RegisterKernel("tfidf.transform", runTransformKernelFlat)
+	RegisterKernel("kmeans.assign", runKMAssignKernelFlat)
 }
 
 // workerPool is the worker process's compute pool, shared by every kernel
@@ -48,6 +61,11 @@ var workerPool = sync.OnceValue(func() *par.Pool { return par.NewPool(runtime.GO
 type CountTaskArgs struct {
 	// Shard describes the corpus shard (paths + global [Lo, Hi) range).
 	Shard pario.SourceSpec
+	// Session, when non-empty, makes the worker keep the live ShardCounts
+	// cached under this key after replying, so the matching transform task
+	// (routed here by the shared affinity key) can consume them without the
+	// coordinator re-serializing every document's term counts.
+	Session string
 	// Opts is the serializable option subset of the TF/IDF operator.
 	Opts tfidf.WireOptions
 }
@@ -63,26 +81,198 @@ func runCountKernel(a *CountTaskArgs) (*tfidf.WireShardCounts, error) {
 	// CountShard derives [Lo, Hi) from SubSources; a spec-opened shard is a
 	// plain FileSource, so restore the global range from the descriptor.
 	sc.Lo, sc.Hi = a.Shard.Lo, a.Shard.Hi
-	return sc.Wire(true), nil
+	w := sc.Wire(true)
+	if a.Session != "" {
+		// Cache after Wire copied the contents: the reply still carries
+		// everything the coordinator's DF merge needs, while the live
+		// dictionaries stay here for the transform task.
+		cacheCounts(a.Session, sc)
+	}
+	return w, nil
 }
 
 // TransformTaskArgs are the tfidf.transform kernel arguments.
 type TransformTaskArgs struct {
-	// Counts is the shard's phase-1 output, DF omitted (the global merge
-	// consumed it).
+	// Counts is the shard's phase-1 output inlined (DF omitted — the global
+	// merge consumed it). Nil when CountsSession names the worker's cached
+	// live shard instead; a resend after a session miss inlines it.
 	Counts *tfidf.WireShardCounts
-	// Global is the merged term table.
+	// CountsSession, when non-empty, keys the count kernel's cached
+	// ShardCounts on the worker the shared affinity routed both tasks to.
+	CountsSession string
+	// Global is the merged term table inlined. Nil on the optimistic first
+	// send — GlobalHash alone identifies it — and populated only on the
+	// resend answering a worker cache miss.
 	Global *tfidf.WireGlobal
+	// GlobalHash is the table's content digest (tfidf.Global.ContentHash),
+	// the worker's cache key. Always set.
+	GlobalHash uint64
 	// Opts is the serializable option subset.
 	Opts tfidf.WireOptions
 }
 
-// runTransformKernel executes phase 2 over one shard on the worker.
-func runTransformKernel(a *TransformTaskArgs) (*tfidf.VectorShard, error) {
+// Transform reply framing: a magic header and a miss bitmask, followed by
+// the flat VectorShard payload only when no body was missing.
+const (
+	transformReplyMagic uint32 = 0x48505452 // "HPTR"
+	// needGlobalFlag reports the worker has no table under GlobalHash.
+	needGlobalFlag uint32 = 1 << 0
+	// needCountsFlag reports the worker has no counts under CountsSession.
+	needCountsFlag uint32 = 1 << 1
+)
+
+// runTransformKernelFlat executes phase 2 over one shard on the worker, or
+// replies with a miss bitmask when a keyed body (global table, cached
+// counts) is absent — the coordinator then re-sends the task with the
+// missing bodies inlined.
+func runTransformKernelFlat(body []byte) ([]byte, error) {
+	var a TransformTaskArgs
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("workflow: kernel tfidf.transform: decode args: %w", err)
+	}
+	if a.Global != nil {
+		globalInlineShips.Add(1)
+	}
 	opts := a.Opts.Options()
-	sc := a.Counts.ShardCounts(opts)
-	g := a.Global.Global(opts.DictKind)
-	return tfidf.TransformShard(g, sc, workerPool(), opts), nil
+	// Resolve the global table: content-hash cache first, else the inlined
+	// body (cached for every later shard this worker transforms).
+	g := cachedGlobal(a.GlobalHash, opts.DictKind)
+	if g == nil && a.Global != nil {
+		g = a.Global.Global(opts.DictKind)
+		storeGlobal(a.GlobalHash, opts.DictKind, g)
+	}
+	// Resolve the counts: an inlined body wins; otherwise the count
+	// kernel's cached live shard. The cache entry is not consumed yet — a
+	// global miss must leave it in place for the resend.
+	var sc *tfidf.ShardCounts
+	fromCache := false
+	if a.Counts != nil {
+		sc = a.Counts.ShardCounts(opts)
+	} else if a.CountsSession != "" {
+		sc = peekCounts(a.CountsSession)
+		fromCache = sc != nil
+	}
+	var flags uint32
+	if g == nil {
+		flags |= needGlobalFlag
+	}
+	if sc == nil {
+		flags |= needCountsFlag
+	}
+	if flags != 0 {
+		b := flatwire.AppendU32(nil, transformReplyMagic)
+		return flatwire.AppendU32(b, flags), nil
+	}
+	vs := tfidf.TransformShard(g, sc, workerPool(), opts)
+	if fromCache {
+		dropCounts(a.CountsSession) // TransformShard consumed the dictionaries
+	}
+	b := flatwire.AppendU32(nil, transformReplyMagic)
+	b = flatwire.AppendU32(b, 0)
+	return vs.EncodeFlat(b), nil
+}
+
+// workerCacheTTL bounds how long an idle worker-side cache entry (global
+// table, shard counts) survives; entries are evicted lazily on the next
+// kernel call, like loop-shard sessions.
+const workerCacheTTL = 10 * time.Minute
+
+// globalInlineShips counts transform arguments that arrived with the
+// global term table inlined — the resend path after a worker cache miss.
+// In steady state a table body reaches a worker process at most once per
+// (hash, kind); the ship-bound test asserts on this counter.
+var globalInlineShips atomic.Int64
+
+// globalCacheKey identifies one cached global term table: the content hash
+// plus the dictionary kind the lookup table was rebuilt with (two runs may
+// share a corpus but configure different dictionaries).
+type globalCacheKey struct {
+	hash uint64
+	kind dict.Kind
+}
+
+type globalCacheEntry struct {
+	g       *tfidf.Global
+	lastUse time.Time
+}
+
+var globalCache = struct {
+	sync.Mutex
+	m map[globalCacheKey]*globalCacheEntry
+}{m: make(map[globalCacheKey]*globalCacheEntry)}
+
+// cachedGlobal returns the cached table for (hash, kind), nil on a miss,
+// evicting expired entries on the way.
+func cachedGlobal(hash uint64, kind dict.Kind) *tfidf.Global {
+	now := time.Now()
+	key := globalCacheKey{hash, kind}
+	globalCache.Lock()
+	defer globalCache.Unlock()
+	for k, e := range globalCache.m {
+		if k != key && now.Sub(e.lastUse) > workerCacheTTL {
+			delete(globalCache.m, k)
+		}
+	}
+	e := globalCache.m[key]
+	if e == nil {
+		return nil
+	}
+	e.lastUse = now
+	return e.g
+}
+
+// storeGlobal caches a rebuilt table under (hash, kind).
+func storeGlobal(hash uint64, kind dict.Kind, g *tfidf.Global) {
+	globalCache.Lock()
+	defer globalCache.Unlock()
+	globalCache.m[globalCacheKey{hash, kind}] = &globalCacheEntry{g: g, lastUse: time.Now()}
+}
+
+type countCacheEntry struct {
+	sc      *tfidf.ShardCounts
+	lastUse time.Time
+}
+
+var countCache = struct {
+	sync.Mutex
+	m map[string]*countCacheEntry
+}{m: make(map[string]*countCacheEntry)}
+
+// cacheCounts keeps a count kernel's live shard for the matching transform
+// task, evicting expired entries on the way. Re-caching a session key
+// overwrites the entry with identical content (shard counts are a pure
+// function of the shard and the options).
+func cacheCounts(session string, sc *tfidf.ShardCounts) {
+	now := time.Now()
+	countCache.Lock()
+	defer countCache.Unlock()
+	for k, e := range countCache.m {
+		if k != session && now.Sub(e.lastUse) > workerCacheTTL {
+			delete(countCache.m, k)
+		}
+	}
+	countCache.m[session] = &countCacheEntry{sc: sc, lastUse: now}
+}
+
+// peekCounts returns the cached shard without consuming the entry (a
+// transform task that misses the global must leave the counts for its
+// resend), nil on a miss.
+func peekCounts(session string) *tfidf.ShardCounts {
+	countCache.Lock()
+	defer countCache.Unlock()
+	e := countCache.m[session]
+	if e == nil {
+		return nil
+	}
+	e.lastUse = time.Now()
+	return e.sc
+}
+
+// dropCounts removes a consumed entry.
+func dropCounts(session string) {
+	countCache.Lock()
+	defer countCache.Unlock()
+	delete(countCache.m, session)
 }
 
 // KMShardInit carries a loop shard's per-loop constants, shipped once on
@@ -96,6 +286,12 @@ type KMShardInit struct {
 	// WantDists makes the worker track and return per-document distances
 	// (the coordinator's ReseedFarthest policy needs them).
 	WantDists bool
+	// Prune makes the worker maintain a shard-local kmeans.BoundsPass, so
+	// assignment pruning works identically whether the shard runs here or
+	// on the coordinator. Bounds never ship: they are advisory state, and
+	// a fresh session (all bounds −Inf) just scans fully, which is always
+	// correct.
+	Prune bool
 }
 
 // KMAssignTaskArgs are the kmeans.assign kernel arguments — one shard's
@@ -111,6 +307,11 @@ type KMAssignTaskArgs struct {
 	// Assign holds the shard's previous assignments (shard-local indexing),
 	// so the moved count stays exact whether or not the session survived.
 	Assign []int32
+	// Drift holds the padded per-centroid drifts of the previous centroid
+	// update (kmeans.Clusterer.Drift) — what the session's bounds decay by
+	// before this iteration's pruned assignment. Nil on the first iteration
+	// and when pruning is off.
+	Drift []float64
 }
 
 // KMAssignReply is the kmeans.assign kernel reply: exactly the state the
@@ -133,6 +334,7 @@ type kmSession struct {
 	k       int
 	acc     *kmeans.Accum
 	dists   []float64
+	bp      *kmeans.BoundsPass
 	lastUse time.Time
 }
 
@@ -171,6 +373,9 @@ func kmSessionFor(id string, init *KMShardInit) (*kmSession, error) {
 		if init.WantDists {
 			s.dists = make([]float64, len(init.Vectors))
 		}
+		if init.Prune {
+			s.bp = kmeans.NewBoundsPass(len(init.Vectors), init.Dim)
+		}
 		kmSessions.m[id] = s
 	}
 	s.lastUse = now
@@ -194,9 +399,79 @@ func runKMAssignKernel(a *KMAssignTaskArgs) (*KMAssignReply, error) {
 	if len(a.Centroids) != s.k || len(a.CNorms) != s.k {
 		return nil, fmt.Errorf("loop shard %q: %d centroids for k=%d", a.Session, len(a.Centroids), s.k)
 	}
+	if s.bp != nil && a.Drift != nil {
+		if len(a.Drift) != s.k {
+			return nil, fmt.Errorf("loop shard %q: %d drifts for k=%d", a.Session, len(a.Drift), s.k)
+		}
+		s.bp.SetDrift(a.Drift)
+	}
 	s.acc.Reset()
-	kmeans.AssignRange(0, n, s.k, s.docs, s.norms, a.Centroids, a.CNorms, a.Assign, s.dists, s.acc)
+	kmeans.AssignRange(0, n, s.k, s.docs, s.norms, a.Centroids, a.CNorms, a.Assign, s.dists, s.bp, s.acc)
 	return &KMAssignReply{Accum: s.acc.Wire(), Assign: a.Assign, Dists: s.dists}, nil
+}
+
+// kmAssignReplyMagic identifies a flat kmeans.assign reply buffer.
+const kmAssignReplyMagic uint32 = 0x48504b41 // "HPKA"
+
+// EncodeFlat returns the reply in flat layout: magic, the accumulator's
+// flat wire form, then the assignment block and (optionally) the distance
+// block. Floats travel as IEEE 754 bits; the absorbed state is
+// bit-identical to the worker's.
+func (r *KMAssignReply) EncodeFlat() []byte {
+	b := flatwire.AppendU32(nil, kmAssignReplyMagic)
+	b = r.Accum.EncodeFlat(b)
+	b = flatwire.AppendU32(b, uint32(len(r.Assign)))
+	b = flatwire.AppendI32s(b, r.Assign)
+	if r.Dists != nil {
+		b = flatwire.AppendU32(b, 1)
+		b = flatwire.AppendF64s(b, r.Dists)
+	} else {
+		b = flatwire.AppendU32(b, 0)
+	}
+	return b
+}
+
+// DecodeFlatKMAssignReply decodes a flat kmeans.assign reply, validating
+// magic, counts, truncation and trailing bytes.
+func DecodeFlatKMAssignReply(body []byte) (*KMAssignReply, error) {
+	r := flatwire.NewReader(body)
+	r.Magic(kmAssignReplyMagic, "kmeans assign reply")
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("workflow: decode kmeans.assign reply: %w", err)
+	}
+	acc, err := kmeans.ConsumeFlatAccumWire(r)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: decode kmeans.assign reply: %w", err)
+	}
+	rep := &KMAssignReply{Accum: acc}
+	n := r.Count(4)
+	rep.Assign = r.I32s(n)
+	switch r.U32() {
+	case 0:
+	case 1:
+		rep.Dists = r.F64s(n)
+	default:
+		return nil, fmt.Errorf("workflow: decode kmeans.assign reply: bad distance marker")
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("workflow: decode kmeans.assign reply: %w", err)
+	}
+	return rep, nil
+}
+
+// runKMAssignKernelFlat is the registered kernel: gob args in (small —
+// centroids and previous assignments), flat reply out (the hot direction:
+// the accumulator's sparse centroid sums every iteration).
+func runKMAssignKernelFlat(body []byte) ([]byte, error) {
+	var a KMAssignTaskArgs
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("workflow: kernel kmeans.assign: decode args: %w", err)
+	}
+	rep, err := runKMAssignKernel(&a)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: kernel kmeans.assign: %w", err)
+	}
+	return rep.EncodeFlat(), nil
 }
 
 // decodeReply gob-decodes a kernel reply body on the coordinator.
@@ -209,7 +484,10 @@ func decodeReply[R any](body []byte) (*R, error) {
 }
 
 // RemoteTask implements Remotable: a tf-map shard ships when the corpus
-// shard has an on-disk identity and the options serialize.
+// shard has an on-disk identity and the options serialize. With a linked
+// transform stage (pair), the task carries a counts-cache session plus the
+// matching affinity key, so the shard's transform lands on the same worker
+// and reuses the live dictionaries this task leaves behind.
 func (o *TFMapOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
 	src, ok := ins[0].(pario.Source)
 	if !ok {
@@ -224,22 +502,37 @@ func (o *TFMapOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
 		return nil, false
 	}
 	opts := o.Opts
+	pair := o.pair
+	args := CountTaskArgs{Shard: *spec, Opts: wopts}
+	affinity := ""
+	if pair != nil {
+		args.Session = pair.countSession(idx)
+		affinity = args.Session
+	}
 	return &RemoteTask{
-		Op:    "tfidf.count",
-		Args:  CountTaskArgs{Shard: *spec, Opts: wopts},
-		Phase: tfidf.PhaseInputWC,
+		Op:       "tfidf.count",
+		Args:     args,
+		Affinity: affinity,
+		Phase:    tfidf.PhaseInputWC,
 		Absorb: func(body []byte) (Value, error) {
 			w, err := decodeReply[tfidf.WireShardCounts](body)
 			if err != nil {
 				return nil, err
+			}
+			if pair != nil {
+				pair.markCounted(idx)
 			}
 			return w.ShardCounts(opts), nil
 		},
 	}, true
 }
 
-// RemoteTask implements Remotable: a transform shard ships its counts and
-// the global table; the score vectors come back as a ready VectorShard.
+// RemoteTask implements Remotable: a transform shard ships by reference
+// where it can — the global table always as its content hash (the body is
+// pulled by resend only on the first miss per worker), the counts by
+// session key when the map stage cached them on a worker — and absorbs the
+// flat VectorShard reply. Shards counted locally inline their counts, as
+// before.
 func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
 	sc, ok := ins[0].(*tfidf.ShardCounts)
 	if !ok {
@@ -253,14 +546,47 @@ func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool
 	if !ok {
 		return nil, false
 	}
+	pair := o.pair
+	args := TransformTaskArgs{GlobalHash: g.ContentHash(), Opts: wopts}
+	affinity := ""
+	if pair != nil && pair.wasCounted(idx) {
+		args.CountsSession = pair.countSession(idx)
+		affinity = args.CountsSession
+	} else {
+		args.Counts = sc.Wire(false)
+	}
 	return &RemoteTask{
-		Op:    "tfidf.transform",
-		Args:  TransformTaskArgs{Counts: sc.Wire(false), Global: g.Wire(), Opts: wopts},
-		Phase: tfidf.PhaseTransform,
+		Op:       "tfidf.transform",
+		Args:     args,
+		Affinity: affinity,
+		Phase:    tfidf.PhaseTransform,
 		Absorb: func(body []byte) (Value, error) {
-			vs, err := decodeReply[tfidf.VectorShard](body)
+			r := flatwire.NewReader(body)
+			r.Magic(transformReplyMagic, "transform reply")
+			flags := r.U32()
+			if err := r.Err(); err != nil {
+				return nil, fmt.Errorf("workflow: tfidf.transform reply: %w", err)
+			}
+			if flags&^(needGlobalFlag|needCountsFlag) != 0 {
+				return nil, fmt.Errorf("workflow: tfidf.transform reply: unknown miss flags %#x", flags)
+			}
+			if flags != 0 {
+				resend := args
+				if flags&needGlobalFlag != 0 {
+					resend.Global = g.Wire()
+					if pair != nil {
+						pair.noteGlobalShip()
+					}
+				}
+				if flags&needCountsFlag != 0 {
+					resend.Counts = sc.Wire(false)
+					resend.CountsSession = ""
+				}
+				return nil, &needResend{Args: resend}
+			}
+			vs, err := tfidf.DecodeFlatVectorShard(body[8:])
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("workflow: tfidf.transform reply: %w", err)
 			}
 			return vs, nil
 		},

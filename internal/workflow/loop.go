@@ -272,6 +272,7 @@ func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
 		Centroids: s.c.Centroids(),
 		CNorms:    s.c.CentroidNorms(),
 		Assign:    s.c.Assignments()[lo:hi],
+		Drift:     s.c.Drift(),
 	}
 	if !s.shipped[idx] {
 		args.Init = &KMShardInit{
@@ -280,6 +281,7 @@ func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
 			Dim:       s.dim,
 			K:         s.c.K(),
 			WantDists: s.c.TracksDists(),
+			Prune:     s.c.PruneEnabled(),
 		}
 	}
 	acc := s.accs[idx]
@@ -289,7 +291,7 @@ func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
 		Affinity: session,
 		Phase:    kmeans.PhaseKMeans,
 		Absorb: func(body []byte) (Value, error) {
-			rep, err := decodeReply[KMAssignReply](body)
+			rep, err := DecodeFlatKMAssignReply(body)
 			if err != nil {
 				return nil, err
 			}

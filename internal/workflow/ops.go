@@ -98,11 +98,15 @@ func (o *TFIDFOp) Run(ctx *Context, in Value) (Value, error) {
 // tree-merge reduction, phase-2 transform shards, and the streaming
 // gather.
 func (o *TFIDFOp) partitionFragment() fragment {
+	// The map and transform stages share a tfShipPair, so a shard counted
+	// on a worker is transformed on that worker from the cached counts
+	// instead of round-tripping them through the coordinator.
+	pair := newTFShipPair()
 	return fragment{
 		nodes: []fragNode{
-			{suffix: "map", op: &TFMapOp{Opts: o.Opts}},
+			{suffix: "map", op: &TFMapOp{Opts: o.Opts, pair: pair}},
 			{suffix: "df", op: &DFReduceOp{Opts: o.Opts}},
-			{suffix: "transform", op: &TransformOp{Opts: o.Opts}},
+			{suffix: "transform", op: &TransformOp{Opts: o.Opts, pair: pair}},
 			{suffix: "gather", op: &GatherOp{Opts: o.Opts}},
 		},
 		edges: []Edge{

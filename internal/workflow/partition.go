@@ -2,9 +2,11 @@ package workflow
 
 import (
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpa/internal/pario"
@@ -290,6 +292,75 @@ func shardReaders(ctx *Context, total int) int {
 	return r
 }
 
+// tfPairSeq numbers TF/IDF map+transform operator pairs process-wide, so
+// worker-side count-cache sessions never collide across plans.
+var tfPairSeq atomic.Uint64
+
+// tfShipPair is coordinator-side state shared by the TFMapOp and
+// TransformOp of one partitioned TF/IDF expansion — the channel through
+// which the transform stage learns where a shard's phase-1 counts already
+// live. When a count task ships, the worker caches the live ShardCounts
+// under the pair's per-shard session key; the pair records the shard as
+// remotely counted, and the matching transform task then ships the session
+// key (plus the shared affinity key routing it to the same worker) instead
+// of re-serializing every document's term counts. Session keys are a pure
+// function of (pair id, shard index) and shard contents are deterministic,
+// so re-running a plan simply overwrites worker cache entries with
+// identical content.
+//
+// The pair also counts how many times the global term table actually
+// shipped inline (cache misses answered with a resend) — the observable
+// behind the "at most one global ship per (worker, corpus hash)" contract.
+type tfShipPair struct {
+	id string
+
+	mu          sync.Mutex
+	counted     map[int]bool
+	globalShips int
+}
+
+// newTFShipPair allocates the shared state of one map+transform pair.
+func newTFShipPair() *tfShipPair {
+	return &tfShipPair{
+		id:      fmt.Sprintf("tf-%d-%d", os.Getpid(), tfPairSeq.Add(1)),
+		counted: make(map[int]bool),
+	}
+}
+
+// countSession names shard idx's worker-side counts-cache entry.
+func (p *tfShipPair) countSession(idx int) string {
+	return fmt.Sprintf("%s-%d", p.id, idx)
+}
+
+// markCounted records that shard idx's counts were cached by a worker.
+func (p *tfShipPair) markCounted(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counted[idx] = true
+}
+
+// wasCounted reports whether shard idx's counts live on a worker.
+func (p *tfShipPair) wasCounted(idx int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counted[idx]
+}
+
+// noteGlobalShip counts one inlined global-table ship (a resend after a
+// worker's content-hash cache miss).
+func (p *tfShipPair) noteGlobalShip() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.globalShips++
+}
+
+// globalShipCount returns how many times the global table shipped inline.
+func (p *tfShipPair) globalShipCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.globalShips
+}
+
 // TFMapOp is the phase-1 map kernel of the partitioned TF/IDF operator:
 // one corpus shard in, that shard's per-document term frequencies and
 // shard-local document-frequency dictionary out. All shards run
@@ -297,6 +368,10 @@ func shardReaders(ctx *Context, total int) int {
 type TFMapOp struct {
 	// Opts configures tokenization and dictionaries, as in TFIDFOp.
 	Opts tfidf.Options
+	// pair, when non-nil, links this map stage to its transform stage for
+	// count→transform shipping affinity (see tfShipPair). Standalone uses
+	// of the operator leave it nil and ship counts inline, as before.
+	pair *tfShipPair
 }
 
 // Name implements Operator.
@@ -391,6 +466,11 @@ func (o *DFReduceOp) Run(ctx *Context, in Value) (Value, error) {
 type TransformOp struct {
 	// Opts carries Normalize and the recorder wiring.
 	Opts tfidf.Options
+	// pair, when non-nil, is the link to the map stage (see tfShipPair):
+	// shards it marked as remotely counted ship by session key, and the
+	// global term table ships by content hash with the body pulled only on
+	// a worker cache miss.
+	pair *tfShipPair
 }
 
 // Name implements Operator.

@@ -3,11 +3,13 @@ package workflow
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 )
 
 // This file implements the RPC execution backend and its worker side: a
@@ -155,8 +157,21 @@ type RPCBackend struct {
 
 	mu       sync.Mutex
 	affinity map[string]int
+	scopes   map[string]map[string]struct{}
 	next     int
+
+	// shipEWMA tracks the measured wall-clock of worker round trips
+	// (encode + net/rpc call + reply decode inside Call) in nanoseconds, as
+	// an exponentially weighted moving average; shipCount counts samples.
+	// This is the feedback signal the cost model's RPCShipNS — a loopback
+	// lower bound measured at calibration time — can be compared against
+	// after a real run (cmd/hpa-workflow prints both).
+	shipEWMA  float64
+	shipCount int64
 }
+
+// shipAlpha is the EWMA weight of the newest ship-time sample.
+const shipAlpha = 0.2
 
 // NewRPCBackend dials the given worker addresses (TCP) and returns a
 // backend over them. All workers must be reachable; on error, already
@@ -165,7 +180,7 @@ func NewRPCBackend(addrs []string) (*RPCBackend, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("workflow: rpc backend needs at least one worker address")
 	}
-	b := &RPCBackend{affinity: make(map[string]int)}
+	b := &RPCBackend{affinity: make(map[string]int), scopes: make(map[string]map[string]struct{})}
 	for _, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
 		if err != nil {
@@ -182,7 +197,7 @@ func NewRPCBackend(addrs []string) (*RPCBackend, error) {
 // net.Pipe with ServeWorkerConn on the other end) — the in-process form
 // used by tests and benchmarks.
 func NewRPCBackendClients(clients ...*rpc.Client) *RPCBackend {
-	b := &RPCBackend{clients: clients, affinity: make(map[string]int)}
+	b := &RPCBackend{clients: clients, affinity: make(map[string]int), scopes: make(map[string]map[string]struct{})}
 	for i := range clients {
 		b.labels = append(b.labels, fmt.Sprintf("client%d", i))
 	}
@@ -209,7 +224,11 @@ func (b *RPCBackend) Name() string { return "rpc" }
 func (b *RPCBackend) Workers() int { return len(b.clients) }
 
 // pick selects the worker for an affinity key ("" = plain round-robin).
-func (b *RPCBackend) pick(key string) int {
+// A non-empty scope records the key against the task's plan run, so
+// ReleaseScope can drop every pin the run created even when the run never
+// reached its own targeted release (an error mid-loop, an operator without
+// a finish hook).
+func (b *RPCBackend) pick(key, scope string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if key != "" {
@@ -221,6 +240,14 @@ func (b *RPCBackend) pick(key string) int {
 	b.next++
 	if key != "" {
 		b.affinity[key] = i
+		if scope != "" {
+			set := b.scopes[scope]
+			if set == nil {
+				set = make(map[string]struct{})
+				b.scopes[scope] = set
+			}
+			set[key] = struct{}{}
+		}
 	}
 	return i
 }
@@ -237,6 +264,50 @@ func (b *RPCBackend) ReleaseAffinity(keys ...string) {
 	}
 }
 
+// ReleaseScope drops every affinity pin recorded under the given plan-run
+// scope — the executor calls it when Plan.Run returns, success or error.
+// Keys a loop state already released individually are simply absent. This
+// is what keeps a resident serve backend's affinity map bounded by the
+// in-flight runs rather than by the runs ever admitted.
+func (b *RPCBackend) ReleaseScope(scope string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range b.scopes[scope] {
+		delete(b.affinity, k)
+	}
+	delete(b.scopes, scope)
+}
+
+// PinnedAffinities reports how many affinity pins the backend currently
+// holds — observability for tests and the serve path's leak accounting.
+func (b *RPCBackend) PinnedAffinities() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.affinity)
+}
+
+// MeasuredShipNS returns the EWMA of observed worker round-trip times in
+// nanoseconds and the number of samples behind it (0, 0 before any remote
+// task ran). Compare against CostModel.RPCShipNS to see how far the
+// calibrated loopback lower bound sits from this deployment's reality.
+func (b *RPCBackend) MeasuredShipNS() (float64, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shipEWMA, b.shipCount
+}
+
+// observeShip folds one measured round trip into the EWMA.
+func (b *RPCBackend) observeShip(ns float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.shipCount == 0 {
+		b.shipEWMA = ns
+	} else {
+		b.shipEWMA += shipAlpha * (ns - b.shipEWMA)
+	}
+	b.shipCount++
+}
+
 // RunTask implements Backend: tasks with a remote descriptor ship to a
 // worker; the rest run in-process. The shipped task's wall-clock time
 // (encode + RPC + decode + absorb) is accounted to the descriptor's phase
@@ -247,16 +318,42 @@ func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
 		return t.Run()
 	}
 	call := func() (Value, error) {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(rt.Args); err != nil {
-			return nil, fmt.Errorf("workflow: rpc backend: encode %s args: %w", rt.Op, err)
+		i := b.pick(rt.Affinity, rt.Scope)
+		ship := func(args any) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(args); err != nil {
+				return nil, fmt.Errorf("workflow: rpc backend: encode %s args: %w", rt.Op, err)
+			}
+			start := time.Now()
+			var resp RPCResponse
+			if err := b.clients[i].Call("Worker.Run", &RPCRequest{Op: rt.Op, Body: buf.Bytes()}, &resp); err != nil {
+				return nil, fmt.Errorf("workflow: rpc backend: worker %s: task %s: %w", b.labels[i], rt.Op, err)
+			}
+			b.observeShip(float64(time.Since(start)))
+			return resp.Body, nil
 		}
-		i := b.pick(rt.Affinity)
-		var resp RPCResponse
-		if err := b.clients[i].Call("Worker.Run", &RPCRequest{Op: rt.Op, Body: buf.Bytes()}, &resp); err != nil {
-			return nil, fmt.Errorf("workflow: rpc backend: worker %s: task %s: %w", b.labels[i], rt.Op, err)
+		body, err := ship(rt.Args)
+		if err != nil {
+			return nil, err
 		}
-		return rt.Absorb(resp.Body)
+		out, err := rt.Absorb(body)
+		var nr *needResend
+		if errors.As(err, &nr) {
+			// Cache miss: the worker lacks a body the first send replaced
+			// with its key. Re-send the inlined form to the SAME worker —
+			// any other would miss again — and absorb the second reply. A
+			// second miss is a protocol violation, surfaced as an error.
+			if body, err = ship(nr.Args); err != nil {
+				return nil, err
+			}
+			if out, err = rt.Absorb(body); err != nil {
+				if errors.As(err, &nr) {
+					return nil, fmt.Errorf("workflow: rpc backend: worker %s: task %s: cache miss after inlined resend", b.labels[i], rt.Op)
+				}
+				return nil, err
+			}
+		}
+		return out, err
 	}
 	if rt.Phase == "" || ctx == nil || ctx.Breakdown == nil {
 		return call()

@@ -1,0 +1,130 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"hpa/internal/kmeans"
+	"hpa/internal/sparse"
+	"hpa/internal/tfidf"
+)
+
+// benchVectorShard synthesizes a transform-reply-sized shard: 256 documents
+// of ~64 sparse entries each, deterministic content.
+func benchVectorShard() *tfidf.VectorShard {
+	const docs, nnz = 256, 64
+	vs := &tfidf.VectorShard{Lo: 0, Hi: docs, Dim: 1 << 16, DictFootprint: 1 << 20}
+	vs.Vectors = make([]sparse.Vector, docs)
+	vs.Norms = make([]float64, docs)
+	vs.DocNames = make([]string, docs)
+	for i := range vs.Vectors {
+		idx := make([]uint32, nnz)
+		val := make([]float64, nnz)
+		norm := 0.0
+		for e := range idx {
+			idx[e] = uint32((i*131 + e*977) % (1 << 16))
+			val[e] = float64(i+1) / float64(e+3)
+			norm += val[e] * val[e]
+		}
+		vs.Vectors[i] = sparse.Vector{Idx: idx, Val: val}
+		vs.Norms[i] = norm
+		vs.DocNames[i] = fmt.Sprintf("corpus/shard-0/doc-%04d.txt", i)
+	}
+	return vs
+}
+
+// benchAccumWire synthesizes a kmeans.assign-reply-sized accumulator:
+// 16 clusters of ~2000 sparse centroid-sum entries each.
+func benchAccumWire() *kmeans.AccumWire {
+	const k, nnz = 16, 2000
+	w := &kmeans.AccumWire{
+		Idx:     make([][]uint32, k),
+		Val:     make([][]float64, k),
+		Counts:  make([]int64, k),
+		Inertia: 12345.678,
+		Changed: 42,
+		Skipped: 17,
+	}
+	for j := 0; j < k; j++ {
+		idx := make([]uint32, nnz)
+		val := make([]float64, nnz)
+		for e := range idx {
+			idx[e] = uint32(j*37 + e*13)
+			val[e] = float64(j+1) * float64(e+1) / 7
+		}
+		w.Idx[j], w.Val[j], w.Counts[j] = idx, val, int64(100+j)
+	}
+	return w
+}
+
+// BenchmarkWirePayloads compares the gob and flat codecs on the two hot
+// worker→coordinator payloads — one encode+decode round trip per op, with
+// the encoded size reported — quantifying what flattening the wire saves
+// in bytes, time and allocations. Run with
+//
+//	go test ./internal/workflow -run '^$' -bench WirePayloads -benchtime 100x
+//
+// (results folded into BENCH_pruned.json).
+func BenchmarkWirePayloads(b *testing.B) {
+	vs := benchVectorShard()
+	aw := benchAccumWire()
+
+	b.Run("vectorshard/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(vs); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+			var out tfidf.VectorShard
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+	})
+	b.Run("vectorshard/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			buf := vs.EncodeFlat(nil)
+			size = len(buf)
+			if _, err := tfidf.DecodeFlatVectorShard(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+	})
+	b.Run("accum/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(aw); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+			var out kmeans.AccumWire
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+	})
+	b.Run("accum/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			buf := aw.EncodeFlat(nil)
+			size = len(buf)
+			if _, err := kmeans.DecodeFlatAccumWire(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+	})
+}

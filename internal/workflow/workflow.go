@@ -88,6 +88,32 @@
 // (in-memory sources, disk-simulated sources, stopword-bearing options)
 // quietly fall back to the local path.
 //
+// # Pruning and the wire
+//
+// Two hot-path optimizations ride the remotable tasks (kernels.go):
+//
+//   - The K-Means assignment tasks run the bounded (Hamerly-style) kernel
+//     when Options.Prune allows it — bounds live in the worker-side loop
+//     session next to the shipped documents, drift rides the per-iteration
+//     task args, and results stay bit-identical to the unpruned kernel
+//     (see the kmeans package doc); the optimizer prices the pruned kernel
+//     separately (CostModel.KMeansAssignPrunedNS).
+//   - Task payloads avoid redundant and slow serialization. The global
+//     term table is content-addressed: transform args carry only its hash,
+//     workers cache table bodies (keyed by hash and dictionary kind, with
+//     a lazy TTL), and a cache miss answers with a need-resend flag that
+//     makes the coordinator re-ship inline exactly once per (worker, hash)
+//     — steady-state iterations ship no table at all. A shard's term
+//     counts never leave the worker that counted them: count tasks park
+//     their output in the worker session under a per-run scope
+//     (count→transform affinity), the paired transform task names the
+//     session, and the scope's pins are released when the run ends. And
+//     the bulk payloads — tfidf.VectorShard, kmeans.AccumWire, assignment
+//     replies — travel as flat length-prefixed buffers (internal/flatwire)
+//     instead of gob, ~8x faster to encode+decode with orders of magnitude
+//     fewer allocations (BENCH_pruned.json); gob remains the envelope for
+//     descriptors and everything cold.
+//
 // Fusion is a graph rewrite: a plan containing an explicit materialize/load
 // operator pair around an edge is rewritten by FuseRule into one without
 // them. Running the original plan and the fused plan therefore measures
