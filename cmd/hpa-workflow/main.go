@@ -9,7 +9,8 @@
 //	             [-shards 0] [-dict map|u-map|map-arena] [-presize 0]
 //	             [-k 8] [-seed 1] [-scratch DIR] [-disksim off|hdd]
 //	             [-sweep 1,4,8,12,16] [-explain] [-optimize]
-//	             [-workers addr,addr]
+//	             [-workers addr,addr] [-trace out.json]
+//	             [-measured-ship=true]
 //	hpa-workflow -worker ADDR
 //
 // -shards selects partitioned streaming execution: the corpus scan is
@@ -65,6 +66,25 @@
 // count decisions; with -explain, the plan is annotated with where tasks
 // run.
 //
+// -trace FILE records one span per scheduled task (queue wait, run time,
+// backend, worker lane, wire bytes and codec) plus wire and K-Means loop
+// events, and writes them as Chrome trace-event JSON loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing: pid 1 is the coordinator, each RPC
+// worker gets its own pid lane. A per-node summary table and a plan autopsy
+// — the -explain output with measured wall-clock printed next to every
+// optimizer prediction — are printed to stderr. Tracing is per-run, so
+// -trace cannot be combined with -sweep.
+//
+// Distributed runs persist the measured per-task ship time as an EWMA file
+// (hpa-ship-ewma.json, next to the cost-model cache in the scratch
+// directory), and later -optimize runs price remote plans with that
+// measured figure instead of the calibrated loopback lower bound; -explain
+// shows which one priced the plan as "ship=measured" vs
+// "ship=loopback-bound". Pass -measured-ship=false to ignore the persisted
+// file and keep the loopback bound. As with the cost-model cache, the
+// feedback only survives across runs when -scratch points at a persistent
+// directory.
+//
 // With -sweep, the workflow runs once per thread count and prints a
 // Figure 3-style table. With -explain, the validated plan DAG is printed
 // (materialize/load edges marked =[arff]=>, shard edges -[xN]->, optimizer
@@ -86,6 +106,7 @@ import (
 	"hpa/internal/dict"
 	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
+	"hpa/internal/obs"
 	"hpa/internal/optimizer"
 	"hpa/internal/par"
 	"hpa/internal/pario"
@@ -115,6 +136,8 @@ func main() {
 		optimize = flag.Bool("optimize", false, "derive dict kind, fusion and shard count from a calibrated cost model (explicitly-set -dict/-mode/-shards pin the corresponding decision)")
 		worker   = flag.String("worker", "", "run as a task worker listening on this address (e.g. :7070; :0 picks a port) instead of running a workflow")
 		workers  = flag.String("workers", "", "comma-separated worker addresses to ship shard tasks to (started with -worker)")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto); also prints a per-node table and a predicted-vs-measured plan autopsy to stderr")
+		shipEWMA = flag.Bool("measured-ship", true, "price remote plans with the persisted measured ship EWMA when available (false: always use the calibrated loopback bound)")
 	)
 	flag.Parse()
 	// Explicitly-set flags pin optimizer decisions (see the precedence
@@ -246,7 +269,11 @@ func main() {
 		}
 		profile := optimizer.LocalProfile()
 		if workerCount > 0 {
-			profile = optimizer.RPCProfile(workerCount, model)
+			shipDir := ""
+			if *shipEWMA {
+				shipDir = scratchDir
+			}
+			profile = optimizer.RPCProfileFrom(workerCount, model, shipDir)
 		}
 		opts := optimizer.Options{Procs: procs, Shards: pin, Backend: profile}
 		if explicit["dict"] {
@@ -292,6 +319,10 @@ func main() {
 			threadList = append(threadList, n)
 		}
 	}
+	if *trace != "" && len(threadList) > 1 {
+		fmt.Fprintln(os.Stderr, "hpa-workflow: -trace records a single run and cannot be combined with -sweep")
+		os.Exit(2)
+	}
 
 	header := append([]string{"Threads", "Mode", "Dict"}, phaseOrder...)
 	header = append(header, "total")
@@ -315,6 +346,11 @@ func main() {
 		ctx.ScratchDir = scratchDir
 		ctx.Disk = disk
 		ctx.Backend = backend
+		var tracer *obs.Tracer
+		if *trace != "" {
+			tracer = obs.NewTracer()
+			ctx.Tracer = tracer
+		}
 		rep, err := workflow.RunTFKMPlan(plan, ctx)
 		pool.Close()
 		if err != nil {
@@ -354,6 +390,24 @@ func main() {
 					ps.Skipped, ps.DocIterations, 100*ps.SkipRate())
 			}
 		}
+		if tracer != nil {
+			tr := tracer.Snapshot()
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteChromeTrace(f, tr); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d spans, %d events -> %s (load in ui.perfetto.dev)\n",
+				len(tr.Spans), len(tr.Events), *trace)
+			fmt.Fprint(os.Stderr, obs.NodeTable(tr))
+			fmt.Fprintln(os.Stderr, obs.Autopsy(plan, tr, rep.Breakdown))
+		}
 	}
 	// Close the optimizer feedback loop on distributed runs: report what
 	// shipping a task actually cost next to the model's calibrated loopback
@@ -367,6 +421,16 @@ func main() {
 					time.Duration(model.RPCShipNS).Round(time.Microsecond))
 			}
 			fmt.Fprintln(os.Stderr, line)
+			// Persist the measurement so the next -optimize run prices
+			// remote shards with real ship times (ship=measured in
+			// -explain). Loading is what -measured-ship=false disables;
+			// recording is always on, like the cost-model cache.
+			path := optimizer.ShipEWMAFile(scratchDir)
+			prev, _ := optimizer.LoadShipEWMA(path)
+			prev.Observe(ns, samples)
+			if err := prev.Save(path); err != nil {
+				fmt.Fprintf(os.Stderr, "hpa-workflow: persist ship EWMA: %v\n", err)
+			}
 		}
 	}
 	fmt.Print(table.String())

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -12,6 +13,11 @@ import (
 )
 
 func main() {
+	// -trace records one span per scheduled task and writes Chrome
+	// trace-event JSON you can load in Perfetto (ui.perfetto.dev).
+	traceOut := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	flag.Parse()
+
 	// A pool provides intra-node parallelism to every operator. Size it to
 	// your cores (hpa.DefaultPool()) or to an experiment's thread axis.
 	pool := hpa.NewPool(4)
@@ -32,6 +38,11 @@ func main() {
 	}
 	defer os.RemoveAll(scratch)
 	ctx.ScratchDir = scratch
+	var tracer *hpa.Tracer
+	if *traceOut != "" {
+		tracer = hpa.NewTracer()
+		ctx.Tracer = tracer
+	}
 
 	// Run TF/IDF → K-Means fused: the score matrix stays in memory.
 	report, err := hpa.RunTFIDFKMeans(corpus.Source(nil), ctx, hpa.TFKMConfig{
@@ -53,4 +64,19 @@ func main() {
 		fmt.Printf("  cluster %d: %d documents\n", j, size)
 	}
 	fmt.Printf("phase breakdown: %s\n", report.Breakdown)
+
+	if tracer != nil {
+		tr := tracer.Snapshot()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hpa.WriteChromeTrace(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d spans -> %s\n", len(tr.Spans), *traceOut)
+	}
 }

@@ -590,6 +590,11 @@ func (c *Clusterer) Done() bool { return c.done }
 // Iterations returns the number of iterations executed so far.
 func (c *Clusterer) Iterations() int { return c.iter }
 
+// PruneStats returns the pruning counters accumulated so far (zero value
+// when pruning is off) — mid-loop observability for tracing; Finalize
+// publishes the same counters on the Result.
+func (c *Clusterer) PruneStats() PruneStats { return c.pruneStats }
+
 // Step runs one K-Means iteration: parallel assignment and accumulation
 // over document chunks (each chunk claiming a recycled Accum through the
 // reducer), then the serial ordered reduction and centroid update. It

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,7 +18,12 @@ import (
 // "kmeans" and "output".
 //
 // A Breakdown is not safe for concurrent use; phases in this library are
-// sequential sections of the workflow (the parallelism is inside a phase).
+// sequential sections of the workflow (the parallelism is inside a phase),
+// and the partitioned executor gives every task a private Breakdown and
+// merges them on its scheduling goroutine only. The invariant is checked,
+// not just documented: every mutating method asserts (via an atomic guard)
+// that no other goroutine is mutating concurrently, and panics on a
+// violation instead of silently corrupting the maps.
 //
 // A phase may be recorded either as a plain duration (Add/Time) or as a
 // wall-clock interval (AddSpan/TimeSpan). Intervals recorded for the same
@@ -31,7 +37,21 @@ type Breakdown struct {
 	order []string
 	times map[string]time.Duration
 	spans map[string]phaseSpan
+	// busy is the concurrent-mutation guard: mutators CAS it 0→1 for the
+	// duration of the map update and panic when the CAS fails — a cheap,
+	// always-on assertion of the single-goroutine contract above.
+	busy int32
 }
+
+// enter marks a mutation in progress, panicking if one already is.
+func (b *Breakdown) enter() {
+	if !atomic.CompareAndSwapInt32(&b.busy, 0, 1) {
+		panic("metrics: concurrent Breakdown mutation (a Breakdown is not safe for concurrent use)")
+	}
+}
+
+// exit ends the mutation window opened by enter.
+func (b *Breakdown) exit() { atomic.StoreInt32(&b.busy, 0) }
 
 // phaseSpan is the union [start, end] of every interval recorded so far for
 // one phase.
@@ -55,6 +75,8 @@ func (b *Breakdown) seen(phase string) bool {
 
 // Add accumulates d into the named phase.
 func (b *Breakdown) Add(phase string, d time.Duration) {
+	b.enter()
+	defer b.exit()
 	if !b.seen(phase) {
 		b.order = append(b.order, phase)
 	}
@@ -81,6 +103,8 @@ func (b *Breakdown) TimeErr(phase string, fn func() error) error {
 // Intervals for the same phase union rather than sum: overlapping shards of
 // one parallel phase count once.
 func (b *Breakdown) AddSpan(phase string, start, end time.Time) {
+	b.enter()
+	defer b.exit()
 	if !b.seen(phase) {
 		b.order = append(b.order, phase)
 	}
@@ -122,6 +146,8 @@ func (b *Breakdown) TimeSpanErr(phase string, fn func() error) error {
 // merging the per-shard breakdowns of one node, so that node-level times
 // then combine additively with other nodes, exactly as before sharding.
 func (b *Breakdown) ResolveSpans() {
+	b.enter()
+	defer b.exit()
 	for phase, s := range b.spans {
 		b.times[phase] += s.end.Sub(s.start)
 	}

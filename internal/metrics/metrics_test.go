@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -162,5 +163,36 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\nplain,\"with,comma\"\n\"q\"\"uote\",line\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+// TestBreakdownGuardPanicsOnConcurrentMutation pins the documented
+// contract: a Breakdown is not safe for concurrent use, and the guard
+// turns a silent data race into a deterministic panic. Simulated by
+// holding the guard open (as a paused mutator would) and mutating again.
+func TestBreakdownGuardPanicsOnConcurrentMutation(t *testing.T) {
+	b := NewBreakdown()
+	b.enter() // a concurrent mutator mid-update
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("concurrent Add did not panic")
+		} else if !strings.Contains(fmt.Sprint(r), "concurrent Breakdown mutation") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	b.Add("phase", time.Millisecond)
+}
+
+// TestBreakdownGuardAllowsNesting: the timing helpers run their callback
+// outside the guarded window, so Add inside Time must not trip the guard,
+// and sequential use never does.
+func TestBreakdownGuardAllowsNesting(t *testing.T) {
+	b := NewBreakdown()
+	b.Time("outer", func() {
+		b.Add("inner", time.Millisecond)
+	})
+	b.Add("after", time.Millisecond)
+	if b.Get("inner") != time.Millisecond || b.Get("after") != time.Millisecond {
+		t.Fatal("guard corrupted sequential accounting")
 	}
 }

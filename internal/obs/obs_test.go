@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsSafe: every method must be a no-op on a nil receiver —
+// instrumentation sites carry no guards.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer claims to be enabled")
+	}
+	tr.Record(Span{Node: "x"})
+	tr.Emit("wire", "event", "label", 1)
+	if !tr.Epoch().IsZero() {
+		t.Error("nil tracer has a non-zero epoch")
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 0 || len(snap.Events) != 0 {
+		t.Errorf("nil tracer snapshot is not empty: %d spans, %d events", len(snap.Spans), len(snap.Events))
+	}
+}
+
+// TestTracerConcurrentCollect hammers Record/Emit/Snapshot from many
+// goroutines; run under -race this is the collector's concurrency test.
+func TestTracerConcurrentCollect(t *testing.T) {
+	tr := NewTracer()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Record(Span{Node: "n", Shard: w, Iter: i})
+				tr.Emit("cat", "name", "", int64(i))
+				if i%50 == 0 {
+					_ = tr.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if got := len(snap.Spans); got != workers*perWorker {
+		t.Errorf("lost spans: got %d, want %d", got, workers*perWorker)
+	}
+	if got := len(snap.Events); got != workers*perWorker {
+		t.Errorf("lost events: got %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSnapshotIsImmutable: recording after a snapshot must not mutate it.
+func TestSnapshotIsImmutable(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(Span{Node: "a"})
+	snap := tr.Snapshot()
+	tr.Record(Span{Node: "b"})
+	if len(snap.Spans) != 1 || snap.Spans[0].Node != "a" {
+		t.Errorf("earlier snapshot changed: %+v", snap.Spans)
+	}
+	if got := len(tr.Snapshot().Spans); got != 2 {
+		t.Errorf("later snapshot missing spans: %d", got)
+	}
+}
+
+func TestTraceWorkersAndNodes(t *testing.T) {
+	tr := &Trace{Spans: []Span{
+		{Node: "b", Worker: "w2"},
+		{Node: "a", Worker: ""},
+		{Node: "b", Worker: "w1"},
+		{Node: "a", Worker: "w1"},
+	}}
+	if got := strings.Join(tr.Workers(), ","); got != "w1,w2" {
+		t.Errorf("Workers() = %q", got)
+	}
+	if got := strings.Join(tr.Nodes(), ","); got != "a,b" {
+		t.Errorf("Nodes() = %q", got)
+	}
+}
+
+func TestSpanWaitAndDur(t *testing.T) {
+	base := time.Unix(1000, 0)
+	s := Span{Queued: base, Start: base.Add(5 * time.Microsecond), End: base.Add(25 * time.Microsecond)}
+	if s.Wait() != 5*time.Microsecond {
+		t.Errorf("Wait() = %v", s.Wait())
+	}
+	if s.Dur() != 20*time.Microsecond {
+		t.Errorf("Dur() = %v", s.Dur())
+	}
+	if (&Span{Start: base, End: base}).Wait() != 0 {
+		t.Error("unqueued span reports a wait")
+	}
+}

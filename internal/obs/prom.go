@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A dependency-free Prometheus text-exposition registry: just enough of the
+// format (counter, gauge, histogram; HELP/TYPE headers; one optional label)
+// for hpa-serve's GET /metrics. Collectors are func-backed so the endpoint
+// reads the server's existing atomics instead of double-counting.
+
+// LabeledValue is one sample of a labeled gauge.
+type LabeledValue struct {
+	// Label is the value of the metric's single label.
+	Label string
+	// Value is the sample.
+	Value float64
+}
+
+type promMetric struct {
+	name, help, typ string
+	collect         func(sb *strings.Builder)
+}
+
+// Registry holds metrics and renders them in Prometheus text exposition
+// format. Registration is not synchronized (do it at construction);
+// rendering and metric updates are safe concurrently.
+type Registry struct {
+	metrics []promMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CounterFunc registers a counter read from fn at render time.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.metrics = append(r.metrics, promMetric{name, help, "counter", func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %d\n", name, fn())
+	}})
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.metrics = append(r.metrics, promMetric{name, help, "gauge", func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "%s %s\n", name, promFloat(fn()))
+	}})
+}
+
+// LabeledGaugeFunc registers a gauge with one label; fn returns the sample
+// set at render time (samples are sorted by label for determinism).
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() []LabeledValue) {
+	r.metrics = append(r.metrics, promMetric{name, help, "gauge", func(sb *strings.Builder) {
+		vs := fn()
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Label < vs[j].Label })
+		for _, v := range vs {
+			fmt.Fprintf(sb, "%s{%s=%q} %s\n", name, label, v.Label, promFloat(v.Value))
+		}
+	}})
+}
+
+// DefLatencyBuckets are the histogram bounds (seconds) used for query and
+// plan latency.
+var DefLatencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is safe for
+// concurrent use.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64 // one per bound, plus the +Inf overflow slot
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram registers a histogram with the given ascending upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.metrics = append(r.metrics, promMetric{name, help, "histogram", func(sb *strings.Builder) {
+		h.mu.Lock()
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(sb, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(sb, "%s_sum %s\n", name, promFloat(h.sum))
+		fmt.Fprintf(sb, "%s_count %d\n", name, h.total)
+		h.mu.Unlock()
+	}})
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// WritePrometheus renders every registered metric with HELP/TYPE headers,
+// in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	for _, m := range r.metrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		m.collect(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

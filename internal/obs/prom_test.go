@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExposition pins the text format: HELP/TYPE headers,
+// registration order, label quoting, cumulative histogram buckets.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("test_ops_total", "Operations.", func() int64 { return 42 })
+	r.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 3 })
+	r.LabeledGaugeFunc("test_version", "Versions.", "index", func() []LabeledValue {
+		// Deliberately unsorted: the renderer must sort by label.
+		return []LabeledValue{{Label: "b", Value: 2}, {Label: "a", Value: 7}}
+	})
+	h := r.NewHistogram("test_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05) // → le=0.1
+	h.Observe(0.5)  // → le=1
+	h.Observe(0.7)  // → le=1
+	h.Observe(5)    // → +Inf
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 42",
+		"# HELP test_depth Queue depth.",
+		"# TYPE test_depth gauge",
+		"test_depth 3",
+		"# HELP test_version Versions.",
+		"# TYPE test_version gauge",
+		`test_version{index="a"} 7`,
+		`test_version{index="b"} 2`,
+		"# HELP test_seconds Latency.",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_sum 6.25",
+		"test_seconds_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramBoundaries: a sample exactly on an upper bound belongs to
+// that bucket (le is inclusive).
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("b_seconds", "x", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`b_seconds_bucket{le="1"} 1`,
+		`b_seconds_bucket{le="2"} 2`,
+		`b_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve: parallel Observe against a rendering
+// loop — the -race companion for the /metrics endpoint.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("c_seconds", "x", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i) / 100)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c_seconds_count 2000") {
+		t.Errorf("lost observations:\n%s", buf.String())
+	}
+}

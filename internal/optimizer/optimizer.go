@@ -54,6 +54,10 @@ type BackendProfile struct {
 	// ShipNS is the per-task ship overhead (gob encode + RPC round trip +
 	// decode), added to the executor task overhead for every shard task.
 	ShipNS float64
+	// ShipSource labels where ShipNS came from for Explain: "measured"
+	// (persisted EWMA of real worker round trips) or "loopback-bound" (the
+	// calibrated loopback lower bound). Empty for local profiles.
+	ShipSource string
 }
 
 // LocalProfile describes the in-process pool backend: no ship cost, no
@@ -61,9 +65,26 @@ type BackendProfile struct {
 func LocalProfile() BackendProfile { return BackendProfile{} }
 
 // RPCProfile describes an RPC backend of n workers, priced with the
-// model's calibrated ship cost.
+// model's calibrated ship cost — a loopback lower bound.
 func RPCProfile(n int, m *CostModel) BackendProfile {
-	return BackendProfile{Remote: true, Workers: n, ShipNS: m.RPCShipNS}
+	return BackendProfile{Remote: true, Workers: n, ShipNS: m.RPCShipNS, ShipSource: "loopback-bound"}
+}
+
+// RPCProfileFrom is RPCProfile with the measured-ship feedback loop closed:
+// when dir holds a persisted ship EWMA (see ShipEWMA) with at least one
+// sample, that measured per-task ship time prices the plan instead of the
+// calibrated loopback bound. Pass dir == "" to skip the lookup (the
+// flag-off escape hatch).
+func RPCProfileFrom(n int, m *CostModel, dir string) BackendProfile {
+	bp := RPCProfile(n, m)
+	if dir == "" {
+		return bp
+	}
+	if e, err := LoadShipEWMA(ShipEWMAFile(dir)); err == nil && e.Samples > 0 && e.ShipNS > 0 {
+		bp.ShipNS = e.ShipNS
+		bp.ShipSource = "measured"
+	}
+	return bp
 }
 
 // slots returns the execution-slot count the profile adds to the
@@ -83,10 +104,14 @@ func (b BackendProfile) perTaskNS(taskNS float64) float64 {
 	return taskNS
 }
 
-// String labels the profile in annotations.
+// String labels the profile in annotations, including where the ship cost
+// came from ("ship=measured" vs "ship=loopback-bound") when known.
 func (b BackendProfile) String() string {
 	if !b.Remote {
 		return "local"
+	}
+	if b.ShipSource != "" {
+		return fmt.Sprintf("rpc×%d (+%s ship/task, ship=%s)", b.Workers, fmtNS(b.ShipNS), b.ShipSource)
 	}
 	return fmt.Sprintf("rpc×%d (+%s ship/task)", b.Workers, fmtNS(b.ShipNS))
 }

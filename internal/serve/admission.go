@@ -260,6 +260,9 @@ func newQueryGate(maxInflight int) *queryGate {
 	return &queryGate{sem: make(chan struct{}, maxInflight)}
 }
 
+// inflight returns the number of query slots currently held.
+func (g *queryGate) inflight() int { return len(g.sem) }
+
 // tryAcquire claims a query slot without blocking; the caller must invoke
 // the returned release when done.
 func (g *queryGate) tryAcquire() (release func(), ok bool) {

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerMetricsEndpoint drives a plan (with publish) and a query
+// through the server and checks that GET /metrics exposes the activity in
+// Prometheus text form and GET /v1/stats mirrors it in JSON.
+func TestServerMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Fresh server: the endpoint must render every metric family with
+	// headers, all zeros.
+	body := getMetrics(t, ts)
+	for _, want := range []string{
+		"# HELP hpa_plans_admitted_total",
+		"# TYPE hpa_plans_admitted_total counter",
+		"hpa_plans_admitted_total 0",
+		"hpa_queries_served_total 0",
+		"hpa_plan_queue_depth 0",
+		"hpa_index_count 0",
+		`hpa_query_seconds_bucket{le="+Inf"} 0`,
+		"hpa_plan_seconds_count 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fresh /metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	// One plan submission that publishes an index, then one query.
+	resp, raw := ts.postJSON(t, "/v1/plans", PlanRequest{Corpus: "abstracts", Publish: "abstracts"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan failed: %d %s", resp.StatusCode, raw)
+	}
+	resp, raw = ts.postJSON(t, "/v1/indexes/abstracts/query", QueryRequest{Text: "cluster analysis", K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query failed: %d %s", resp.StatusCode, raw)
+	}
+
+	body = getMetrics(t, ts)
+	for _, want := range []string{
+		"hpa_plans_admitted_total 1",
+		"hpa_plans_completed_total 1",
+		"hpa_queries_served_total 1",
+		"hpa_index_count 1",
+		`hpa_index_version{index="abstracts"} 1`,
+		"hpa_plan_seconds_count 1",
+		"hpa_query_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics after activity lacks %q:\n%s", want, body)
+		}
+	}
+	// The resident index claims real bytes.
+	if strings.Contains(body, "hpa_index_mem_bytes 0\n") {
+		t.Errorf("published index reports zero resident bytes:\n%s", body)
+	}
+
+	// /v1/stats mirrors the same counters in JSON.
+	resp, err := http.Get(ts.http.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ = io.ReadAll(resp.Body)
+	st := decode[ServerStats](t, raw)
+	if st.Plans.Admitted != 1 || st.QueriesServed != 1 || st.Indexes != 1 {
+		t.Fatalf("stats do not mirror activity: %+v", st)
+	}
+	if st.IndexVersions["abstracts"] != 1 {
+		t.Errorf("stats lack index versions: %+v", st)
+	}
+	if st.IndexMemBytes <= 0 {
+		t.Errorf("stats lack resident index bytes: %+v", st)
+	}
+	if st.QueriesInflight != 0 {
+		t.Errorf("idle server claims in-flight queries: %+v", st)
+	}
+}
+
+func getMetrics(t *testing.T, ts *testServer) string {
+	t.Helper()
+	resp, err := http.Get(ts.http.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -38,6 +38,10 @@ type IndexArtifact struct {
 	// BuiltAt stamps the publish.
 	BuiltAt time.Time
 
+	// memBytes caches the resident-size estimate, computed once at Publish
+	// (the artifact is immutable afterwards).
+	memBytes int64
+
 	// scratch recycles per-query state (vectorizer + searcher); both are
 	// bound to this artifact's immutable vocab/index, so pooled values can
 	// never observe a version change.
@@ -49,6 +53,24 @@ func (a *IndexArtifact) Docs() int { return a.Index.NumDocs() }
 
 // Dim returns the vocabulary size.
 func (a *IndexArtifact) Dim() int { return a.Index.Dim() }
+
+// MemBytes estimates the artifact's resident size: the similarity index's
+// payload arrays plus document names and cluster assignments. Computed at
+// Publish; zero for artifacts never published.
+func (a *IndexArtifact) MemBytes() int64 { return a.memBytes }
+
+// computeMemBytes fills the cached resident-size estimate.
+func (a *IndexArtifact) computeMemBytes() {
+	n := a.Index.MemBytes()
+	for _, name := range a.DocNames {
+		n += int64(len(name)) + 16 // string header
+	}
+	if a.Clusters != nil {
+		n += int64(len(a.Clusters.Assign)) * 4
+		n += int64(len(a.Clusters.Counts)) * 8
+	}
+	a.memBytes = n
+}
 
 // querySession is the reusable per-query scratch of one artifact.
 type querySession struct {
@@ -137,6 +159,7 @@ func (r *Registry) Publish(art *IndexArtifact) (*IndexArtifact, error) {
 	if art.BuiltAt.IsZero() {
 		art.BuiltAt = time.Now()
 	}
+	art.computeMemBytes()
 	next := make(map[string]*IndexArtifact, len(old)+1)
 	for k, v := range old {
 		next[k] = v

@@ -20,6 +20,14 @@
 //
 // Batch and served answers are bit-identical: the same kernels vectorize,
 // index and score in both paths.
+//
+// Observability: GET /v1/stats returns a JSON snapshot (admission counters,
+// query-gate served/shed/in-flight, registry index count, versions and
+// resident bytes, global term-table re-ships) and GET /metrics exposes the
+// same numbers in Prometheus text exposition — counters for plans
+// admitted/completed/shed and queries served/shed, gauges for queue depth,
+// in-flight queries and resident index size, and latency histograms for
+// the query and plan paths.
 package serve
 
 import (
@@ -38,6 +46,7 @@ import (
 	"hpa/internal/dict"
 	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
+	"hpa/internal/obs"
 	"hpa/internal/optimizer"
 	"hpa/internal/simsearch"
 	"hpa/internal/tfidf"
@@ -75,6 +84,12 @@ type Server struct {
 	gate    *queryGate
 	mux     *http.ServeMux
 	runSeq  atomic.Uint64
+
+	// prom serves GET /metrics (Prometheus text exposition); queryLat and
+	// planLat are its latency histograms, observed on the serving paths.
+	prom     *obs.Registry
+	queryLat *obs.Histogram
+	planLat  *obs.Histogram
 }
 
 // New validates cfg and returns a server.
@@ -99,9 +114,11 @@ func New(cfg Config) (*Server, error) {
 		adm:     NewAdmission(cfg.MaxConcurrentPlans, cfg.MaxQueuedPlans),
 		gate:    newQueryGate(cfg.MaxInflightQueries),
 	}
+	s.initMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/indexes", s.handleListIndexes)
 	mux.HandleFunc("GET /v1/indexes/{name}", s.handleGetIndex)
 	mux.HandleFunc("DELETE /v1/indexes/{name}", s.handleDropIndex)
@@ -221,19 +238,85 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // ServerStats is the /v1/stats payload.
 type ServerStats struct {
-	Plans         AdmissionStats `json:"plans"`
-	QueriesServed int64          `json:"queries_served"`
-	QueriesShed   int64          `json:"queries_shed"`
-	Indexes       int            `json:"indexes"`
+	Plans           AdmissionStats    `json:"plans"`
+	QueriesServed   int64             `json:"queries_served"`
+	QueriesShed     int64             `json:"queries_shed"`
+	QueriesInflight int               `json:"queries_inflight"`
+	Indexes         int               `json:"indexes"`
+	IndexVersions   map[string]uint64 `json:"index_versions,omitempty"`
+	IndexMemBytes   int64             `json:"index_mem_bytes"`
+	GlobalReships   int64             `json:"global_reships"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, ServerStats{
-		Plans:         s.adm.Stats(),
-		QueriesServed: s.gate.served.Load(),
-		QueriesShed:   s.gate.shed.Load(),
-		Indexes:       s.reg.Len(),
-	})
+	st := ServerStats{
+		Plans:           s.adm.Stats(),
+		QueriesServed:   s.gate.served.Load(),
+		QueriesShed:     s.gate.shed.Load(),
+		QueriesInflight: s.gate.inflight(),
+		Indexes:         s.reg.Len(),
+		GlobalReships:   workflow.GlobalReships(),
+	}
+	if arts := s.reg.List(); len(arts) > 0 {
+		st.IndexVersions = make(map[string]uint64, len(arts))
+		for _, a := range arts {
+			st.IndexVersions[a.Name] = a.Version
+			st.IndexMemBytes += a.MemBytes()
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// initMetrics registers the Prometheus-text metric set behind GET /metrics.
+// Counters and gauges read the same counters /v1/stats reports; the two
+// endpoints are views over one set of numbers, JSON vs text exposition.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	r.CounterFunc("hpa_plans_admitted_total", "Plans admitted for execution.",
+		func() int64 { return s.adm.admitted.Load() })
+	r.CounterFunc("hpa_plans_completed_total", "Plans that finished executing.",
+		func() int64 { return s.adm.completed.Load() })
+	r.CounterFunc("hpa_plans_shed_total", "Plan submissions shed past the queue budget.",
+		func() int64 { return s.adm.shed.Load() })
+	r.CounterFunc("hpa_queries_served_total", "Top-k queries admitted through the gate.",
+		func() int64 { return s.gate.served.Load() })
+	r.CounterFunc("hpa_queries_shed_total", "Top-k queries shed past the in-flight budget.",
+		func() int64 { return s.gate.shed.Load() })
+	r.CounterFunc("hpa_global_table_reships_total", "Global term-table re-ships to workers whose cache missed.",
+		func() int64 { return workflow.GlobalReships() })
+	r.GaugeFunc("hpa_plans_running", "Plans executing right now.",
+		func() float64 { return float64(s.adm.Stats().Running) })
+	r.GaugeFunc("hpa_plan_queue_depth", "Plan submissions waiting in the admission queue.",
+		func() float64 { return float64(s.adm.Stats().Queued) })
+	r.GaugeFunc("hpa_queries_inflight", "Top-k queries holding a gate slot.",
+		func() float64 { return float64(s.gate.inflight()) })
+	r.GaugeFunc("hpa_index_count", "Resident index artifacts in the registry.",
+		func() float64 { return float64(s.reg.Len()) })
+	r.GaugeFunc("hpa_index_mem_bytes", "Estimated resident bytes across all index artifacts.",
+		func() float64 {
+			var n int64
+			for _, a := range s.reg.List() {
+				n += a.MemBytes()
+			}
+			return float64(n)
+		})
+	r.LabeledGaugeFunc("hpa_index_version", "Current version of each resident index.", "index",
+		func() []obs.LabeledValue {
+			arts := s.reg.List()
+			out := make([]obs.LabeledValue, len(arts))
+			for i, a := range arts {
+				out[i] = obs.LabeledValue{Label: a.Name, Value: float64(a.Version)}
+			}
+			return out
+		})
+	s.queryLat = r.NewHistogram("hpa_query_seconds", "Latency of served top-k queries.", obs.DefLatencyBuckets)
+	s.planLat = r.NewHistogram("hpa_plan_seconds", "Execution time of completed plans (excluding queueing).", obs.DefLatencyBuckets)
+	s.prom = r
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.prom.WritePrometheus(w)
 }
 
 func indexInfo(a *IndexArtifact) IndexInfo {
@@ -285,6 +368,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.queryLat.Observe(time.Since(start).Seconds()) }()
 	art, ok := s.reg.Get(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no index %q", r.PathValue("name"))
@@ -490,6 +575,7 @@ func (s *Server) runPlan(r *http.Request, req *PlanRequest, corpusDir string,
 	start := time.Now()
 	rep, err := workflow.RunTFKMPlan(plan, runCtx)
 	resp.RanMS = float64(time.Since(start).Microseconds()) / 1e3
+	s.planLat.Observe(time.Since(start).Seconds())
 	if err != nil {
 		resp.Explain = err.Error()
 		return resp, http.StatusInternalServerError

@@ -120,6 +120,17 @@ func (ix *Index) NumDocs() int { return ix.nDocs }
 // Dim returns the vocabulary size.
 func (ix *Index) Dim() int { return len(ix.postingsDoc) }
 
+// MemBytes estimates the resident size of the index's payload arrays
+// (postings, weights, norms) in bytes — slice headers and the struct
+// itself are ignored. Exact for the data that dominates.
+func (ix *Index) MemBytes() int64 {
+	n := int64(len(ix.norms)) * 8
+	for t := range ix.postingsDoc {
+		n += int64(len(ix.postingsDoc[t]))*4 + int64(len(ix.postingsW[t]))*8
+	}
+	return n
+}
+
 // PostingLen returns the document frequency of term t.
 func (ix *Index) PostingLen(t uint32) int {
 	if int(t) >= len(ix.postingsDoc) {

@@ -60,6 +60,10 @@ type RemoteTask struct {
 	// wall-clock time (ship + compute + reply) is accounted to, so
 	// per-phase figures keep their meaning under remote execution.
 	Phase string
+	// Codec names the kernel's reply encoding ("flat" for length-prefixed
+	// flatwire buffers, "gob" otherwise) — trace metadata only; the wire
+	// protocol is unaffected.
+	Codec string
 	// Absorb decodes the kernel's gob-encoded reply and integrates it into
 	// coordinator state, returning the task's output value. It runs on the
 	// coordinator, in the task's goroutine.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hpa/internal/metrics"
+	"hpa/internal/obs"
 )
 
 // runScopeSeq numbers plan runs process-wide; each run's remote tasks carry
@@ -81,6 +82,7 @@ type execState struct {
 	loop      LoopState
 	loopParts []any // current iteration's partials, by shard
 	loopLeft  int   // shards of the current iteration still running
+	loopIter  int   // current iteration index (-1 before the first wave)
 
 	bds    []*metrics.Breakdown // per-task breakdowns, by partition
 	failed bool
@@ -191,6 +193,7 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			st.missing-- // port 0 arrives shard-by-shard
 		case classLoop:
 			st.loopParts = make([]any, np)
+			st.loopIter = -1
 			outN = 1 // loop shards are internal; the output is scalar
 		}
 		st.outParts = make([]Value, outN)
@@ -263,6 +266,31 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		// shard task is in flight when the begin/end/finish tasks run, so the
 		// captures cannot race with the scheduler's writes.
 		lstate, lparts := st.loop, st.loopParts
+		// Tracing bookkeeping, captured on the scheduling goroutine: queue
+		// time, task kind and the loop iteration this wave belongs to. All of
+		// it is skipped when no tracer is attached.
+		traced := ctx.Tracer.Enabled()
+		var queued time.Time
+		kindStr := ""
+		iter := -1
+		if traced {
+			queued = time.Now()
+			kindStr = "run"
+			if pi.class == classLoop {
+				switch t.kind {
+				case taskLoopBegin:
+					kindStr = "loop-begin"
+				case taskLoopShard:
+					kindStr = "loop-shard"
+					iter = st.loopIter
+				case taskLoopEnd:
+					kindStr = "loop-end"
+					iter = st.loopIter
+				case taskLoopFinish:
+					kindStr = "loop-finish"
+				}
+			}
+		}
 		g.Spawn(func() {
 			d := taskDone{node: i, part: part, kind: t.kind}
 			defer func() {
@@ -281,6 +309,13 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			nctx.Breakdown = metrics.NewBreakdown()
 			nctx.Observe = nil
 			d.bd = nctx.Breakdown
+			if traced {
+				nctx.Span = &obs.Span{
+					Node: n.name, Op: n.op.Name(), Kind: kindStr,
+					Shard: part, Iter: iter, Backend: backend.Name(),
+					Queued: queued, Start: time.Now(),
+				}
+			}
 			// Every task routes through the backend: task.Run is the
 			// in-process path (unchanged behavior), task.Remote the
 			// serializable descriptor for shard tasks that may leave the
@@ -353,6 +388,11 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 			d.out, d.err = backend.RunTask(&nctx, &task)
 			if d.err != nil {
 				d.err = fmt.Errorf("workflow: operator %s: %w", n.op.Name(), d.err)
+			}
+			if traced {
+				nctx.Span.End = time.Now()
+				nctx.Span.Err = d.err != nil
+				ctx.Tracer.Record(*nctx.Span)
 			}
 		})
 	}
@@ -544,6 +584,7 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		loopWave := func(i int) {
 			st := &states[i]
 			st.loopLeft = info[i].nparts
+			st.loopIter++
 			for q := 0; q < info[i].nparts; q++ {
 				ready = append(ready, taskRef{node: i, part: q, kind: taskLoopShard})
 			}

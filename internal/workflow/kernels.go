@@ -183,6 +183,16 @@ const workerCacheTTL = 10 * time.Minute
 // (hash, kind); the ship-bound test asserts on this counter.
 var globalInlineShips atomic.Int64
 
+// globalReships counts, coordinator-side, how many transform tasks had to
+// re-ship the global term table after a worker cache miss — the same
+// traffic globalInlineShips counts on the worker, observable from the
+// process that scheduled it (hpa-serve exposes it on /metrics).
+var globalReships atomic.Int64
+
+// GlobalReships returns the process-wide count of global term-table
+// re-ships this coordinator performed.
+func GlobalReships() int64 { return globalReships.Load() }
+
 // globalCacheKey identifies one cached global term table: the content hash
 // plus the dictionary kind the lookup table was rebuilt with (two runs may
 // share a corpus but configure different dictionaries).
@@ -514,6 +524,7 @@ func (o *TFMapOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
 		Args:     args,
 		Affinity: affinity,
 		Phase:    tfidf.PhaseInputWC,
+		Codec:    "gob",
 		Absorb: func(body []byte) (Value, error) {
 			w, err := decodeReply[tfidf.WireShardCounts](body)
 			if err != nil {
@@ -560,6 +571,7 @@ func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool
 		Args:     args,
 		Affinity: affinity,
 		Phase:    tfidf.PhaseTransform,
+		Codec:    "flat",
 		Absorb: func(body []byte) (Value, error) {
 			r := flatwire.NewReader(body)
 			r.Magic(transformReplyMagic, "transform reply")
@@ -574,6 +586,7 @@ func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool
 				resend := args
 				if flags&needGlobalFlag != 0 {
 					resend.Global = g.Wire()
+					globalReships.Add(1)
 					if pair != nil {
 						pair.noteGlobalShip()
 					}

@@ -290,6 +290,7 @@ func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
 		Args:     args,
 		Affinity: session,
 		Phase:    kmeans.PhaseKMeans,
+		Codec:    "flat",
 		Absorb: func(body []byte) (Value, error) {
 			rep, err := DecodeFlatKMAssignReply(body)
 			if err != nil {
@@ -323,9 +324,20 @@ func (s *kmLoopState) EndIteration(ctx *Context, partials []any) (bool, error) {
 		}
 		s.ordered = append(s.ordered, a)
 	}
+	var inertia float64
+	var moved int
 	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
-		s.c.EndIteration(s.ordered)
+		inertia, moved = s.c.EndIteration(s.ordered)
 	})
+	if ctx.Tracer.Enabled() {
+		// One event per iteration: the moved count is the value, inertia and
+		// (when pruning) the cumulative skip count ride the label.
+		label := fmt.Sprintf("iter=%d inertia=%.6g", s.c.Iterations(), inertia)
+		if ps := s.c.PruneStats(); ps.Enabled {
+			label += fmt.Sprintf(" prune-skips=%d", ps.Skipped)
+		}
+		ctx.Tracer.Emit("kmeans", "iteration", label, int64(moved))
+	}
 	return s.c.Done(), nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/rpc"
 	"sync"
 	"time"
+
+	"hpa/internal/obs"
 )
 
 // This file implements the RPC execution backend and its worker side: a
@@ -223,17 +225,18 @@ func (b *RPCBackend) Name() string { return "rpc" }
 // Workers implements Backend.
 func (b *RPCBackend) Workers() int { return len(b.clients) }
 
-// pick selects the worker for an affinity key ("" = plain round-robin).
+// pick selects the worker for an affinity key ("" = plain round-robin) and
+// reports whether the key was already pinned (an affinity session hit).
 // A non-empty scope records the key against the task's plan run, so
 // ReleaseScope can drop every pin the run created even when the run never
 // reached its own targeted release (an error mid-loop, an operator without
 // a finish hook).
-func (b *RPCBackend) pick(key, scope string) int {
+func (b *RPCBackend) pick(key, scope string) (int, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if key != "" {
 		if i, ok := b.affinity[key]; ok {
-			return i
+			return i, true
 		}
 	}
 	i := b.next % len(b.clients)
@@ -249,7 +252,7 @@ func (b *RPCBackend) pick(key, scope string) int {
 			set[key] = struct{}{}
 		}
 	}
-	return i
+	return i, false
 }
 
 // ReleaseAffinity drops affinity pins, so a long-lived backend serving
@@ -317,8 +320,20 @@ func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
 	if rt == nil {
 		return t.Run()
 	}
+	var span *obs.Span // nil on untraced runs; annotated in place when present
+	var tracer *obs.Tracer
+	if ctx != nil {
+		span, tracer = ctx.Span, ctx.Tracer
+	}
 	call := func() (Value, error) {
-		i := b.pick(rt.Affinity, rt.Scope)
+		i, pinned := b.pick(rt.Affinity, rt.Scope)
+		if span != nil {
+			span.Worker = b.labels[i]
+			span.Codec = rt.Codec
+			if pinned {
+				tracer.Emit("wire", "affinity-hit", rt.Affinity, int64(i))
+			}
+		}
 		ship := func(args any) ([]byte, error) {
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(args); err != nil {
@@ -330,6 +345,10 @@ func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
 				return nil, fmt.Errorf("workflow: rpc backend: worker %s: task %s: %w", b.labels[i], rt.Op, err)
 			}
 			b.observeShip(float64(time.Since(start)))
+			if span != nil {
+				span.BytesOut += int64(buf.Len())
+				span.BytesIn += int64(len(resp.Body))
+			}
 			return resp.Body, nil
 		}
 		body, err := ship(rt.Args)
@@ -343,6 +362,10 @@ func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
 			// with its key. Re-send the inlined form to the SAME worker —
 			// any other would miss again — and absorb the second reply. A
 			// second miss is a protocol violation, surfaced as an error.
+			if span != nil {
+				span.Resend = true
+				tracer.Emit("wire", "cache-miss-resend", rt.Op, int64(i))
+			}
 			if body, err = ship(nr.Args); err != nil {
 				return nil, err
 			}

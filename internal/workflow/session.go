@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"hpa/internal/metrics"
+	"hpa/internal/obs"
 	"hpa/internal/par"
 	"hpa/internal/pario"
 	"hpa/internal/simsched"
@@ -31,6 +32,9 @@ type Env struct {
 	ScratchDir string
 	// Backend selects where shard tasks execute (nil = in-process).
 	Backend Backend
+	// Tracer, when non-nil, is attached to every run's Context so resident
+	// servers trace all plans into one collector (nil = untraced).
+	Tracer *obs.Tracer
 }
 
 // NewEnv returns an environment over the pool.
@@ -48,6 +52,7 @@ func (e *Env) NewRun(ctx context.Context) *Context {
 		ScratchDir: e.ScratchDir,
 		Ctx:        ctx,
 		Backend:    e.Backend,
+		Tracer:     e.Tracer,
 	}
 }
 

@@ -1,0 +1,163 @@
+package workflow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"hpa/internal/corpus"
+	"hpa/internal/dict"
+	"hpa/internal/kmeans"
+	"hpa/internal/obs"
+	"hpa/internal/par"
+	"hpa/internal/tfidf"
+)
+
+// tracedTFKM runs the merged sharded TF/IDF→K-Means workflow with a tracer
+// attached and returns the snapshot.
+func tracedTFKM(t *testing.T, backend Backend, scratch string) *obs.Trace {
+	t.Helper()
+	src := diskCorpus(t)
+	pool := par.NewPool(4)
+	defer pool.Close()
+	ctx := NewContext(pool)
+	ctx.ScratchDir = scratch
+	ctx.Backend = backend
+	ctx.Tracer = obs.NewTracer()
+	_, err := RunTFKM(src, ctx, TFKMConfig{
+		Mode:   Merged,
+		Shards: 4,
+		TFIDF:  tfidf.Options{Normalize: true},
+		KMeans: kmeans.Options{K: 8, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("RunTFKM(backend=%s): %v", backend.Name(), err)
+	}
+	return ctx.Tracer.Snapshot()
+}
+
+// spanKey is a span's backend-independent identity.
+func spanKey(s *obs.Span) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", s.Node, s.Op, s.Kind, s.Shard, s.Iter)
+}
+
+// TestCrossBackendSpanParity: local and RPC runs of the same plan must
+// schedule the same task set — identical (node, op, kind, shard, iter)
+// multisets, differing only in worker lanes and wire annotations.
+func TestCrossBackendSpanParity(t *testing.T) {
+	scratch := t.TempDir()
+	local := tracedTFKM(t, LocalBackend{}, scratch)
+	remote := tracedTFKM(t, pipeBackend(t, 2), scratch)
+
+	keys := func(tr *obs.Trace) []string {
+		out := make([]string, len(tr.Spans))
+		for i := range tr.Spans {
+			out[i] = spanKey(&tr.Spans[i])
+		}
+		sort.Strings(out)
+		return out
+	}
+	lk, rk := keys(local), keys(remote)
+	if len(lk) != len(rk) {
+		t.Fatalf("span counts differ: local %d, rpc %d\nlocal: %v\nrpc: %v", len(lk), len(rk), lk, rk)
+	}
+	for i := range lk {
+		if lk[i] != rk[i] {
+			t.Fatalf("span sets diverge at %d: local %q, rpc %q", i, lk[i], rk[i])
+		}
+	}
+
+	// The local run must not claim worker lanes; the RPC run must use some.
+	if got := len(local.Workers()); got != 0 {
+		t.Errorf("local run recorded %d worker lanes", got)
+	}
+	if got := len(remote.Workers()); got == 0 {
+		t.Error("RPC run recorded no worker lanes")
+	}
+	// Remote shard tasks must carry wire accounting.
+	var shipped int64
+	for i := range remote.Spans {
+		shipped += remote.Spans[i].BytesOut + remote.Spans[i].BytesIn
+	}
+	if shipped == 0 {
+		t.Error("RPC run recorded no wire bytes")
+	}
+}
+
+// TestTraceCoversEveryTask: span fields are complete — every span has a
+// node, op, kind, backend and a coherent Queued<=Start<=End timeline, loop
+// shard spans carry iterations starting at 0, and the K-Means loop emitted
+// per-iteration events.
+func TestTraceCoversEveryTask(t *testing.T) {
+	tr := tracedTFKM(t, LocalBackend{}, t.TempDir())
+	if len(tr.Spans) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	iters := map[int]bool{}
+	for i := range tr.Spans {
+		s := &tr.Spans[i]
+		if s.Node == "" || s.Op == "" || s.Kind == "" || s.Backend == "" {
+			t.Fatalf("span %d incomplete: %+v", i, s)
+		}
+		if s.Queued.After(s.Start) || s.Start.After(s.End) {
+			t.Fatalf("span %d has an incoherent timeline: %+v", i, s)
+		}
+		if s.Kind == "loop-shard" {
+			if s.Iter < 0 {
+				t.Fatalf("loop-shard span without iteration: %+v", s)
+			}
+			iters[s.Iter] = true
+		} else if s.Kind == "run" && s.Iter != -1 {
+			t.Fatalf("non-loop span claims iteration %d: %+v", s.Iter, s)
+		}
+	}
+	if !iters[0] {
+		t.Errorf("loop iterations do not start at 0: %v", iters)
+	}
+	var kmEvents int
+	for _, e := range tr.Events {
+		if e.Cat == "kmeans" && e.Name == "iteration" {
+			kmEvents++
+		}
+	}
+	if kmEvents != len(iters) {
+		t.Errorf("kmeans iteration events %d != loop iterations %d", kmEvents, len(iters))
+	}
+}
+
+// BenchmarkTracingOverhead measures the cost of the tracing hooks over the
+// full iterative plan: nil tracer (production default) versus an attached
+// collector. The nil case must stay within noise of the pre-instrumentation
+// baseline (BENCH_iterative); the assertion lives in the recorded bench
+// deltas, this benchmark makes the comparison reproducible.
+func BenchmarkTracingOverhead(b *testing.B) {
+	c := corpus.Generate(corpus.Mix().Scaled(0.05), nil)
+	for _, bc := range []struct {
+		name   string
+		traced bool
+	}{{"nil-tracer", false}, {"traced", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			pool := par.NewPool(runtime.GOMAXPROCS(0))
+			defer pool.Close()
+			b.SetBytes(c.Bytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := NewPlan().
+					Add("scan", &SourceOp{Src: c.Source(nil)}).
+					Add("tfidf", &TFIDFOp{Opts: tfidf.Options{DictKind: dict.Tree, Normalize: true}}).
+					Add("kmeans", &KMeansOp{Opts: kmeans.Options{K: 8, Seed: 42}}).
+					Connect("scan", "tfidf").
+					Connect("tfidf", "kmeans").
+					Apply(PartitionRule(0))
+				ctx := NewContext(pool)
+				if bc.traced {
+					ctx.Tracer = obs.NewTracer()
+				}
+				if _, err := plan.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

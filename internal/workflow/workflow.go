@@ -132,6 +132,7 @@ import (
 	"strings"
 
 	"hpa/internal/metrics"
+	"hpa/internal/obs"
 	"hpa/internal/par"
 	"hpa/internal/pario"
 	"hpa/internal/simsched"
@@ -175,6 +176,14 @@ type Context struct {
 	// backends — scheduling, reductions and all merge ordering stay on the
 	// coordinator.
 	Backend Backend
+	// Tracer, when non-nil, collects one obs.Span per scheduled task plus
+	// wire and loop events (see internal/obs). A nil tracer is free: every
+	// recording site is a single nil compare.
+	Tracer *obs.Tracer
+	// Span is the in-flight span of the task this context was minted for;
+	// backends and kernels annotate it (worker lane, wire bytes, codec).
+	// Nil outside task execution and on untraced runs.
+	Span *obs.Span
 }
 
 // NewContext returns a context with an empty breakdown.
