@@ -56,10 +56,10 @@
 //
 // -workers addr,addr makes the run ship its serializable shard tasks to
 // those workers (round-robin, with loop shards pinned to one worker so
-// their cached documents stay put). Splits, reductions, K-Means seeding
-// and output always stay on the coordinator, and every merge is
-// shard-index-ordered, so results are bit-identical to a local run — at
-// any shard count. Tasks without a serializable form (in-memory sources,
+// their cached documents stay put; K-Means++ seeding scan rounds reuse
+// the same pinned sessions). Splits, reductions, seed draws and output
+// always stay on the coordinator, and every merge is shard-index-ordered,
+// so results are bit-identical to a local run — at any shard count. Tasks without a serializable form (in-memory sources,
 // custom stopwords, scans throttled by -disksim — the simulator's
 // contention state is per-process) quietly run locally. With -optimize, the cost model
 // prices the per-task ship cost and the extra worker slots into the shard
@@ -385,9 +385,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "kmeans: %d iterations, mean %s per iteration (assign+reduce)\n",
 					iters, (span / time.Duration(iters)).Round(time.Microsecond))
 			}
+			if sw := rep.Clustering.Result.SeedWall; sw > 0 {
+				fmt.Fprintf(os.Stderr, "kmeans seeding: %s wall (K-Means++ scan rounds run as shard tasks)\n",
+					sw.Round(time.Microsecond))
+			}
 			if ps := rep.Clustering.Result.Prune; ps.Enabled {
-				fmt.Fprintf(os.Stderr, "kmeans pruning: skipped %d of %d document-iterations (%.1f%% of k-way scans avoided)\n",
-					ps.Skipped, ps.DocIterations, 100*ps.SkipRate())
+				fmt.Fprintf(os.Stderr, "kmeans pruning: %s bounds, skipped %d of %d document-iterations (%.1f%% of k-way scans avoided)\n",
+					ps.Variant, ps.Skipped, ps.DocIterations, 100*ps.SkipRate())
 			}
 		}
 		if tracer != nil {

@@ -32,10 +32,11 @@
 //     shard tasks run in-process by default (LocalBackend) or ship to
 //     worker processes over net/rpc + gob (RPCBackend + the hpa-workflow
 //     -worker mode) — TF/IDF count and transform shards and the K-Means
-//     assignment loop's per-iteration shard tasks can leave the process,
-//     while splits, reductions, seeding and output stay on the
-//     coordinator, whose shard-index-ordered merges keep results
-//     bit-identical across backends;
+//     assignment loop's per-iteration shard tasks and the K-Means++
+//     seeding scan rounds can leave the process, while splits,
+//     reductions, seed draws and output stay on the coordinator, whose
+//     shard-index-ordered merges keep results bit-identical across
+//     backends;
 //   - selectable dictionary data structures (red-black tree vs hash
 //     table) whose trade-offs differ per workflow phase;
 //   - parallel file input with an optional storage-device simulator;
@@ -297,16 +298,20 @@ func KMeans(docs []Vector, dim int, pool *Pool, opts KMeansOptions) (*KMeansResu
 	return kmeans.Run(docs, dim, pool, opts, nil)
 }
 
-// PruneMode selects whether the K-Means assignment kernel uses
-// triangle-inequality pruning (KMeansOptions.Prune). Results are
-// bit-identical with pruning on or off.
+// PruneMode selects whether (and with which bound structure) the K-Means
+// assignment kernel uses triangle-inequality pruning
+// (KMeansOptions.Prune). Results are bit-identical across every mode.
 type PruneMode = kmeans.PruneMode
 
-// Prune modes for KMeansOptions.Prune.
+// Prune modes for KMeansOptions.Prune: PruneAuto resolves by cluster
+// count (off below k=4, Hamerly bounds to k=15, Elkan per-centroid
+// bounds from k=16), PruneOn forces Hamerly, PruneElkan forces the
+// per-centroid bounds, PruneOff disables pruning.
 const (
-	PruneAuto = kmeans.PruneAuto
-	PruneOn   = kmeans.PruneOn
-	PruneOff  = kmeans.PruneOff
+	PruneAuto  = kmeans.PruneAuto
+	PruneOn    = kmeans.PruneOn
+	PruneOff   = kmeans.PruneOff
+	PruneElkan = kmeans.PruneElkan
 )
 
 // PruneStats reports what assignment pruning did during a clustering run

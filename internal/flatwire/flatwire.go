@@ -15,6 +15,24 @@
 // Readers are sticky-error: after the first failed consume, every further
 // read returns zero values and Err() reports the first failure, so decoders
 // read the whole layout linearly and check once.
+//
+// # Codec versions
+//
+// Every flat payload carries a codec version byte immediately after its
+// magic, so layouts can evolve without breaking deployed decoders:
+//
+//   - CodecRaw (1) is the original layout: sorted u32 index arrays as raw
+//     fixed-width blocks.
+//   - CodecDelta (2) stores each sorted u32 index array delta-coded as
+//     unsigned varints (AppendDeltaU32s): ascending indexes make the
+//     deltas small, so most entries shrink from four bytes to one. The
+//     delta chain restarts for every sub-array (per document, per
+//     cluster), keeping windows independently decodable.
+//
+// Encoders emit the newest version; decoders accept both, dispatching on
+// the byte — so a coordinator can roll forward before its workers. Float
+// and signed blocks stay raw fixed-width in every version: they are
+// neither sorted nor small, and raw blocks decode allocation-free.
 package flatwire
 
 import (
@@ -27,6 +45,43 @@ import (
 // ErrMalformed reports a structurally invalid flat buffer. Decode errors
 // wrap it, so callers can test errors.Is(err, ErrMalformed).
 var ErrMalformed = errors.New("flatwire: malformed buffer")
+
+// Codec layout versions (the byte after every payload magic — see the
+// package comment).
+const (
+	// CodecRaw is layout version 1: sorted u32 index arrays as raw
+	// fixed-width blocks.
+	CodecRaw byte = 1
+	// CodecDelta is layout version 2: sorted u32 index arrays delta-coded
+	// as unsigned varints, restarting per sub-array.
+	CodecDelta byte = 2
+)
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v byte) []byte { return append(b, v) }
+
+// AppendUvarint appends v in LEB128 (7 bits per byte, high bit continues).
+func AppendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// AppendDeltaU32s appends len(vs) values as varint-coded deltas from the
+// previous value, starting from 0 — the compressed form of a sorted index
+// array (vs must be non-decreasing; the decoder rejects anything a
+// decreasing input would produce via its overflow check). No length
+// prefix: the codec's layout carries counts.
+func AppendDeltaU32s(b []byte, vs []uint32) []byte {
+	prev := uint32(0)
+	for _, v := range vs {
+		b = AppendUvarint(b, uint64(v-prev))
+		prev = v
+	}
+	return b
+}
 
 // AppendU32 appends v little-endian.
 func AppendU32(b []byte, v uint32) []byte {
@@ -235,6 +290,63 @@ func (r *Reader) U32sInto(dst []uint32) {
 	}
 	for i := range dst {
 		dst[i] = binary.LittleEndian.Uint32(s[4*i:])
+	}
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// Uvarint consumes one LEB128-coded value, failing on truncation and on
+// encodings longer than a uint64 (10 bytes).
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if r.off >= len(r.b) {
+			r.fail("truncated varint at offset %d", r.off)
+			return 0
+		}
+		c := r.b[r.off]
+		r.off++
+		if shift == 63 && c > 1 {
+			r.fail("varint overflows uint64")
+			return 0
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v
+		}
+		if shift == 63 {
+			r.fail("varint overflows uint64")
+			return 0
+		}
+	}
+}
+
+// DeltaU32sInto consumes len(dst) varint-coded deltas (AppendDeltaU32s),
+// reconstructing the non-decreasing values into dst. A running value
+// escaping uint32 — the signature of corruption or of a non-sorted
+// encoding — is malformed.
+func (r *Reader) DeltaU32sInto(dst []uint32) {
+	acc := uint64(0)
+	for i := range dst {
+		acc += r.Uvarint()
+		if r.err != nil {
+			return
+		}
+		if acc > math.MaxUint32 {
+			r.fail("delta-coded value %d overflows uint32", acc)
+			return
+		}
+		dst[i] = uint32(acc)
 	}
 }
 

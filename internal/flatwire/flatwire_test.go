@@ -147,3 +147,99 @@ func TestMagicAndTrailing(t *testing.T) {
 		t.Errorf("trailing byte Done = %v", err)
 	}
 }
+
+// TestVarintRoundTrip: LEB128 values of every width read back exactly,
+// including the 10-byte maximum.
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 0x7f, 0x80, 0x3fff, 0x4000, math.MaxUint32,
+		math.MaxUint32 + 1, math.MaxUint64 - 1, math.MaxUint64}
+	var b []byte
+	for _, v := range vals {
+		b = AppendUvarint(b, v)
+	}
+	b = AppendU8(b, 0xab)
+	r := NewReader(b)
+	for i, want := range vals {
+		if got := r.Uvarint(); got != want {
+			t.Errorf("varint %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarintMalformed: truncated and over-long encodings fail with
+// ErrMalformed, never a hang or a silently wrong value.
+func TestVarintMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  {0x80, 0x80},
+		"overlong":   {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		"overflow":   {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // 2^70-ish
+		"max-plus-1": {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02},
+	}
+	for name, b := range cases {
+		r := NewReader(b)
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, r.Err())
+		}
+	}
+}
+
+// TestDeltaU32s: sorted index arrays round-trip through the delta-varint
+// form, compress against the raw block, and reject corruption that would
+// escape uint32.
+func TestDeltaU32s(t *testing.T) {
+	arrays := [][]uint32{
+		nil,
+		{0},
+		{7, 7, 9}, // non-decreasing with a repeat
+		{0, 1, 2, 3, 1000, math.MaxUint32},
+	}
+	for i, vs := range arrays {
+		b := AppendDeltaU32s(nil, vs)
+		got := make([]uint32, len(vs))
+		r := NewReader(b)
+		r.DeltaU32sInto(got)
+		if err := r.Done(); err != nil {
+			t.Fatalf("array %d: %v", i, err)
+		}
+		for e := range vs {
+			if got[e] != vs[e] {
+				t.Errorf("array %d entry %d = %d, want %d", i, e, got[e], vs[e])
+			}
+		}
+	}
+
+	// Dense ascending indices: one byte per small delta vs four raw.
+	dense := make([]uint32, 1000)
+	for i := range dense {
+		dense[i] = uint32(3 * i)
+	}
+	if delta, raw := len(AppendDeltaU32s(nil, dense)), 4*len(dense); delta*2 > raw {
+		t.Errorf("delta form %d bytes, raw %d — expected at least 2× shrink on dense indices", delta, raw)
+	}
+
+	// A running value escaping uint32 is malformed — the signature of a
+	// corrupted buffer or a non-sorted encoding.
+	over := AppendUvarint(AppendUvarint(nil, math.MaxUint32), 1)
+	r := NewReader(over)
+	r.DeltaU32sInto(make([]uint32, 2))
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("uint32 overflow not rejected: %v", r.Err())
+	}
+
+	// A decreasing "sorted" array wraps its delta; the decoder must reject
+	// the encoding rather than reconstruct different values.
+	wrapped := AppendDeltaU32s(nil, []uint32{5, 3})
+	r = NewReader(wrapped)
+	r.DeltaU32sInto(make([]uint32, 2))
+	if !errors.Is(r.Err(), ErrMalformed) {
+		t.Errorf("wrapped delta not rejected: %v", r.Err())
+	}
+}

@@ -6,12 +6,30 @@ import (
 	"hpa/internal/sparse"
 )
 
-// This file implements triangle-inequality assignment pruning
-// (Hamerly/Elkan-style per-document bounds), engineered for this engine's
-// stricter contract: results must stay bit-identical to the unpruned
-// kernel — assignments, per-iteration inertia (which feeds the Tol
-// convergence test), distances and centroids — across every shard count
-// and execution backend.
+// This file implements triangle-inequality assignment pruning as a
+// two-bound hierarchy — Hamerly-style single per-document bounds and
+// Elkan-style per-(document, centroid) bounds — engineered for this
+// engine's stricter contract: results must stay bit-identical to the
+// unpruned kernel — assignments, per-iteration inertia (which feeds the
+// Tol convergence test), distances and centroids — across every shard
+// count and execution backend.
+//
+// # The two bound structures
+//
+// Both structures share one skip rule (below); they differ only in how
+// tight a lower bound they can prove, and in memory:
+//
+//   - Hamerly (VariantHamerly): one lower bound per document, valid for
+//     every centroid other than the assigned one. Each iteration it decays
+//     by the maximum padded drift over those centroids — one fast-moving
+//     centroid anywhere spoils every document's bound. O(n) memory.
+//   - Elkan (VariantElkan): k lower bounds per document, one per centroid,
+//     each decaying only by its own centroid's padded drift. The consumed
+//     bound is the minimum over j ≠ assigned, so a centroid sprinting
+//     across the space only loosens its own row entry. Strictly tighter
+//     than the Hamerly bound at equal history, so skip rates are at least
+//     as high — the win grows with k, which is why PruneAuto selects it on
+//     serve-scale indexes (k >= 16). O(n·k) memory.
 //
 // # Why the bounds are result-invariant
 //
@@ -30,16 +48,22 @@ import (
 //
 //   - Upper[i] is exact, not an estimate: it is sqrt(max(d_a, 0)) of the
 //     distance just computed this iteration.
-//   - Lower[i] conservatively under-estimates sqrt(max(d_j, 0)) for every
-//     j ≠ a. It is seeded from the second-best distance of a full scan and
-//     decays each iteration by the (padded) maximum centroid drift plus a
-//     rounding margin, per the triangle inequality: a centroid that moved
-//     by δ changes any document's distance by at most δ.
-//   - Skip iff Upper[i] < Lower[i], strictly. Then max(d_a,0) < max(d_j,0)
+//   - The consumed lower bound conservatively under-estimates
+//     sqrt(max(d_j, 0)) for every j ≠ a. Hamerly's Lower[i] is seeded from
+//     the second-best distance of a full scan and decays each iteration by
+//     the (padded) maximum centroid drift plus a rounding margin, per the
+//     triangle inequality: a centroid that moved by δ changes any
+//     document's distance by at most δ. Elkan's LowerK[i·k+j] is seeded
+//     from the j-th distance of a full scan and decays by centroid j's own
+//     padded drift plus the same margin; the consumed bound is the minimum
+//     over j ≠ a.
+//   - Skip iff Upper[i] < lower, strictly. Then max(d_a,0) < max(d_j,0)
 //     for every j ≠ a, hence d_a < d_j in the raw (unclamped) floats the
 //     scan compares — so the scan's argmin is a even under the
 //     lowest-index tie-break (ties are impossible under strict
-//     inequality), and its bestD is the d_a already in hand.
+//     inequality), and its bestD is the d_a already in hand. The skip is
+//     all-or-nothing per document: a pruned document contributes exactly
+//     what the full scan would have, never a partially pruned scan.
 //
 // The rounding margin closes the gap between computed float distances and
 // the real distances the triangle inequality speaks about: every bound
@@ -57,13 +81,18 @@ type PruneMode int
 
 const (
 	// PruneAuto enables pruning when it is expected to pay (k >= 4, where
-	// a skip saves at least three of four distance computations). The
-	// optimizer may resolve Auto by price instead.
+	// a skip saves at least three of four distance computations) and
+	// selects the bound structure by k: Hamerly's single bound for small
+	// k, Elkan's per-centroid bounds from elkanAutoMinK up. The optimizer
+	// may resolve Auto by calibrated price instead.
 	PruneAuto PruneMode = iota
-	// PruneOn forces pruning.
+	// PruneOn forces pruning with the single-bound (Hamerly) structure.
 	PruneOn
 	// PruneOff forces the plain full-scan kernel.
 	PruneOff
+	// PruneElkan forces pruning with the per-(document, centroid) bound
+	// structure (k× the bounds memory, higher skip rates at large k).
+	PruneElkan
 )
 
 // String labels the mode in annotations and flags.
@@ -73,6 +102,8 @@ func (m PruneMode) String() string {
 		return "on"
 	case PruneOff:
 		return "off"
+	case PruneElkan:
+		return "elkan"
 	default:
 		return "auto"
 	}
@@ -81,20 +112,64 @@ func (m PruneMode) String() string {
 // pruneAutoMinK is the cluster count at which PruneAuto turns pruning on.
 const pruneAutoMinK = 4
 
-// Active resolves the mode at cluster count k: PruneOn always, PruneOff
-// never, PruneAuto when k is large enough that a skip saves most of the
-// scan. Exported so the plan optimizer prices the same resolution the
-// clusterer will execute.
-func (m PruneMode) Active(k int) bool {
-	switch m {
-	case PruneOn:
-		return true
-	case PruneOff:
-		return false
+// elkanAutoMinK is the cluster count at which PruneAuto switches from the
+// single Hamerly bound to Elkan per-centroid bounds: the skip-rate gap
+// between the structures grows with k (one fast centroid spoils the single
+// bound for every document), while the k× memory stays modest.
+const elkanAutoMinK = 16
+
+// PruneVariant is a resolved bound structure: what the assignment kernel
+// actually maintains once a PruneMode meets a concrete cluster count.
+type PruneVariant int
+
+const (
+	// VariantOff runs the plain full-scan kernel.
+	VariantOff PruneVariant = iota
+	// VariantHamerly maintains one lower bound per document.
+	VariantHamerly
+	// VariantElkan maintains k lower bounds per document.
+	VariantElkan
+)
+
+// String labels the variant in stats, annotations and CLI output.
+func (v PruneVariant) String() string {
+	switch v {
+	case VariantHamerly:
+		return "hamerly"
+	case VariantElkan:
+		return "elkan"
 	default:
-		return k >= pruneAutoMinK
+		return "off"
 	}
 }
+
+// Variant resolves the mode at cluster count k to the bound structure the
+// kernel will run. Exported so the plan optimizer prices the same
+// resolution the clusterer executes (and may override Auto by calibrated
+// price — result-invariant, since every variant is bit-identical).
+func (m PruneMode) Variant(k int) PruneVariant {
+	switch m {
+	case PruneOn:
+		return VariantHamerly
+	case PruneOff:
+		return VariantOff
+	case PruneElkan:
+		return VariantElkan
+	default: // PruneAuto
+		switch {
+		case k < pruneAutoMinK:
+			return VariantOff
+		case k < elkanAutoMinK:
+			return VariantHamerly
+		default:
+			return VariantElkan
+		}
+	}
+}
+
+// Active resolves the mode at cluster count k: true when any bound
+// structure is maintained.
+func (m PruneMode) Active(k int) bool { return m.Variant(k) != VariantOff }
 
 // PruneStats reports how much work pruning avoided. Rates are meaningful
 // after the first iteration: iteration 1 always scans fully (bounds do
@@ -102,6 +177,9 @@ func (m PruneMode) Active(k int) bool {
 type PruneStats struct {
 	// Enabled reports whether the run maintained bounds at all.
 	Enabled bool
+	// Variant names the resolved bound structure of the run: "off",
+	// "hamerly" or "elkan".
+	Variant string
 	// DocIterations counts document-iterations processed (documents ×
 	// iterations) while pruning was enabled.
 	DocIterations int64
@@ -134,9 +212,16 @@ type BoundsPass struct {
 	// to the assigned centroid as of the last processed iteration.
 	Upper []float64
 	// Lower holds, per document, a conservative lower bound on the
-	// distance to every centroid other than the assigned one. Negative
-	// infinity forces a full scan.
+	// distance to every centroid other than the assigned one (the Hamerly
+	// structure). Negative infinity forces a full scan.
 	Lower []float64
+	// LowerK, when non-nil, selects the Elkan structure: per-(document,
+	// centroid) lower bounds flattened row-major (LowerK[i·k+j] bounds
+	// document i's distance to centroid j), superseding Lower. Negative
+	// infinity forces a full scan of the document.
+	LowerK []float64
+	// k is the row stride of LowerK (0 under the Hamerly structure).
+	k int
 	// Drift holds the padded per-centroid movement since the previous
 	// iteration (set via SetDrift each iteration).
 	Drift []float64
@@ -167,6 +252,21 @@ func NewBoundsPass(n, dim int) *BoundsPass {
 	}
 	return bp
 }
+
+// EnableElkan switches the pass to the Elkan per-(document, centroid)
+// structure for k clusters. All bounds start at −Inf, so the first
+// iteration scans fully and seeds every row — safe to call on a fresh
+// pass only, before any AssignRange touched it.
+func (bp *BoundsPass) EnableElkan(k int) {
+	bp.k = k
+	bp.LowerK = make([]float64, len(bp.Upper)*k)
+	for i := range bp.LowerK {
+		bp.LowerK[i] = math.Inf(-1)
+	}
+}
+
+// Elkan reports whether the pass maintains per-centroid lower bounds.
+func (bp *BoundsPass) Elkan() bool { return bp.LowerK != nil }
 
 // boundsEpsBase returns the dimension-dependent factor of the rounding
 // margin: sqrt(machEps × ops) with ops a generous bound on the length of

@@ -10,13 +10,16 @@ import (
 
 // BenchmarkAssignPruned measures what triangle-inequality pruning buys on
 // the assignment kernel: a full clustering loop through the deterministic
-// sharded path (the workflow engine's execution shape) with bounds off and
-// on, over separated blobs (the favorable case — most documents skip after
-// the first iterations) and overlapping sparse vectors (the adversarial
-// case — bound gaps are narrow, skips rarer). The pruned runs report their
-// skip rate as a metric. Results are bit-identical either way (the
-// TestPruneBitIdentical contract), so any ns/op gap is pure kernel savings
-// minus bounds upkeep. Run with
+// sharded path (the workflow engine's execution shape) with bounds off,
+// with Hamerly's single bound (PruneOn) and with Elkan's per-centroid
+// bounds (PruneElkan), over separated blobs (the favorable case — most
+// documents skip after the first iterations) and overlapping sparse
+// vectors (the adversarial case — bound gaps are narrow, skips rarer).
+// The bounded runs report their skip rate as a metric — at k=16 the Elkan
+// rate should exceed Hamerly's, repaying the k× bound memory. Results are
+// bit-identical in every mode (the TestPruneBitIdentical /
+// TestElkanBitIdentical contracts), so any ns/op gap is pure kernel
+// savings minus bounds upkeep. Run with
 //
 //	go test ./internal/kmeans -run '^$' -bench AssignPruned -benchtime 5x
 //
@@ -34,7 +37,7 @@ func BenchmarkAssignPruned(b *testing.B) {
 	}
 	const shards = 4
 	for _, ds := range datasets {
-		for _, mode := range []PruneMode{PruneOff, PruneOn} {
+		for _, mode := range []PruneMode{PruneOff, PruneOn, PruneElkan} {
 			b.Run(ds.name+"/prune="+mode.String(), func(b *testing.B) {
 				pool := par.NewPool(1)
 				defer pool.Close()
@@ -63,10 +66,49 @@ func BenchmarkAssignPruned(b *testing.B) {
 					stats = c.Finalize().Prune
 				}
 				b.StopTimer()
-				if mode == PruneOn {
+				if mode != PruneOff {
 					b.ReportMetric(100*stats.SkipRate(), "skip%")
 				}
 			})
 		}
 	}
+}
+
+// BenchmarkSeeding measures K-Means++ seeding, serial versus decomposed
+// into the executor's shape (per-shard ScanRange waves with a serial
+// EndRound draw between them) — the prepare-protocol path the workflow
+// engine dispatches, minus scheduling. Seeds are bit-identical in both
+// shapes (the decomposition is an exact refactoring of the serial loop),
+// so the gap is pure parallelizable-scan exposure. Recorded alongside
+// BenchmarkAssignPruned in BENCH_pruned.json.
+func BenchmarkSeeding(b *testing.B) {
+	blobDocs, _ := blobs(2000, 8, 32, 7)
+	const k, shards = 16, 4
+	pool := par.NewPool(1)
+	defer pool.Close()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := New(blobDocs, 32, pool, Options{K: k, Seed: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, s, err := NewDeferredSeed(blobDocs, 32, pool, Options{K: k, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < s.Rounds(); r++ {
+				for q := 0; q < shards; q++ {
+					lo, hi := pario.PartitionRange(len(blobDocs), shards, q)
+					s.ScanRange(lo, hi)
+				}
+				s.EndRound()
+			}
+			s.Finish()
+		}
+	})
 }

@@ -99,10 +99,11 @@ func TestPruneBitIdentical(t *testing.T) {
 				if on.Prune.Skipped > 0 {
 					anySkips = true
 				}
-				// Strip the stats (the one field allowed to differ) and
-				// compare everything else bit for bit.
+				// Strip the stats and the wall-clock timing (the fields
+				// allowed to differ) and compare everything else bit for bit.
 				offC, onC := *off, *on
 				offC.Prune, onC.Prune = PruneStats{}, PruneStats{}
+				offC.SeedWall, onC.SeedWall = 0, 0
 				if !reflect.DeepEqual(&offC, &onC) {
 					t.Errorf("pruned result differs from full scan:\n  off: iters=%d inertia=%v\n  on:  iters=%d inertia=%v",
 						off.Iterations, off.Inertia, on.Iterations, on.Inertia)
@@ -138,29 +139,97 @@ func TestPruneSkipsOnConvergedData(t *testing.T) {
 	t.Logf("iters=%d skip rate %.1f%%", on.Iterations, 100*on.Prune.SkipRate())
 }
 
-// TestPruneAutoResolution pins the PruneAuto policy: on at k >= 4, off below.
+// TestPruneAutoResolution pins the mode→variant policy: Auto is off below
+// k=4, Hamerly through k=15, Elkan from k=16; the forced modes always give
+// their structure.
 func TestPruneAutoResolution(t *testing.T) {
 	for _, tc := range []struct {
 		k    int
 		mode PruneMode
-		want bool
+		want PruneVariant
 	}{
-		{2, PruneAuto, false},
-		{3, PruneAuto, false},
-		{4, PruneAuto, true},
-		{8, PruneAuto, true},
-		{2, PruneOn, true},
-		{16, PruneOff, false},
+		{2, PruneAuto, VariantOff},
+		{3, PruneAuto, VariantOff},
+		{4, PruneAuto, VariantHamerly},
+		{8, PruneAuto, VariantHamerly},
+		{15, PruneAuto, VariantHamerly},
+		{16, PruneAuto, VariantElkan},
+		{64, PruneAuto, VariantElkan},
+		{2, PruneOn, VariantHamerly},
+		{32, PruneOn, VariantHamerly},
+		{2, PruneElkan, VariantElkan},
+		{16, PruneOff, VariantOff},
 	} {
-		o := Options{K: tc.k, Prune: tc.mode}
-		if got := o.pruneEnabled(); got != tc.want {
-			t.Errorf("k=%d mode=%v: pruneEnabled=%v, want %v", tc.k, tc.mode, got, tc.want)
+		if got := tc.mode.Variant(tc.k); got != tc.want {
+			t.Errorf("k=%d mode=%v: Variant=%v, want %v", tc.k, tc.mode, got, tc.want)
+		}
+		if got, want := tc.mode.Active(tc.k), tc.want != VariantOff; got != want {
+			t.Errorf("k=%d mode=%v: Active=%v, want %v", tc.k, tc.mode, got, want)
 		}
 	}
-	for mode, want := range map[PruneMode]string{PruneAuto: "auto", PruneOn: "on", PruneOff: "off"} {
+	for mode, want := range map[PruneMode]string{
+		PruneAuto: "auto", PruneOn: "on", PruneOff: "off", PruneElkan: "elkan",
+	} {
 		if got := mode.String(); got != want {
 			t.Errorf("PruneMode(%d).String() = %q, want %q", mode, got, want)
 		}
+	}
+	for variant, want := range map[PruneVariant]string{
+		VariantOff: "off", VariantHamerly: "hamerly", VariantElkan: "elkan",
+	} {
+		if got := variant.String(); got != want {
+			t.Errorf("PruneVariant(%d).String() = %q, want %q", variant, got, want)
+		}
+	}
+}
+
+// TestElkanBitIdentical extends the pruning contract to the per-centroid
+// bound structure: PruneElkan produces bit-identical clusterings to the
+// full scan at every shard count, and on a k>=16 case its skip rate beats
+// the single Hamerly bound's — the point of paying k× the memory.
+func TestElkanBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		docs []sparse.Vector
+		dim  int
+		opts Options
+	}{
+		{"blobs-k8", nil, 16, Options{K: 8, Seed: 9, Empty: ReseedFarthest}},
+		{"sparse-k16", sparseMix(600, 48, 7), 48, Options{K: 16, Seed: 5}},
+		{"sparse-k16-reseed", sparseMix(600, 48, 7), 48, Options{K: 16, Seed: 5, Empty: ReseedFarthest}},
+	}
+	cases[0].docs, _ = blobs(500, 8, 16, 22)
+	beatHamerly := false
+	for _, tc := range cases {
+		for _, shards := range []int{1, 4, 7} {
+			optsOff, optsHam, optsElk := tc.opts, tc.opts, tc.opts
+			optsOff.Prune, optsHam.Prune, optsElk.Prune = PruneOff, PruneOn, PruneElkan
+			off := shardedRun(t, tc.docs, tc.dim, optsOff, shards)
+			ham := shardedRun(t, tc.docs, tc.dim, optsHam, shards)
+			elk := shardedRun(t, tc.docs, tc.dim, optsElk, shards)
+			offC, elkC := *off, *elk
+			offC.Prune, elkC.Prune = PruneStats{}, PruneStats{}
+			offC.SeedWall, elkC.SeedWall = 0, 0
+			if !reflect.DeepEqual(&offC, &elkC) {
+				t.Errorf("%s/shards=%d: elkan result differs from full scan", tc.name, shards)
+			}
+			if elk.Prune.Variant != "elkan" || ham.Prune.Variant != "hamerly" {
+				t.Errorf("%s/shards=%d: variants %q/%q, want elkan/hamerly",
+					tc.name, shards, elk.Prune.Variant, ham.Prune.Variant)
+			}
+			if elk.Prune.Skipped < ham.Prune.Skipped {
+				t.Errorf("%s/shards=%d: elkan skipped %d < hamerly %d — per-centroid bounds must dominate",
+					tc.name, shards, elk.Prune.Skipped, ham.Prune.Skipped)
+			}
+			if tc.opts.K >= 16 && elk.Prune.Skipped > ham.Prune.Skipped {
+				beatHamerly = true
+			}
+			t.Logf("%s/shards=%d: iters=%d skip elkan %.1f%% vs hamerly %.1f%%", tc.name, shards,
+				elk.Iterations, 100*elk.Prune.SkipRate(), 100*ham.Prune.SkipRate())
+		}
+	}
+	if !beatHamerly {
+		t.Errorf("elkan never beat hamerly's skip count on a k>=16 case")
 	}
 }
 

@@ -17,13 +17,18 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic u32 | k u32
+//	magic u32 | codec u8 | k u32
 //	inertia f64 | changed i64 | skipped i64
 //	counts i64 × k         (cluster member counts)
 //	nnz    u32 × k         (per-cluster entry counts)
 //	totalNNZ u64
-//	idx    u32 × totalNNZ  (all clusters' indices, concatenated)
+//	idx                    (all clusters' indices, concatenated)
 //	val    f64 × totalNNZ  (all clusters' values, concatenated)
+//
+// The codec byte selects the idx block form: flatwire.CodecRaw ships raw
+// u32 × totalNNZ; flatwire.CodecDelta (what EncodeFlat emits) delta-codes
+// each cluster's ascending indices as varints, restarting per cluster.
+// Decoders accept both.
 
 // accumWireMagic identifies a flat AccumWire buffer.
 const accumWireMagic uint32 = 0x48504157 // "HPAW"
@@ -36,11 +41,13 @@ func (w *AccumWire) EncodeFlat(dst []byte) []byte {
 	for j := range w.Idx {
 		total += len(w.Idx[j])
 	}
-	size := 4 + 4 + 8 + 8 + 8 + 8*k + 4*k + 8 + 4*total + 8*total
+	// Capacity bound: a varint-coded index is at most 5 bytes.
+	size := 4 + 1 + 4 + 8 + 8 + 8 + 8*k + 4*k + 8 + 5*total + 8*total
 	if dst == nil {
 		dst = make([]byte, 0, size)
 	}
 	b := flatwire.AppendU32(dst, accumWireMagic)
+	b = flatwire.AppendU8(b, flatwire.CodecDelta)
 	b = flatwire.AppendU32(b, uint32(k))
 	b = flatwire.AppendF64(b, w.Inertia)
 	b = flatwire.AppendI64(b, int64(w.Changed))
@@ -51,7 +58,7 @@ func (w *AccumWire) EncodeFlat(dst []byte) []byte {
 	}
 	b = flatwire.AppendU64(b, uint64(total))
 	for j := range w.Idx {
-		b = flatwire.AppendU32s(b, w.Idx[j])
+		b = flatwire.AppendDeltaU32s(b, w.Idx[j])
 	}
 	for j := range w.Val {
 		b = flatwire.AppendF64s(b, w.Val[j])
@@ -66,6 +73,7 @@ func (w *AccumWire) EncodeFlat(dst []byte) []byte {
 // the receiving accumulator.
 func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
 	r.Magic(accumWireMagic, "kmeans accum")
+	codec := r.U8()
 	k := r.Count(12) // ≥ 8 (counts) + 4 (nnz) bytes per cluster follow
 	w := &AccumWire{
 		Inertia: r.F64(),
@@ -78,6 +86,9 @@ func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
 	}
+	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta {
+		return nil, fmt.Errorf("kmeans: decode accum: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
+	}
 	sum := 0
 	for _, c := range nnz {
 		sum += int(c)
@@ -87,7 +98,15 @@ func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
 	}
 	idx := make([]uint32, total)
 	val := make([]float64, total)
-	r.U32sInto(idx)
+	if codec == flatwire.CodecRaw {
+		r.U32sInto(idx)
+	} else {
+		off := 0
+		for _, c := range nnz {
+			r.DeltaU32sInto(idx[off : off+int(c)])
+			off += int(c)
+		}
+	}
 	r.F64sInto(val)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("kmeans: decode accum: %w", err)

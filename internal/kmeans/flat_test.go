@@ -100,10 +100,14 @@ func TestAccumWireFlatMalformed(t *testing.T) {
 		"short head": good[:6],
 	}
 	// Corrupt a per-cluster entry count: nnz block starts after
-	// magic(4)+k(4)+inertia(8)+changed(8)+skipped(8)+counts(8×3).
+	// magic(4)+codec(1)+k(4)+inertia(8)+changed(8)+skipped(8)+counts(8×3).
 	bad := append([]byte{}, good...)
-	bad[4+4+8+8+8+24]++
+	bad[4+1+4+8+8+8+24]++
 	cases["nnz sum mismatch"] = bad
+	// An unrecognized codec version byte must be rejected, not guessed at.
+	badCodec := append([]byte{}, good...)
+	badCodec[4] = 99
+	cases["unknown codec"] = badCodec
 
 	for name, b := range cases {
 		w, err := DecodeFlatAccumWire(b)
@@ -115,4 +119,37 @@ func TestAccumWireFlatMalformed(t *testing.T) {
 			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
 		}
 	}
+}
+
+// TestAccumWireFlatDeltaShrinks: the delta-varint idx block (CodecDelta)
+// must undercut what the raw u32 block (the PR 7 layout) would have
+// occupied — the byte win the codec version bump exists for.
+func TestAccumWireFlatDeltaShrinks(t *testing.T) {
+	w := &AccumWire{
+		Idx:    make([][]uint32, 4),
+		Val:    make([][]float64, 4),
+		Counts: []int64{1, 1, 1, 1},
+	}
+	for j := range w.Idx {
+		for i := 0; i < 500; i++ {
+			w.Idx[j] = append(w.Idx[j], uint32(j+i*3)) // ascending, small deltas
+			w.Val[j] = append(w.Val[j], float64(i))
+		}
+	}
+	total := 4 * 500
+	flat := len(w.EncodeFlat(nil))
+	raw := flat - encodedIdxBytes(w) + 4*total
+	if flat >= raw {
+		t.Fatalf("delta-coded payload %d bytes >= raw-equivalent %d", flat, raw)
+	}
+	t.Logf("accum: delta %d bytes vs raw %d (%.1f%%)", flat, raw, 100*float64(flat)/float64(raw))
+}
+
+// encodedIdxBytes returns the delta-varint idx block size of w's encoding.
+func encodedIdxBytes(w *AccumWire) int {
+	n := 0
+	for j := range w.Idx {
+		n += len(flatwire.AppendDeltaU32s(nil, w.Idx[j]))
+	}
+	return n
 }

@@ -38,6 +38,14 @@
 //     convergence state;
 //   - Done/Finalize expose the loop exit and the assembled Result.
 //
+// K-Means++ seeding is decomposed the same way (seed.go): each of the
+// K-1 scan rounds splits into per-shard min-distance updates (ScanRange,
+// order-independent over disjoint ranges) followed by a serial ascending
+// total-and-draw on the coordinator (EndRound) — an exact refactoring of
+// the serial interleaved loop, so the RNG consumes identical draws and
+// the chosen seeds are bit-identical to serial seeding at any shard
+// count and on any backend.
+//
 // Step and Run are thin drivers over the same kernels: Step claims Accums
 // through a par.Reducer and runs AssignShard per chunk on the pool, so the
 // bulk operator and the workflow engine's iterative shard loop execute
@@ -45,23 +53,38 @@
 //
 // # Assignment pruning
 //
-// The assignment kernel optionally carries Hamerly-style per-document
-// bounds (bounds.go) that let a document skip the k-way centroid scan
-// when its exact upper bound to the assigned centroid is provably below
-// a conservative lower bound on every other centroid. Pruning is
-// controlled by Options.Prune (PruneAuto enables it at k >= 4) and is
-// result-invariant by construction: the skipped scan's outcome —
-// assignment, distance, inertia contribution — is proven identical to
-// the full scan's, so clusterings are bit-identical with pruning on or
-// off, at any shard count and on any backend (asserted by
-// TestPruneBitIdentical and the workflow engine's matrix test). Bounds
-// state is a pure per-document function — it lives beside the
-// assignments in per-shard slices, travels with loop sessions, and the
-// per-iteration drift that decays lower bounds is computed in the
-// deterministic EndIteration reduce — so skip counts themselves are
-// reproducible. Result.Prune reports what pruning did (document-
-// iterations skipped vs scanned); BENCH_pruned.json records the kernel
-// savings.
+// The assignment kernel optionally carries triangle-inequality bounds
+// (bounds.go) that let a document skip the k-way centroid scan when its
+// exact upper bound to the assigned centroid is provably below a
+// conservative lower bound on every other centroid. Two bound structures
+// form a hierarchy:
+//
+//   - Hamerly (VariantHamerly): one lower bound per document — the
+//     minimum over all non-assigned centroids — decayed each iteration
+//     by the largest centroid drift. O(1) memory per document; one big
+//     drift anywhere collapses every document's bound.
+//   - Elkan (VariantElkan): k lower bounds per document, one per
+//     centroid, each decayed only by its own centroid's drift. k× the
+//     memory, but bounds survive iterations where only a few centroids
+//     move, so the skip rate dominates Hamerly's — the win grows with k,
+//     which is why PruneAuto selects Elkan from k >= 16 (Hamerly from
+//     k >= 4, off below).
+//
+// Options.Prune selects the structure (PruneAuto by cluster count as
+// above; PruneOn pins Hamerly, PruneElkan pins per-centroid bounds;
+// PruneMode.Variant is the resolution rule). Both variants are
+// result-invariant by construction: a scan is skipped only when the
+// skipped outcome — assignment, distance, inertia contribution — is
+// proven identical to the full scan's, so clusterings are bit-identical
+// across every mode, at any shard count and on any backend (asserted by
+// TestPruneBitIdentical, TestElkanBitIdentical and the workflow engine's
+// matrix test). Bounds state is a pure per-document function — it lives
+// beside the assignments in per-shard slices, travels with loop
+// sessions, and the per-iteration drift that decays lower bounds is
+// computed in the deterministic EndIteration reduce — so skip counts
+// themselves are reproducible. Result.Prune reports what pruning did
+// (document-iterations skipped vs scanned, and which variant ran);
+// BENCH_pruned.json records the kernel savings per variant.
 package kmeans
 
 import (
@@ -74,11 +97,15 @@ import (
 	"hpa/internal/par"
 	"hpa/internal/simsched"
 	"hpa/internal/sparse"
-	"hpa/internal/zipf"
 )
 
 // PhaseKMeans is the Figure 3/4 legend name for clustering time.
 const PhaseKMeans = "kmeans"
+
+// parUpdateMinK is the cluster count from which EndIteration runs the
+// per-cluster merge+mean in parallel; below it the fan-out overhead
+// exceeds the k independent strips of work.
+const parUpdateMinK = 8
 
 // ErrOptions reports invalid clustering options. Validation errors wrap it,
 // so callers can test errors.Is(err, ErrOptions).
@@ -120,9 +147,6 @@ type Options struct {
 	// PruneAuto (the default) enables it when k is large enough to pay.
 	Prune PruneMode
 }
-
-// pruneEnabled resolves the Prune mode against the cluster count.
-func (o *Options) pruneEnabled() bool { return o.Prune.Active(o.K) }
 
 // validate checks the options against a document count and applies the
 // defaults, so both implementations (Clusterer and SimpleKMeans) share one
@@ -187,8 +211,16 @@ type Result struct {
 	History []float64
 	// Converged reports whether the run stopped before MaxIter.
 	Converged bool
+	// Seeds holds the K-Means++ chosen seed document indices in pick
+	// order — the determinism witness the bit-identity tests compare
+	// across shard counts and backends.
+	Seeds []int
+	// SeedWall is the wall time K-Means++ seeding took, whether the scan
+	// rounds ran serially or as sharded tasks.
+	SeedWall time.Duration
 	// Prune reports how much assignment work triangle-inequality pruning
-	// skipped (zero-valued when pruning was off).
+	// skipped, and which bound variant ran (Variant is "off" when pruning
+	// was off; the counters are then zero).
 	Prune PruneStats
 }
 
@@ -211,6 +243,8 @@ type Clusterer struct {
 	history   []float64
 	inertia   float64
 	iter      int
+	seeds     []int
+	seedWall  time.Duration
 
 	// Convergence state shared by Step/Run and the iterative shard loop.
 	prev      float64 // previous iteration's inertia (+Inf before the first)
@@ -266,10 +300,35 @@ func NewAccumFor(k, dim int) *Accum {
 	return a
 }
 
-// New prepares a clusterer. The documents are not copied; they must not be
-// mutated during clustering. dim is the dense dimensionality (vocabulary
-// size).
+// New prepares a clusterer, running K-Means++ seeding serially. The
+// documents are not copied; they must not be mutated during clustering.
+// dim is the dense dimensionality (vocabulary size).
 func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clusterer, error) {
+	c, err := newClusterer(docs, dim, pool, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.seed()
+	return c, nil
+}
+
+// NewDeferredSeed prepares a clusterer without running K-Means++ seeding
+// and returns the Seeding state the caller must drive to completion
+// (seed.go) before the first Step or AssignShard. The workflow engine uses
+// this to run each seed round's distance scan as parallel shard tasks
+// through the executor; New drives the identical kernels serially, so both
+// paths choose bit-identical seeds.
+func NewDeferredSeed(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clusterer, *Seeding, error) {
+	c, err := newClusterer(docs, dim, pool, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, c.BeginSeeding(), nil
+}
+
+// newClusterer validates and allocates everything except the seed
+// centroids and the seed-dependent pruning state (postSeed).
+func newClusterer(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clusterer, error) {
 	if err := opts.validate(len(docs)); err != nil {
 		return nil, err
 	}
@@ -307,67 +366,42 @@ func New(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (*Clustere
 		c.dists = make([]float64, len(docs))
 	}
 	c.views = par.NewReducer(c.NewAccum, (*Accum).Reset)
-	c.seed()
-	if c.opts.pruneEnabled() {
-		c.bp = NewBoundsPass(len(docs), dim)
-		c.prevCents = make([][]float64, opts.K)
-		for j := range c.prevCents {
-			c.prevCents[j] = append([]float64(nil), c.centroids[j]...)
-		}
-		c.prevCNorms = append([]float64(nil), c.cnorms...)
-		c.drift = make([]float64, opts.K)
-		c.pruneStats.Enabled = true
-	}
 	return c, nil
 }
 
-// seed runs K-Means++ over the documents with the run's deterministic RNG:
-// the first centroid is a uniformly chosen document; each further centroid
-// is a document sampled with probability proportional to its squared
-// distance from the nearest already-chosen centroid.
+// seed runs K-Means++ serially by driving the decomposed seeding kernels
+// (seed.go) over the full document range — the same code the workflow
+// engine runs as sharded tasks, so both choose bit-identical seeds.
 func (c *Clusterer) seed() {
-	rng := zipf.NewRNG(c.opts.Seed ^ 0x6b6d65616e73) // "kmeans"
-	n := len(c.docs)
-	chosen := make([]int, 0, c.opts.K)
-	d2 := make([]float64, n)
-	for i := range d2 {
-		d2[i] = math.Inf(1)
+	s := c.BeginSeeding()
+	for r := s.Rounds(); r > 0; r-- {
+		s.ScanRange(0, len(c.docs))
+		s.EndRound()
 	}
-	first := rng.Intn(n)
-	chosen = append(chosen, first)
-	for len(chosen) < c.opts.K {
-		last := &c.docs[chosen[len(chosen)-1]]
-		total := 0.0
-		for i := range c.docs {
-			// Exact union-merge distance: bitwise identical to the dense
-			// baseline's loop, so both implementations seed the same.
-			d := sparse.DistSq(&c.docs[i], last)
-			if d < d2[i] {
-				d2[i] = d
-			}
-			total += d2[i]
-		}
-		var pick int
-		if total <= 0 {
-			pick = rng.Intn(n) // degenerate: identical documents
-		} else {
-			r := rng.Float64() * total
-			acc := 0.0
-			pick = n - 1
-			for i := 0; i < n; i++ {
-				acc += d2[i]
-				if acc >= r {
-					pick = i
-					break
-				}
-			}
-		}
-		chosen = append(chosen, pick)
+	s.Finish()
+}
+
+// postSeed installs the seed-dependent state once the seed centroids
+// exist: the resolved pruning variant's bounds and its drift baseline
+// (which copies the seeded centroids). Called exactly once, by
+// Seeding.Finish.
+func (c *Clusterer) postSeed() {
+	v := c.opts.Prune.Variant(c.opts.K)
+	c.pruneStats.Variant = v.String()
+	if v == VariantOff {
+		return
 	}
-	for j, idx := range chosen {
-		copyInto(c.centroids[j], &c.docs[idx], c.dim)
-		c.cnorms[j] = normSq(c.centroids[j])
+	c.bp = NewBoundsPass(len(c.docs), c.dim)
+	if v == VariantElkan {
+		c.bp.EnableElkan(c.opts.K)
 	}
+	c.prevCents = make([][]float64, c.opts.K)
+	for j := range c.prevCents {
+		c.prevCents[j] = append([]float64(nil), c.centroids[j]...)
+	}
+	c.prevCNorms = append([]float64(nil), c.cnorms...)
+	c.drift = make([]float64, c.opts.K)
+	c.pruneStats.Enabled = true
 }
 
 func copyInto(dst []float64, v *sparse.Vector, dim int) {
@@ -448,6 +482,7 @@ func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
 		return
 	}
 	cnMax := maxCNorm(cnorms)
+	elkan := bp.LowerK != nil
 	for i := lo; i < hi; i++ {
 		v := &docs[i]
 		if cur := assign[i]; cur >= 0 {
@@ -459,10 +494,31 @@ func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
 				cd = 0
 			}
 			m := bp.eps(docNorms[i], cnMax)
-			l := bp.Lower[i] - bp.maxDriftOther(cur) - 2*m
 			u := math.Sqrt(cd)
-			bp.Lower[i] = l
 			bp.Upper[i] = u
+			var l float64
+			if elkan {
+				// Decay each centroid's bound by its own padded drift (a
+				// fresh session has no drift yet: bounds are −Inf and the
+				// full scan below runs anyway) and consume the minimum over
+				// j ≠ cur.
+				row := bp.LowerK[i*k : i*k+k]
+				l = math.Inf(1)
+				m2 := 2 * m
+				for j := 0; j < k; j++ {
+					lj := row[j] - m2
+					if bp.Drift != nil {
+						lj -= bp.Drift[j]
+					}
+					row[j] = lj
+					if int32(j) != cur && lj < l {
+						l = lj
+					}
+				}
+			} else {
+				l = bp.Lower[i] - bp.maxDriftOther(cur) - 2*m
+				bp.Lower[i] = l
+			}
 			if u < l {
 				// Provably still the argmin: the scan would keep cur with
 				// this exact distance. Contribute identically and move on.
@@ -475,26 +531,52 @@ func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
 				continue
 			}
 		}
-		best, bestD, secD := int32(0), math.Inf(1), math.Inf(1)
-		for j := 0; j < k; j++ {
-			d := distTo(v, centroids[j], cnorms[j], docNorms[i])
-			if d < bestD {
-				secD = bestD
-				bestD, best = d, int32(j)
-			} else if d < secD {
-				secD = d
+		var best int32
+		var bestD float64
+		if elkan {
+			// Full scan seeding every per-centroid bound with its exact
+			// distance — no shave at seed time: the per-iteration decay
+			// above charges the rounding margin before a bound is consumed.
+			row := bp.LowerK[i*k : i*k+k]
+			best, bestD = int32(0), math.Inf(1)
+			for j := 0; j < k; j++ {
+				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+				cd := d
+				if cd < 0 {
+					cd = 0
+				}
+				row[j] = math.Sqrt(cd)
+				if d < bestD {
+					bestD, best = d, int32(j)
+				}
 			}
+			if bestD < 0 {
+				bestD = 0
+			}
+			bp.Upper[i] = math.Sqrt(bestD)
+		} else {
+			var secD float64
+			best, bestD, secD = int32(0), math.Inf(1), math.Inf(1)
+			for j := 0; j < k; j++ {
+				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+				if d < bestD {
+					secD = bestD
+					bestD, best = d, int32(j)
+				} else if d < secD {
+					secD = d
+				}
+			}
+			if bestD < 0 {
+				bestD = 0
+			}
+			if secD < 0 {
+				secD = 0
+			}
+			bp.Upper[i] = math.Sqrt(bestD)
+			// No shave at seed time: the per-iteration decay above charges
+			// the rounding margin before the bound is ever consumed.
+			bp.Lower[i] = math.Sqrt(secD)
 		}
-		if bestD < 0 {
-			bestD = 0
-		}
-		if secD < 0 {
-			secD = 0
-		}
-		bp.Upper[i] = math.Sqrt(bestD)
-		// No shave at seed time: the per-iteration decay above charges the
-		// rounding margin before the bound is ever consumed.
-		bp.Lower[i] = math.Sqrt(secD)
 		if assign[i] != best {
 			assign[i] = best
 			a.changed++
@@ -524,25 +606,46 @@ func (c *Clusterer) EndIteration(accs []*Accum) (float64, int) {
 	}
 	inertia := 0.0
 	changed := 0
-	for _, a := range accs[1:] {
-		for j := range a.accs {
-			accs[0].accs[j].Merge(a.accs[j])
-		}
-	}
 	for _, a := range accs {
 		inertia += a.inertia
 		changed += a.changed
 	}
-	for j := 0; j < c.opts.K; j++ {
+	// Per-cluster merge, count and mean: clusters touch disjoint state
+	// (accumulator j, centroid row j), and the within-cluster merge keeps
+	// the caller's shard-index order either way, so running clusters in
+	// parallel on the pool is bit-identical to the serial loop. Small k
+	// stays serial: the fan-out costs more than it saves, and the recorder
+	// accounts this section as the serial centroid update.
+	update := func(j int) {
 		acc := accs[0].accs[j]
+		for _, a := range accs[1:] {
+			acc.Merge(a.accs[j])
+		}
 		c.counts[j] = acc.Count
 		if acc.Count > 0 {
 			acc.Mean(c.centroids[j])
 			c.cnorms[j] = normSq(c.centroids[j])
-		} else if c.opts.Empty == ReseedFarthest {
-			c.reseedEmpty(j)
 		}
 		// KeepCentroid: empty clusters keep their previous centroid.
+	}
+	if k := c.opts.K; c.pool.Workers() > 1 && k >= parUpdateMinK && !rec.Enabled() {
+		c.pool.For(0, k, 1, update)
+	} else {
+		for j := 0; j < c.opts.K; j++ {
+			update(j)
+		}
+	}
+	// The empty-cluster policy runs after every mean exists, in ascending
+	// cluster order: reseeds consume the farthest-document pool
+	// sequentially (each zeroes its claimed document's distance), and they
+	// never read another cluster's mean, so this ordering produces the
+	// same floats as the old interleaved serial loop.
+	if c.opts.Empty == ReseedFarthest {
+		for j := 0; j < c.opts.K; j++ {
+			if c.counts[j] == 0 {
+				c.reseedEmpty(j)
+			}
+		}
 	}
 	if c.bp != nil {
 		// Drift is measured after the empty-cluster policy ran, so a
@@ -658,6 +761,8 @@ func (c *Clusterer) Finalize() *Result {
 		Iterations: c.iter,
 		History:    append([]float64(nil), c.history...),
 		Converged:  c.converged,
+		Seeds:      append([]int(nil), c.seeds...),
+		SeedWall:   c.seedWall,
 		Prune:      c.pruneStats,
 	}
 	for j := range r.Centroids {

@@ -1,0 +1,93 @@
+package kmeans
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hpa/internal/par"
+	"hpa/internal/pario"
+	"hpa/internal/sparse"
+)
+
+// shardedSeedRun clusters like New but drives seeding through the deferred
+// path with every round's scan split into `shards` concurrently running
+// range tasks — the workflow engine's execution shape. The goroutines give
+// the race detector a real interleaving to check.
+func shardedSeedRun(t *testing.T, docs []sparse.Vector, dim int, opts Options, shards int) *Result {
+	t.Helper()
+	p := par.NewPool(1)
+	defer p.Close()
+	c, s, err := NewDeferredSeed(docs, dim, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := s.Rounds(); r > 0; r-- {
+		var wg sync.WaitGroup
+		for q := 0; q < shards; q++ {
+			lo, hi := pario.PartitionRange(len(docs), shards, q)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.ScanRange(lo, hi)
+			}()
+		}
+		wg.Wait()
+		s.EndRound()
+	}
+	s.Finish()
+	return c.Run(nil)
+}
+
+// TestShardedSeedingBitIdentical is the seeding half of the bit-identity
+// contract: the deferred, sharded seeding path must choose the exact seed
+// documents — and hence produce the bit-identical clustering — as the
+// serial scan, at any shard count.
+func TestShardedSeedingBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		docs []sparse.Vector
+		dim  int
+		opts Options
+	}{
+		{"blobs-k8", nil, 16, Options{K: 8, Seed: 9}},
+		{"sparse-k16", sparseMix(600, 48, 7), 48, Options{K: 16, Seed: 5, Empty: ReseedFarthest}},
+		{"identical-docs", nil, 4, Options{K: 3, Seed: 2}}, // degenerate rounds: total = 0
+		{"k1", nil, 16, Options{K: 1, Seed: 4}},            // zero scan rounds
+	}
+	cases[0].docs, _ = blobs(500, 8, 16, 22)
+	v := sparse.Vector{Idx: []uint32{1}, Val: []float64{2}}
+	cases[2].docs = make([]sparse.Vector, 30)
+	for i := range cases[2].docs {
+		cases[2].docs[i] = v.Clone()
+	}
+	cases[3].docs, _ = blobs(100, 4, 16, 23)
+	for _, tc := range cases {
+		serial := func() *Result {
+			p := par.NewPool(1)
+			defer p.Close()
+			res, err := Run(tc.docs, tc.dim, p, tc.opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}()
+		if len(serial.Seeds) != tc.opts.K {
+			t.Fatalf("%s: serial run chose %d seeds for k=%d", tc.name, len(serial.Seeds), tc.opts.K)
+		}
+		for _, shards := range []int{1, 4, 7} {
+			sharded := shardedSeedRun(t, tc.docs, tc.dim, tc.opts, shards)
+			if !reflect.DeepEqual(serial.Seeds, sharded.Seeds) {
+				t.Errorf("%s/shards=%d: seeds %v != serial %v", tc.name, shards, sharded.Seeds, serial.Seeds)
+			}
+			a, b := *serial, *sharded
+			a.SeedWall, b.SeedWall = 0, 0
+			if !reflect.DeepEqual(&a, &b) {
+				t.Errorf("%s/shards=%d: sharded-seed clustering differs from serial", tc.name, shards)
+			}
+			if sharded.SeedWall <= 0 {
+				t.Errorf("%s/shards=%d: SeedWall not recorded", tc.name, shards)
+			}
+		}
+	}
+}

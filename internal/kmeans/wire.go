@@ -112,8 +112,19 @@ func (c *Clusterer) TracksDists() bool { return c.dists != nil }
 
 // PruneEnabled reports whether the run maintains assignment-pruning bounds
 // (bounds.go). Remote shards then keep their own shard-local BoundsPass and
-// need the padded per-centroid drifts shipped each iteration.
-func (c *Clusterer) PruneEnabled() bool { return c.bp != nil }
+// need the padded per-centroid drifts shipped each iteration. Resolved from
+// the options so it is valid before seeding finishes — a remote seeding
+// task's session init must already declare the variant the assignment
+// iterations will run.
+func (c *Clusterer) PruneEnabled() bool { return c.opts.Prune.Active(c.opts.K) }
+
+// PruneElkan reports whether the pruning bounds include the Elkan
+// per-centroid lower bounds (bounds.go); remote shards must mirror the
+// variant so their skip decisions — and therefore their float arithmetic —
+// match the coordinator's exactly. Valid before seeding, like PruneEnabled.
+func (c *Clusterer) PruneElkan() bool {
+	return c.opts.Prune.Variant(c.opts.K) == VariantElkan
+}
 
 // Drift returns the padded per-centroid drifts of the last EndIteration —
 // what a remote shard's BoundsPass decays its bounds by. Nil before the

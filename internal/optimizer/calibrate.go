@@ -129,7 +129,8 @@ func Calibrate(opts CalibrationOptions) (*CostModel, error) {
 	m.ARFFWriteBPS, m.ARFFReadBPS = w, r
 	m.ShardTaskNS = calibrateShardOverhead(opts.ShardTasks)
 	m.KMeansAssignNS = calibrateKMeansAssign(opts)
-	m.KMeansAssignPrunedNS = calibrateKMeansAssignPruned(opts)
+	m.KMeansAssignPrunedNS = calibrateKMeansAssignPruned(opts, kmeans.PruneOn)
+	m.KMeansAssignElkanNS = calibrateKMeansAssignPruned(opts, kmeans.PruneElkan)
 	m.RPCShipNS = calibrateRPCShip(opts.RPCTasks)
 	return m, nil
 }
@@ -334,19 +335,22 @@ func calibrateKMeansAssign(opts CalibrationOptions) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(ops)
 }
 
-// calibrateKMeansAssignPruned measures the bounded assignment kernel over
+// calibrateKMeansAssignPruned measures a bounded assignment kernel over
 // the same matrix, driven as a short real loop (assign, then the centroid
 // update that sets the drifts) so bounds warm up and decay exactly as they
-// do in production. Only the assignment passes are timed; the returned
-// rate divides the same iterations × nnz × k unit count as the full-scan
-// calibration, so the two rates differ exactly by what pruning saves net
-// of bounds maintenance.
-func calibrateKMeansAssignPruned(opts CalibrationOptions) float64 {
+// do in production. The mode selects the bound structure: kmeans.PruneOn
+// measures the Hamerly variant (one lower bound per document),
+// kmeans.PruneElkan the per-(document, centroid) variant. Only the
+// assignment passes are timed; the returned rate divides the same
+// iterations × nnz × k unit count as the full-scan calibration, so the
+// rates differ exactly by what each bound structure saves net of its
+// maintenance cost.
+func calibrateKMeansAssignPruned(opts CalibrationOptions, mode kmeans.PruneMode) float64 {
 	const k = 8
 	vecs, dim := calKMeansMatrix(opts)
 	pool := par.NewPool(1)
 	defer pool.Close()
-	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1, Prune: kmeans.PruneOn})
+	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1, Prune: mode})
 	if err != nil {
 		return 1.5 // cannot happen with the synthetic matrix
 	}

@@ -43,8 +43,9 @@ import (
 // v2 added KMeansAssignNS (the K-Means assignment kernel cost); v3 added
 // RPCShipNS (the per-task ship cost of the RPC execution backend); v4
 // added KMeansAssignPrunedNS (the bounded assignment kernel's effective
-// cost), so earlier caches self-invalidate and re-measure.
-const ModelVersion = 4
+// cost); v5 added KMeansAssignElkanNS (the per-centroid-bound variant's
+// rate), so earlier caches self-invalidate and re-measure.
+const ModelVersion = 5
 
 // DictPoint is one calibrated operating point of a dictionary kind:
 // amortized per-operation costs measured while growing a dictionary to
@@ -138,6 +139,15 @@ type CostModel struct {
 	// documents skip the k-way scan, so this rate is well below the
 	// full-scan rate on clusterable data.
 	KMeansAssignPrunedNS float64 `json:"kmeans_assign_pruned_ns"`
+	// KMeansAssignElkanNS is the effective cost of the Elkan-bounded
+	// assignment kernel per (non-zero component × cluster), measured the
+	// same way as KMeansAssignPrunedNS (a short converging loop, so bounds
+	// maintenance and the achieved skip rate are baked in) but with the
+	// per-(document, centroid) lower-bound structure. It prices the third
+	// assignment kernel variant: under PruneAuto the K-Means pricing
+	// compares it against the Hamerly rate and pins whichever is cheaper
+	// on this machine (both variants are result-invariant).
+	KMeansAssignElkanNS float64 `json:"kmeans_assign_elkan_ns"`
 	// RPCShipNS is the per-task overhead of shipping one shard task to an
 	// RPC worker and absorbing its reply — gob encode, a loopback net/rpc
 	// round trip with a representative small payload, gob decode — in

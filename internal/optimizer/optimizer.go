@@ -651,42 +651,85 @@ func (r *rule) kmIters() int {
 	return fallbackIterEstimate(r.st.Docs)
 }
 
+// kmAssignRate returns the calibrated per-unit assignment rate for a
+// resolved bound variant, falling back toward the full-scan rate when the
+// model predates the variant's calibration (caches handed in directly).
+func (r *rule) kmAssignRate(v kmeans.PruneVariant) float64 {
+	switch {
+	case v == kmeans.VariantElkan && r.m.KMeansAssignElkanNS > 0:
+		return r.m.KMeansAssignElkanNS
+	case v != kmeans.VariantOff && r.m.KMeansAssignPrunedNS > 0:
+		return r.m.KMeansAssignPrunedNS
+	}
+	return r.m.KMeansAssignNS
+}
+
 // kmeansWork estimates the total assignment work of the K-Means stage in
 // nanoseconds: iterations × documents × mean non-zeros × k distance
-// units, each priced at the calibrated kernel cost — the full-scan rate,
-// or (when the stage's Prune mode resolves to on and the model carries a
-// pruned rate) the bounded kernel's effective rate, which bakes in the
-// skip rate the bounds achieve on a converging loop. This is the
-// iteration-count-dependent cost the model could not capture while
-// K-Means was an opaque whole-matrix operator.
-func (r *rule) kmeansWork(k, iters int, pruned bool) float64 {
+// units, each priced at the calibrated rate of the resolved kernel
+// variant — the full-scan rate, the Hamerly-bounded rate, or the
+// Elkan-bounded rate, each of which bakes in the skip rate the bounds
+// achieve on a converging loop. This is the iteration-count-dependent
+// cost the model could not capture while K-Means was an opaque
+// whole-matrix operator.
+func (r *rule) kmeansWork(k, iters int, v kmeans.PruneVariant) float64 {
 	if k < 1 {
 		k = 8 // the operator's conventional default when unconfigured
 	}
-	rate := r.m.KMeansAssignNS
-	if pruned && r.m.KMeansAssignPrunedNS > 0 {
-		rate = r.m.KMeansAssignPrunedNS
-	}
 	nnz := float64(r.st.Docs) * r.st.AvgDocDistinct
-	return float64(iters) * nnz * float64(k) * rate
+	return float64(iters) * nnz * float64(k) * r.kmAssignRate(v)
 }
 
 // kmPruneResolved resolves a K-Means stage's Prune mode the way the
-// clusterer will (kmeans.PruneMode.Active at the effective k), returning
-// the resolution and the annotation fragment describing it.
-func (r *rule) kmPruneResolved(opts kmeans.Options) (bool, string) {
+// clusterer will (kmeans.PruneMode.Variant at the effective k) and then
+// re-decides it on price where the mode leaves room: under PruneAuto with
+// both bounded rates calibrated, the cheaper of the Hamerly and Elkan
+// kernels wins regardless of the k-threshold heuristic — every variant is
+// result-invariant (the strict provable-skip rule), so the choice is the
+// optimizer's to make. It returns the variant the stage is priced at, the
+// Prune mode to pin on the rewritten operator (equal to opts.Prune when
+// the default resolution already matches), and the annotation fragment
+// describing the decision.
+func (r *rule) kmPruneResolved(opts kmeans.Options) (kmeans.PruneVariant, kmeans.PruneMode, string) {
 	k := opts.K
 	if k < 1 {
 		k = 8
 	}
-	if !opts.Prune.Active(k) {
-		return false, fmt.Sprintf("; prune=off (mode %s at k=%d)", opts.Prune, k)
+	v := opts.Prune.Variant(k)
+	if v == kmeans.VariantOff {
+		return v, opts.Prune, fmt.Sprintf("; prune=off (mode %s at k=%d)", opts.Prune, k)
 	}
-	if r.m.KMeansAssignPrunedNS <= 0 {
-		return true, fmt.Sprintf("; prune=on (mode %s; no calibrated pruned rate, priced at full-scan rate)", opts.Prune)
+	ham, elk := r.m.KMeansAssignPrunedNS, r.m.KMeansAssignElkanNS
+	if opts.Prune == kmeans.PruneAuto && ham > 0 && elk > 0 {
+		want, pin := kmeans.VariantHamerly, kmeans.PruneOn
+		if elk < ham {
+			want, pin = kmeans.VariantElkan, kmeans.PruneElkan
+		}
+		if want != v {
+			return want, pin, fmt.Sprintf(
+				"; prune=%s (auto re-decided on price: elkan %.2g vs hamerly %.2g ns/unit, full %.2g; result-invariant)",
+				want, elk, ham, r.m.KMeansAssignNS)
+		}
+		return v, opts.Prune, fmt.Sprintf(
+			"; prune=%s (mode %s; priced at %.2g vs alternative %.2g, full %.2g ns/unit)",
+			v, opts.Prune, r.kmAssignRate(v), r.kmAssignRate(otherVariant(v)), r.m.KMeansAssignNS)
 	}
-	return true, fmt.Sprintf("; prune=on (mode %s; assign priced at pruned rate %.2g vs full %.2g ns/unit)",
-		opts.Prune, r.m.KMeansAssignPrunedNS, r.m.KMeansAssignNS)
+	if ham > 0 || (v == kmeans.VariantElkan && elk > 0) {
+		return v, opts.Prune, fmt.Sprintf(
+			"; prune=%s (mode %s; assign priced at %.2g vs full %.2g ns/unit)",
+			v, opts.Prune, r.kmAssignRate(v), r.m.KMeansAssignNS)
+	}
+	return v, opts.Prune, fmt.Sprintf(
+		"; prune=%s (mode %s; no calibrated bounded rate, priced at full-scan rate)", v, opts.Prune)
+}
+
+// otherVariant returns the bounded variant a priced one was compared
+// against in annotations.
+func otherVariant(v kmeans.PruneVariant) kmeans.PruneVariant {
+	if v == kmeans.VariantElkan {
+		return kmeans.VariantHamerly
+	}
+	return kmeans.VariantElkan
 }
 
 // loopEstimate prices the iterative K-Means loop at s shards on procs
@@ -731,8 +774,11 @@ func chooseLoopShards(work float64, iters, procs, maxShards int, taskNS, perTask
 // its loop shard count set from the cost model (the loop count is
 // independent of the TF/IDF map shard count and is annotated as such).
 // Explicit Options.Shards pins apply to the loop exactly as they do to
-// the map stages. Models without a calibrated kernel cost (pre-v2 caches
-// handed in directly) skip the stage.
+// the map stages. When kmPruneResolved re-decides the bound variant on
+// price (PruneAuto with both bounded rates calibrated), the winning mode
+// is pinned on the rewritten operator so execution runs the kernel the
+// estimate priced. Models without a calibrated kernel cost (pre-v2
+// caches handed in directly) skip the stage.
 func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 	if r.m.KMeansAssignNS <= 0 {
 		return p
@@ -743,15 +789,20 @@ func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 	for _, name := range p.Nodes() {
 		switch op := p.Node(name).Op().(type) {
 		case *workflow.KMeansOp:
-			pruned, pruneNote := r.kmPruneResolved(op.Opts)
-			work := r.kmeansWork(op.Opts.K, iters, pruned)
+			variant, pin, pruneNote := r.kmPruneResolved(op.Opts)
+			work := r.kmeansWork(op.Opts.K, iters, variant)
+			if pin != op.Opts.Prune {
+				clone := *op
+				clone.Opts.Prune = pin
+				repl[name] = &clone
+			}
 			notes[name] = fmt.Sprintf(
 				"kmeans: bulk est %s (~%d iterations, %s assign work/iter over %d procs)%s",
 				fmtNS(work/float64(r.opts.Procs)), iters,
 				fmtNS(work/float64(iters)), r.opts.Procs, pruneNote)
 		case *workflow.KMAssignOp:
-			pruned, pruneNote := r.kmPruneResolved(op.Opts)
-			work := r.kmeansWork(op.Opts.K, iters, pruned)
+			variant, pin, pruneNote := r.kmPruneResolved(op.Opts)
+			work := r.kmeansWork(op.Opts.K, iters, variant)
 			var (
 				s       int
 				why     string
@@ -779,8 +830,10 @@ func (r *rule) chooseKMeans(p *workflow.Plan) *workflow.Plan {
 			if bp.Remote {
 				why += "; backend=" + bp.String()
 			}
-			if op.Shards != s {
-				repl[name] = &workflow.KMAssignOp{Opts: op.Opts, Shards: s}
+			if op.Shards != s || pin != op.Opts.Prune {
+				clone := workflow.KMAssignOp{Opts: op.Opts, Shards: s}
+				clone.Opts.Prune = pin
+				repl[name] = &clone
 			}
 			notes[name] = why
 		}

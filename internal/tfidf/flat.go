@@ -18,16 +18,29 @@ import (
 //
 // Layout (little-endian):
 //
-//	magic u32 | lo u64 | hi u64 | dim u64 | dictFootprint i64
+//	magic u32 | codec u8 | lo u64 | hi u64 | dim u64 | dictFootprint i64
 //	nDocs u32 | totalNNZ u64
 //	nnz   u32 × nDocs      (per-document entry counts)
-//	idx   u32 × totalNNZ   (all vectors' indices, concatenated)
+//	idx                    (all vectors' indices, concatenated)
 //	val   f64 × totalNNZ   (all vectors' values, concatenated)
 //	norms f64 × nDocs
 //	names (u32 len + bytes) × nDocs
+//
+// The codec byte selects the idx block form: flatwire.CodecRaw ships raw
+// u32 × totalNNZ; flatwire.CodecDelta (what EncodeFlat emits) delta-codes
+// each vector's ascending indices as varints, restarting per document.
+// Decoders accept both.
 
 // vectorShardMagic identifies a flat VectorShard buffer.
 const vectorShardMagic uint32 = 0x48505653 // "HPVS"
+
+// wireShardCountsMagic identifies a flat WireShardCounts buffer — the
+// tfidf.count kernel reply.
+const wireShardCountsMagic uint32 = 0x48505743 // "HPWC"
+
+// wireGlobalMagic identifies a flat WireGlobal buffer — the global
+// term-table body shipped to workers on a cache miss.
+const wireGlobalMagic uint32 = 0x48505747 // "HPWG"
 
 // EncodeFlat returns the shard in flat wire form, appended to dst (pass nil
 // to allocate exactly). The receiver is not modified.
@@ -41,11 +54,13 @@ func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
 		names += flatwire.SizeString(name)
 	}
 	n := len(vs.Vectors)
-	size := 4 + 4*8 + 4 + 8 + 4*n + 4*total + 8*total + 8*n + names
+	// Capacity bound: a varint-coded index is at most 5 bytes.
+	size := 4 + 1 + 4*8 + 4 + 8 + 4*n + 5*total + 8*total + 8*n + names
 	if dst == nil {
 		dst = make([]byte, 0, size)
 	}
 	b := flatwire.AppendU32(dst, vectorShardMagic)
+	b = flatwire.AppendU8(b, flatwire.CodecDelta)
 	b = flatwire.AppendU64(b, uint64(vs.Lo))
 	b = flatwire.AppendU64(b, uint64(vs.Hi))
 	b = flatwire.AppendU64(b, uint64(vs.Dim))
@@ -56,7 +71,7 @@ func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
 		b = flatwire.AppendU32(b, uint32(vs.Vectors[i].NNZ()))
 	}
 	for i := range vs.Vectors {
-		b = flatwire.AppendU32s(b, vs.Vectors[i].Idx)
+		b = flatwire.AppendDeltaU32s(b, vs.Vectors[i].Idx)
 	}
 	for i := range vs.Vectors {
 		b = flatwire.AppendF64s(b, vs.Vectors[i].Val)
@@ -75,6 +90,7 @@ func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
 func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 	r := flatwire.NewReader(b)
 	r.Magic(vectorShardMagic, "tfidf vector shard")
+	codec := r.U8()
 	vs := &VectorShard{
 		Lo:  int(r.U64()),
 		Hi:  int(r.U64()),
@@ -87,6 +103,9 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("tfidf: decode vector shard: %w", err)
 	}
+	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta {
+		return nil, fmt.Errorf("tfidf: decode vector shard: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
+	}
 	sum := 0
 	for _, c := range nnz {
 		sum += int(c)
@@ -96,7 +115,15 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 	}
 	idx := make([]uint32, total)
 	val := make([]float64, total)
-	r.U32sInto(idx)
+	if codec == flatwire.CodecRaw {
+		r.U32sInto(idx)
+	} else {
+		off := 0
+		for _, c := range nnz {
+			r.DeltaU32sInto(idx[off : off+int(c)])
+			off += int(c)
+		}
+	}
 	r.F64sInto(val)
 	vs.Vectors = make([]sparse.Vector, n)
 	off := 0
@@ -116,4 +143,173 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 		return nil, fmt.Errorf("tfidf: decode vector shard: %w", err)
 	}
 	return vs, nil
+}
+
+// EncodeFlat returns the count reply in flat wire form, appended to dst
+// (pass nil). The receiver is not modified.
+//
+// Layout (little-endian):
+//
+//	magic u32 | codec u8 | lo u64 | hi u64 | nDocs u32
+//	nWords u32 × nDocs              (per-document term counts)
+//	words  (u32 len + bytes) × Σ    (all documents' words, concatenated)
+//	counts u32 × Σ                  (all documents' frequencies)
+//	names marker u32                (0 = nil, 1 = present)
+//	[names (u32 len + bytes) × nDocs]
+//	df marker u32                   (0 = omitted, 1 = present)
+//	[nDF u32 | dfWords (u32 len + bytes) × nDF | dfCounts u32 × nDF]
+//
+// Term frequencies are unsorted, so the codec byte is always
+// flatwire.CodecRaw here; it exists for the same versioning discipline as
+// the index-carrying payloads.
+func (w *WireShardCounts) EncodeFlat(dst []byte) []byte {
+	b := flatwire.AppendU32(dst, wireShardCountsMagic)
+	b = flatwire.AppendU8(b, flatwire.CodecRaw)
+	b = flatwire.AppendU64(b, uint64(w.Lo))
+	b = flatwire.AppendU64(b, uint64(w.Hi))
+	b = flatwire.AppendU32(b, uint32(len(w.Docs)))
+	for i := range w.Docs {
+		b = flatwire.AppendU32(b, uint32(len(w.Docs[i].Words)))
+	}
+	for i := range w.Docs {
+		for _, word := range w.Docs[i].Words {
+			b = flatwire.AppendString(b, word)
+		}
+	}
+	for i := range w.Docs {
+		b = flatwire.AppendU32s(b, w.Docs[i].Counts)
+	}
+	if w.DocNames == nil {
+		b = flatwire.AppendU32(b, 0)
+	} else {
+		b = flatwire.AppendU32(b, 1)
+		for _, name := range w.DocNames {
+			b = flatwire.AppendString(b, name)
+		}
+	}
+	if w.DFWords == nil {
+		b = flatwire.AppendU32(b, 0)
+	} else {
+		b = flatwire.AppendU32(b, 1)
+		b = flatwire.AppendU32(b, uint32(len(w.DFWords)))
+		for _, word := range w.DFWords {
+			b = flatwire.AppendString(b, word)
+		}
+		b = flatwire.AppendU32s(b, w.DFCounts)
+	}
+	return b
+}
+
+// DecodeFlatWireShardCounts decodes a flat count reply, validating the
+// layout (magic, codec, counts, truncation, trailing bytes).
+func DecodeFlatWireShardCounts(b []byte) (*WireShardCounts, error) {
+	r := flatwire.NewReader(b)
+	r.Magic(wireShardCountsMagic, "tfidf shard counts")
+	codec := r.U8()
+	w := &WireShardCounts{
+		Lo: int(r.U64()),
+		Hi: int(r.U64()),
+	}
+	n := r.Count(4)
+	nwords := r.U32s(n)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode shard counts: %w", err)
+	}
+	if codec != flatwire.CodecRaw {
+		return nil, fmt.Errorf("tfidf: decode shard counts: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
+	}
+	w.Docs = make([]WireDocCounts, n)
+	for i := range w.Docs {
+		c := int(nwords[i])
+		if c > 0 {
+			w.Docs[i].Words = make([]string, c)
+		}
+	}
+	for i := range w.Docs {
+		for k := range w.Docs[i].Words {
+			w.Docs[i].Words[k] = r.String()
+		}
+	}
+	for i := range w.Docs {
+		if c := int(nwords[i]); c > 0 {
+			w.Docs[i].Counts = make([]uint32, c)
+			r.U32sInto(w.Docs[i].Counts)
+		}
+	}
+	switch r.U32() {
+	case 0:
+	case 1:
+		w.DocNames = make([]string, n)
+		for i := range w.DocNames {
+			w.DocNames[i] = r.String()
+		}
+	default:
+		return nil, fmt.Errorf("tfidf: decode shard counts: %w: bad names marker", flatwire.ErrMalformed)
+	}
+	switch r.U32() {
+	case 0:
+	case 1:
+		nd := r.Count(4)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("tfidf: decode shard counts: %w", err)
+		}
+		w.DFWords = make([]string, nd)
+		for i := range w.DFWords {
+			w.DFWords[i] = r.String()
+		}
+		w.DFCounts = make([]uint32, nd)
+		r.U32sInto(w.DFCounts)
+	default:
+		return nil, fmt.Errorf("tfidf: decode shard counts: %w: bad DF marker", flatwire.ErrMalformed)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode shard counts: %w", err)
+	}
+	return w, nil
+}
+
+// EncodeFlat returns the global term table in flat wire form, appended to
+// dst (pass nil). The receiver is not modified.
+//
+// Layout (little-endian):
+//
+//	magic u32 | codec u8 | numDocs u64 | nTerms u32
+//	df    u32 × nTerms
+//	terms (u32 len + bytes) × nTerms
+func (w *WireGlobal) EncodeFlat(dst []byte) []byte {
+	b := flatwire.AppendU32(dst, wireGlobalMagic)
+	b = flatwire.AppendU8(b, flatwire.CodecRaw)
+	b = flatwire.AppendU64(b, uint64(w.NumDocs))
+	b = flatwire.AppendU32(b, uint32(len(w.Terms)))
+	b = flatwire.AppendU32s(b, w.DF)
+	for _, term := range w.Terms {
+		b = flatwire.AppendString(b, term)
+	}
+	return b
+}
+
+// DecodeFlatWireGlobal decodes a flat global term table, validating the
+// layout (magic, codec, counts, truncation, trailing bytes).
+func DecodeFlatWireGlobal(b []byte) (*WireGlobal, error) {
+	r := flatwire.NewReader(b)
+	r.Magic(wireGlobalMagic, "tfidf global table")
+	codec := r.U8()
+	w := &WireGlobal{NumDocs: int(r.U64())}
+	n := r.Count(4)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode global table: %w", err)
+	}
+	if codec != flatwire.CodecRaw {
+		return nil, fmt.Errorf("tfidf: decode global table: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
+	}
+	w.DF = make([]uint32, n)
+	r.U32sInto(w.DF)
+	w.Terms = make([]string, n)
+	for i := range w.Terms {
+		w.Terms[i] = r.String()
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("tfidf: decode global table: %w", err)
+	}
+	return w, nil
 }

@@ -95,10 +95,15 @@ func TestVectorShardFlatMalformed(t *testing.T) {
 		"short header": good[:10],
 	}
 	// Corrupt the per-document entry counts so their sum disagrees with the
-	// header total: nnz block starts after magic(4)+3×u64(24)+i64(8)+n(4)+total(8).
+	// header total: nnz block starts after
+	// magic(4)+codec(1)+3×u64(24)+i64(8)+n(4)+total(8).
 	bad := append([]byte{}, good...)
-	bad[4+24+8+4+8]++
+	bad[4+1+24+8+4+8]++
 	cases["nnz sum mismatch"] = bad
+	// An unrecognized codec version byte must be rejected, not guessed at.
+	badCodec := append([]byte{}, good...)
+	badCodec[4] = 99
+	cases["unknown codec"] = badCodec
 
 	for name, b := range cases {
 		vs, err := DecodeFlatVectorShard(b)
@@ -107,6 +112,169 @@ func TestVectorShardFlatMalformed(t *testing.T) {
 			continue
 		}
 		if name != "nnz sum mismatch" && !errors.Is(err, flatwire.ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+// flatTestCounts builds a count reply with the shapes its codec must
+// handle: an empty document, repeated words across documents, and the DF
+// block a count reply carries.
+func flatTestCounts(withDF bool) *WireShardCounts {
+	w := &WireShardCounts{
+		Lo: 2, Hi: 5,
+		Docs: []WireDocCounts{
+			{Words: []string{"alpha", "beta"}, Counts: []uint32{3, 1}},
+			{},
+			{Words: []string{"beta"}, Counts: []uint32{7}},
+		},
+		DocNames: []string{"a.txt", "", "c.txt"},
+	}
+	if withDF {
+		w.DFWords = []string{"alpha", "beta"}
+		w.DFCounts = []uint32{1, 2}
+	}
+	return w
+}
+
+// TestWireShardCountsFlatRoundTrip: the flat count-reply codec must
+// reproduce the wire struct exactly and agree with what gob would have
+// carried, with and without the DF block.
+func TestWireShardCountsFlatRoundTrip(t *testing.T) {
+	for _, withDF := range []bool{true, false} {
+		w := flatTestCounts(withDF)
+		got, err := DecodeFlatWireShardCounts(w.EncodeFlat(nil))
+		if err != nil {
+			t.Fatalf("withDF=%v: DecodeFlatWireShardCounts: %v", withDF, err)
+		}
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		var viaGob WireShardCounts
+		if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+
+		for name, dec := range map[string]*WireShardCounts{"flat": got, "gob": &viaGob} {
+			if dec.Lo != w.Lo || dec.Hi != w.Hi {
+				t.Errorf("withDF=%v %s: range [%d,%d), want [%d,%d)", withDF, name, dec.Lo, dec.Hi, w.Lo, w.Hi)
+			}
+			if len(dec.Docs) != len(w.Docs) {
+				t.Fatalf("withDF=%v %s: %d docs, want %d", withDF, name, len(dec.Docs), len(w.Docs))
+			}
+			for i := range w.Docs {
+				if !reflect.DeepEqual(dec.Docs[i].Words, w.Docs[i].Words) ||
+					!reflect.DeepEqual(dec.Docs[i].Counts, w.Docs[i].Counts) {
+					t.Errorf("withDF=%v %s: doc %d differs: %+v", withDF, name, i, dec.Docs[i])
+				}
+			}
+			if !reflect.DeepEqual(dec.DocNames, w.DocNames) {
+				t.Errorf("withDF=%v %s: names %v", withDF, name, dec.DocNames)
+			}
+			if !reflect.DeepEqual(dec.DFWords, w.DFWords) || !reflect.DeepEqual(dec.DFCounts, w.DFCounts) {
+				t.Errorf("withDF=%v %s: DF block differs", withDF, name)
+			}
+		}
+
+		// The rebuilt live shard must match the gob path's rebuild.
+		opts := Options{}
+		flatSC := got.ShardCounts(opts)
+		gobSC := viaGob.ShardCounts(opts)
+		if flatSC.Lo != gobSC.Lo || flatSC.Hi != gobSC.Hi || len(flatSC.DocDicts) != len(gobSC.DocDicts) {
+			t.Errorf("withDF=%v: rebuilt shards differ structurally", withDF)
+		}
+	}
+}
+
+// TestWireShardCountsFlatMalformed: structural corruption fails with an
+// error, never a panic or a silently wrong count set.
+func TestWireShardCountsFlatMalformed(t *testing.T) {
+	good := flatTestCounts(true).EncodeFlat(nil)
+	badCodec := append([]byte{}, good...)
+	badCodec[4] = 99
+	// A bogus names marker: re-encode the nameless variant (marker 0 directly
+	// follows the counts block) and flip its marker to an undefined value.
+	badMarker := flatTestCounts(true)
+	badMarker.DocNames = nil
+	badMarkerBuf := badMarker.EncodeFlat(nil)
+	dfLen := 4 + 4 + flatwire.SizeString("alpha") + flatwire.SizeString("beta") + 2*4
+	badMarkerBuf[len(badMarkerBuf)-dfLen-4] = 9 // names marker, little-endian low byte
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated":     good[:len(good)-3],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"short header":  good[:9],
+		"unknown codec": badCodec,
+		"bad marker":    badMarkerBuf,
+	}
+	for name, b := range cases {
+		w, err := DecodeFlatWireShardCounts(b)
+		if err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, w)
+			continue
+		}
+		if !errors.Is(err, flatwire.ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+// TestWireGlobalFlatRoundTrip: the flat global-table codec must reproduce
+// the wire struct exactly, agree with gob, preserve the content hash, and
+// rebuild an equivalent live table.
+func TestWireGlobalFlatRoundTrip(t *testing.T) {
+	w := &WireGlobal{Terms: []string{"alpha", "beta", "gamma"}, DF: []uint32{2, 3, 1}, NumDocs: 4}
+	got, err := DecodeFlatWireGlobal(w.EncodeFlat(nil))
+	if err != nil {
+		t.Fatalf("DecodeFlatWireGlobal: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var viaGob WireGlobal
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	for name, dec := range map[string]*WireGlobal{"flat": got, "gob": &viaGob} {
+		if !reflect.DeepEqual(dec.Terms, w.Terms) || !reflect.DeepEqual(dec.DF, w.DF) || dec.NumDocs != w.NumDocs {
+			t.Errorf("%s: %+v, want %+v", name, dec, w)
+		}
+		if dec.ContentHash() != w.ContentHash() {
+			t.Errorf("%s: content hash changed across the wire", name)
+		}
+	}
+	g := got.Global(0)
+	if g.NumDocs != w.NumDocs || len(g.Terms) != len(w.Terms) {
+		t.Errorf("rebuilt table differs: %+v", g)
+	}
+}
+
+// TestWireGlobalFlatMalformed: structural corruption fails with an error.
+func TestWireGlobalFlatMalformed(t *testing.T) {
+	good := (&WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{1, 2}, NumDocs: 2}).EncodeFlat(nil)
+	badCodec := append([]byte{}, good...)
+	badCodec[4] = 99
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte{5, 6, 7, 8}, good[4:]...),
+		"truncated":     good[:len(good)-2],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"short header":  good[:7],
+		"unknown codec": badCodec,
+	}
+	for name, b := range cases {
+		w, err := DecodeFlatWireGlobal(b)
+		if err == nil {
+			t.Errorf("%s: decoded without error: %+v", name, w)
+			continue
+		}
+		if !errors.Is(err, flatwire.ErrMalformed) {
 			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
 		}
 	}

@@ -14,13 +14,15 @@ import "fmt"
 // partitioned substrate extends unchanged to distributed execution.
 //
 // What can leave the process: tasks whose operator (Remotable) or loop
-// state (RemotableLoop) can describe a shard's inputs in serializable form
-// — the TF/IDF count and transform kernels (shards of an on-disk corpus,
-// described by pario.SourceSpec) and the K-Means assignment loop's
-// per-iteration shard tasks (centroids out, kmeans.Accum back). What
-// cannot: splits, reductions (DF tree-merge, streaming gather, the loop's
-// per-iteration barrier), K-Means seeding (BeginLoop) and output — they
-// touch coordinator-owned state and run locally under every backend.
+// state (RemotableLoop / RemotablePrepare) can describe a shard's inputs
+// in serializable form — the TF/IDF count and transform kernels (shards of
+// an on-disk corpus, described by pario.SourceSpec), the K-Means assignment
+// loop's per-iteration shard tasks (centroids out, kmeans.Accum back) and
+// its seeding rounds' per-shard min-distance scans (last seed out, distance
+// partials back). What cannot: splits, reductions (DF tree-merge, streaming
+// gather, the loop's per-iteration barrier and per-round seed draw) and
+// output — they touch coordinator-owned state and run locally under every
+// backend.
 
 // Task is one schedulable unit of plan execution handed to a Backend by
 // the executor.
@@ -118,6 +120,16 @@ type RemotableLoop interface {
 	RemoteShardTask(idx, total int) (*RemoteTask, bool)
 }
 
+// RemotablePrepare is implemented by PreparedLoop states whose preparation
+// shard tasks can ship. RemotePrepareTask is called fresh each round (the
+// descriptor carries round state, e.g. the last chosen seed); tasks share
+// the loop's affinity keys so a shard's seed scans land on the worker that
+// will hold its documents for the iterations.
+type RemotablePrepare interface {
+	PreparedLoop
+	RemotePrepareTask(round, idx, total int) (*RemoteTask, bool)
+}
+
 // affinityReleaser is implemented by backends that pin tasks by affinity
 // key (RPCBackend) and can drop pins once the keyed work is finished.
 type affinityReleaser interface{ ReleaseAffinity(keys ...string) }
@@ -160,7 +172,7 @@ func AnnotateBackend(p *Plan, b Backend) *Plan {
 		return p
 	}
 	p.AnnotatePlan(fmt.Sprintf(
-		"backend: %s (%d workers); splits, reductions, seeding and output stay on the coordinator",
+		"backend: %s (%d workers); splits, reductions, seed draws and output stay on the coordinator",
 		b.Name(), b.Workers()))
 	for _, name := range p.Nodes() {
 		op := p.Node(name).Op()
@@ -170,7 +182,7 @@ func AnnotateBackend(p *Plan, b Backend) *Plan {
 		}
 		if _, ok := op.(remoteLoopOp); ok {
 			p.Annotate(name, fmt.Sprintf(
-				"loop shard tasks: remote (%s); seeding and per-iteration reduce: coordinator", b.Name()))
+				"loop shard tasks: remote (%s), seed scans included; seed draws and per-iteration reduce: coordinator", b.Name()))
 		}
 	}
 	return p

@@ -3,6 +3,7 @@ package workflow
 import (
 	"bytes"
 	"encoding/gob"
+	"math"
 	"net"
 	"net/rpc"
 	"path/filepath"
@@ -227,11 +228,11 @@ func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 			DocNames: []string{"d1", "d2"},
 		},
 		CountsSession: "tf-9-1-0",
-		Global:        &tfidf.WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{2, 1}, NumDocs: 3},
+		GlobalFlat:    (&tfidf.WireGlobal{Terms: []string{"a", "b"}, DF: []uint32{2, 1}, NumDocs: 3}).EncodeFlat(nil),
 		GlobalHash:    0xdeadbeefcafef00d,
 	}
 	got := gobRoundTrip(t, tr)
-	if !reflect.DeepEqual(got.Global, tr.Global) || got.Counts.Lo != tr.Counts.Lo ||
+	if !reflect.DeepEqual(got.GlobalFlat, tr.GlobalFlat) || got.Counts.Lo != tr.Counts.Lo ||
 		!reflect.DeepEqual(got.Counts.Docs[0], tr.Counts.Docs[0]) ||
 		got.CountsSession != tr.CountsSession || got.GlobalHash != tr.GlobalHash {
 		t.Errorf("TransformTaskArgs round trip mismatch")
@@ -245,6 +246,7 @@ func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 			K:         2,
 			WantDists: true,
 			Prune:     true,
+			Elkan:     true,
 		},
 		Centroids: [][]float64{{1, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 1}},
 		CNorms:    []float64{1, 1},
@@ -253,6 +255,14 @@ func TestTaskDescriptorsGobRoundTrip(t *testing.T) {
 	}
 	if got := gobRoundTrip(t, km); !reflect.DeepEqual(got, km) {
 		t.Errorf("KMAssignTaskArgs round trip: got %+v, want %+v", got, km)
+	}
+	seed := KMSeedTaskArgs{
+		Session: "km-1-2-3",
+		Last:    sparse.Vector{Idx: []uint32{2, 4}, Val: []float64{0.5, -1}},
+		D2:      []float64{math.Inf(1), 0.25},
+	}
+	if got := gobRoundTrip(t, seed); !reflect.DeepEqual(got, seed) {
+		t.Errorf("KMSeedTaskArgs round trip: got %+v, want %+v", got, seed)
 	}
 }
 

@@ -24,6 +24,12 @@ const (
 	// taskLoopBegin consumes an iterative node's gathered inputs and
 	// allocates its loop state.
 	taskLoopBegin
+	// taskLoopPrep is one shard of the current preparation round (a
+	// PreparedLoop's pre-iteration waves, e.g. K-Means++ seed scans).
+	taskLoopPrep
+	// taskLoopPrepEnd is the per-round preparation barrier: it runs alone
+	// after every prep shard of the round completed.
+	taskLoopPrepEnd
 	// taskLoopShard is one shard of the current loop iteration.
 	taskLoopShard
 	// taskLoopEnd is the per-iteration reduction barrier: it merges the
@@ -84,6 +90,11 @@ type execState struct {
 	loopLeft  int   // shards of the current iteration still running
 	loopIter  int   // current iteration index (-1 before the first wave)
 
+	// Preparation-round bookkeeping (PreparedLoop states only).
+	prepRound  int // current preparation round
+	prepRounds int // total preparation rounds
+	prepLeft   int // prep shards of the current round still running
+
 	bds    []*metrics.Breakdown // per-task breakdowns, by partition
 	failed bool
 }
@@ -102,8 +113,12 @@ type execState struct {
 //   - a StreamReducer node absorbs shards in completion order on the
 //     scheduling goroutine and finishes as one task after the last;
 //   - an IterativeOp node runs as a loop of partition tasks: one BeginLoop
-//     task over the gathered inputs, then per iteration one RunShard task
-//     per loop shard followed by one EndIteration barrier task that
+//     task over the gathered inputs, then — when the loop state is a
+//     PreparedLoop — one PrepareShard task per shard per preparation round,
+//     each round closed by an EndPrepare barrier task (K-Means++ seeding
+//     runs its k−1 seed rounds this way, sharded), then per iteration one
+//     RunShard task per loop shard followed by one EndIteration barrier
+//     task that
 //     reduces the partials in shard-index order (deterministic regardless
 //     of shard scheduling) and decides whether to re-dispatch the same
 //     shard task set, and finally one Finish task producing the scalar
@@ -264,8 +279,9 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 		rstate := st.rstate
 		// Loop tasks read the state and (for the barrier) the partials; no
 		// shard task is in flight when the begin/end/finish tasks run, so the
-		// captures cannot race with the scheduler's writes.
-		lstate, lparts := st.loop, st.loopParts
+		// captures cannot race with the scheduler's writes. The prep round is
+		// captured here, on the scheduling goroutine, for the same reason.
+		lstate, lparts, prepRound := st.loop, st.loopParts, st.prepRound
 		// Tracing bookkeeping, captured on the scheduling goroutine: queue
 		// time, task kind and the loop iteration this wave belongs to. All of
 		// it is skipped when no tracer is attached.
@@ -280,6 +296,12 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				switch t.kind {
 				case taskLoopBegin:
 					kindStr = "loop-begin"
+				case taskLoopPrep:
+					kindStr = "loop-prep"
+					iter = prepRound
+				case taskLoopPrepEnd:
+					kindStr = "loop-prep-end"
+					iter = prepRound
 				case taskLoopShard:
 					kindStr = "loop-shard"
 					iter = st.loopIter
@@ -353,6 +375,22 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 							err = fmt.Errorf("nil loop state")
 						}
 						return state, err
+					}
+				case taskLoopPrep:
+					task.Run = func() (Value, error) {
+						return nil, lstate.(PreparedLoop).PrepareShard(&nctx, prepRound, part, pi.nparts)
+					}
+					if remoteOK {
+						if rp, ok := lstate.(RemotablePrepare); ok {
+							if rt, ok := rp.RemotePrepareTask(prepRound, part, pi.nparts); ok {
+								rt.Scope = runScope
+								task.Remote = rt
+							}
+						}
+					}
+				case taskLoopPrepEnd:
+					task.Run = func() (Value, error) {
+						return nil, lstate.(PreparedLoop).EndPrepare(&nctx, prepRound)
 					}
 				case taskLoopShard:
 					task.Run = func() (Value, error) {
@@ -589,6 +627,16 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				ready = append(ready, taskRef{node: i, part: q, kind: taskLoopShard})
 			}
 		}
+		// prepWave enqueues one preparation round's shard task set for a
+		// PreparedLoop node — same shard set as the iterations, run before
+		// the first iteration wave (e.g. one wave per K-Means++ seed round).
+		prepWave := func(i int) {
+			st := &states[i]
+			st.prepLeft = info[i].nparts
+			for q := 0; q < info[i].nparts; q++ {
+				ready = append(ready, taskRef{node: i, part: q, kind: taskLoopPrep})
+			}
+		}
 		dispatch()
 		for running > 0 {
 			d := <-done
@@ -615,7 +663,26 @@ func (p *Plan) Run(ctx *Context) (map[string]Value, error) {
 				switch d.kind {
 				case taskLoopBegin:
 					st.loop = d.out.(LoopState)
-					loopWave(d.node)
+					if pl, ok := st.loop.(PreparedLoop); ok {
+						st.prepRounds = pl.PrepareRounds()
+					}
+					if st.prepRounds > 0 {
+						prepWave(d.node)
+					} else {
+						loopWave(d.node)
+					}
+				case taskLoopPrep:
+					st.prepLeft--
+					if st.prepLeft == 0 {
+						ready = append(ready, taskRef{node: d.node, kind: taskLoopPrepEnd})
+					}
+				case taskLoopPrepEnd:
+					st.prepRound++
+					if st.prepRound < st.prepRounds {
+						prepWave(d.node)
+					} else {
+						loopWave(d.node)
+					}
 				case taskLoopShard:
 					st.loopParts[d.part] = d.out
 					st.loopLeft--

@@ -30,27 +30,37 @@ import (
 //     previous assignments in, the shard's kmeans.Accum (wire form) and
 //     new assignments back. The shard's documents ship once, on the first
 //     iteration, and are cached in a worker-side session that backend
-//     affinity keeps on one worker.
+//     affinity keeps on one worker;
+//   - kmeans.seed: one K-Means++ seed round's min-distance scan over one
+//     loop shard — the last chosen seed and the shard's current distance
+//     window in, the min-updated window back. It shares the assignment
+//     loop's sessions (same affinity key), so the shard's documents ship
+//     once for seeding and iterations combined.
 //
 // Kernels run the same functions the local path runs (tfidf.CountShard,
 // tfidf.TransformShard, kmeans.AssignRange), so remote results are
 // bit-identical to local ones by construction; the wire forms only ever
 // flatten dictionaries and accumulators, never recompute scores.
 //
-// Two hot payloads bypass gob: the tfidf.transform reply (a flat
-// VectorShard behind a miss-flag header) and the kmeans.assign reply (a
-// flat AccumWire plus assignment/distance blocks). Both carry floats as
-// IEEE 754 bit patterns, so flat shipping preserves the bit-identity
-// contract. The transform kernel additionally resolves two worker-side
-// caches before computing: the global term table by content hash (shipped
-// as a hash, pulled inline only on the first miss per worker) and the
-// shard's phase-1 counts by session key (cached by the count kernel on the
-// same worker, routed back by affinity).
+// Every kernel reply bypasses gob: the tfidf.count reply (a flat
+// WireShardCounts), the tfidf.transform reply (a flat VectorShard behind a
+// miss-flag header), the kmeans.assign reply (a flat AccumWire plus
+// assignment/distance blocks) and the kmeans.seed reply (a flat distance
+// window). Inlined global term-table bodies travel flat too
+// (tfidf.WireGlobal.EncodeFlat); only the small argument envelopes stay
+// gob. Flat payloads carry floats as IEEE 754 bit patterns, so flat
+// shipping preserves the bit-identity contract. The transform kernel
+// additionally resolves two worker-side caches before computing: the
+// global term table by content hash (shipped as a hash, pulled inline only
+// on the first miss per worker) and the shard's phase-1 counts by session
+// key (cached by the count kernel on the same worker, routed back by
+// affinity).
 
 func init() {
-	RegisterKernel("tfidf.count", kernel("tfidf.count", runCountKernel))
+	RegisterKernel("tfidf.count", runCountKernelFlat)
 	RegisterKernel("tfidf.transform", runTransformKernelFlat)
 	RegisterKernel("kmeans.assign", runKMAssignKernelFlat)
+	RegisterKernel("kmeans.seed", runKMSeedKernelFlat)
 }
 
 // workerPool is the worker process's compute pool, shared by every kernel
@@ -91,6 +101,21 @@ func runCountKernel(a *CountTaskArgs) (*tfidf.WireShardCounts, error) {
 	return w, nil
 }
 
+// runCountKernelFlat is the registered kernel: gob args in (a shard
+// descriptor — tiny), flat reply out (the shard's full term counts, DF
+// included — a cold path per run but a large body per shard).
+func runCountKernelFlat(body []byte) ([]byte, error) {
+	var a CountTaskArgs
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("workflow: kernel tfidf.count: decode args: %w", err)
+	}
+	w, err := runCountKernel(&a)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: kernel tfidf.count: %w", err)
+	}
+	return w.EncodeFlat(nil), nil
+}
+
 // TransformTaskArgs are the tfidf.transform kernel arguments.
 type TransformTaskArgs struct {
 	// Counts is the shard's phase-1 output inlined (DF omitted — the global
@@ -100,10 +125,11 @@ type TransformTaskArgs struct {
 	// CountsSession, when non-empty, keys the count kernel's cached
 	// ShardCounts on the worker the shared affinity routed both tasks to.
 	CountsSession string
-	// Global is the merged term table inlined. Nil on the optimistic first
-	// send — GlobalHash alone identifies it — and populated only on the
-	// resend answering a worker cache miss.
-	Global *tfidf.WireGlobal
+	// GlobalFlat is the merged term table inlined, in flat wire form
+	// (tfidf.WireGlobal.EncodeFlat). Nil on the optimistic first send —
+	// GlobalHash alone identifies it — and populated only on the resend
+	// answering a worker cache miss.
+	GlobalFlat []byte
 	// GlobalHash is the table's content digest (tfidf.Global.ContentHash),
 	// the worker's cache key. Always set.
 	GlobalHash uint64
@@ -130,15 +156,19 @@ func runTransformKernelFlat(body []byte) ([]byte, error) {
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
 		return nil, fmt.Errorf("workflow: kernel tfidf.transform: decode args: %w", err)
 	}
-	if a.Global != nil {
+	if a.GlobalFlat != nil {
 		globalInlineShips.Add(1)
 	}
 	opts := a.Opts.Options()
 	// Resolve the global table: content-hash cache first, else the inlined
 	// body (cached for every later shard this worker transforms).
 	g := cachedGlobal(a.GlobalHash, opts.DictKind)
-	if g == nil && a.Global != nil {
-		g = a.Global.Global(opts.DictKind)
+	if g == nil && a.GlobalFlat != nil {
+		wg, err := tfidf.DecodeFlatWireGlobal(a.GlobalFlat)
+		if err != nil {
+			return nil, fmt.Errorf("workflow: kernel tfidf.transform: %w", err)
+		}
+		g = wg.Global(opts.DictKind)
 		storeGlobal(a.GlobalHash, opts.DictKind, g)
 	}
 	// Resolve the counts: an inlined body wins; otherwise the count
@@ -302,6 +332,11 @@ type KMShardInit struct {
 	// a fresh session (all bounds −Inf) just scans fully, which is always
 	// correct.
 	Prune bool
+	// Elkan selects the per-centroid lower-bound variant of the bounds pass
+	// (kmeans.BoundsPass.EnableElkan). The worker must mirror the
+	// coordinator's variant: the two variants skip different documents, and
+	// a skip changes which float operations run.
+	Elkan bool
 }
 
 // KMAssignTaskArgs are the kmeans.assign kernel arguments — one shard's
@@ -385,6 +420,9 @@ func kmSessionFor(id string, init *KMShardInit) (*kmSession, error) {
 		}
 		if init.Prune {
 			s.bp = kmeans.NewBoundsPass(len(init.Vectors), init.Dim)
+			if init.Elkan {
+				s.bp.EnableElkan(init.K)
+			}
 		}
 		kmSessions.m[id] = s
 	}
@@ -484,13 +522,70 @@ func runKMAssignKernelFlat(body []byte) ([]byte, error) {
 	return rep.EncodeFlat(), nil
 }
 
-// decodeReply gob-decodes a kernel reply body on the coordinator.
-func decodeReply[R any](body []byte) (*R, error) {
-	var r R
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
-		return nil, fmt.Errorf("workflow: decode kernel reply: %w", err)
+// KMSeedTaskArgs are the kmeans.seed kernel arguments — one seed round's
+// min-distance scan over one loop shard.
+type KMSeedTaskArgs struct {
+	// Session identifies the shard's worker-side session — the same key the
+	// assignment iterations use, so documents ship once for both.
+	Session string
+	// Init is present on the shard's first contact with the worker only
+	// (usually the first seed round; the assignment tasks then find the
+	// session warm).
+	Init *KMShardInit
+	// Last is the most recently chosen seed document.
+	Last sparse.Vector
+	// D2 is the shard's current window of the running min-distance array.
+	D2 []float64
+}
+
+// kmSeedReplyMagic identifies a flat kmeans.seed reply buffer.
+const kmSeedReplyMagic uint32 = 0x48505344 // "HPSD"
+
+// runKMSeedKernel executes one seed round's scan on the worker: the same
+// kmeans.SeedScanRange the coordinator's local path runs, over the
+// session's cached documents — so the returned window is bit-identical to
+// a local scan.
+func runKMSeedKernel(a *KMSeedTaskArgs) ([]float64, error) {
+	s, err := kmSessionFor(a.Session, a.Init)
+	if err != nil {
+		return nil, err
 	}
-	return &r, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(a.D2) != len(s.docs) {
+		return nil, fmt.Errorf("loop shard %q: %d seed distances for %d documents", a.Session, len(a.D2), len(s.docs))
+	}
+	kmeans.SeedScanRange(s.docs, &a.Last, a.D2)
+	return a.D2, nil
+}
+
+// runKMSeedKernelFlat is the registered kernel: gob args in, flat reply out
+// (magic, count, then the min-updated distance window as IEEE 754 bits).
+func runKMSeedKernelFlat(body []byte) ([]byte, error) {
+	var a KMSeedTaskArgs
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("workflow: kernel kmeans.seed: decode args: %w", err)
+	}
+	d2, err := runKMSeedKernel(&a)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: kernel kmeans.seed: %w", err)
+	}
+	b := flatwire.AppendU32(nil, kmSeedReplyMagic)
+	b = flatwire.AppendU32(b, uint32(len(d2)))
+	return flatwire.AppendF64s(b, d2), nil
+}
+
+// DecodeFlatKMSeedReply decodes a flat kmeans.seed reply, validating magic,
+// count, truncation and trailing bytes.
+func DecodeFlatKMSeedReply(body []byte) ([]float64, error) {
+	r := flatwire.NewReader(body)
+	r.Magic(kmSeedReplyMagic, "kmeans seed reply")
+	n := r.Count(8)
+	d2 := r.F64s(n)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("workflow: decode kmeans.seed reply: %w", err)
+	}
+	return d2, nil
 }
 
 // RemoteTask implements Remotable: a tf-map shard ships when the corpus
@@ -524,11 +619,11 @@ func (o *TFMapOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool) {
 		Args:     args,
 		Affinity: affinity,
 		Phase:    tfidf.PhaseInputWC,
-		Codec:    "gob",
+		Codec:    "flat",
 		Absorb: func(body []byte) (Value, error) {
-			w, err := decodeReply[tfidf.WireShardCounts](body)
+			w, err := tfidf.DecodeFlatWireShardCounts(body)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("workflow: tfidf.count reply: %w", err)
 			}
 			if pair != nil {
 				pair.markCounted(idx)
@@ -585,7 +680,7 @@ func (o *TransformOp) RemoteTask(ins []Value, idx, total int) (*RemoteTask, bool
 			if flags != 0 {
 				resend := args
 				if flags&needGlobalFlag != 0 {
-					resend.Global = g.Wire()
+					resend.GlobalFlat = g.Wire().EncodeFlat(nil)
 					globalReships.Add(1)
 					if pair != nil {
 						pair.noteGlobalShip()

@@ -66,6 +66,26 @@ type LoopState interface {
 	Finish(ctx *Context) (Value, error)
 }
 
+// PreparedLoop is implemented by loop states that need sharded preparation
+// waves before the first iteration — rounds of per-shard scans each closed
+// by a coordinator-side barrier, scheduled exactly like iterations. The
+// executor guarantees: PrepareShard calls of one round may run concurrently
+// (distinct idx, same round); EndPrepare(round) runs alone after every
+// shard of the round completed; rounds run in order 0..PrepareRounds()-1,
+// all before the first RunShard. K-Means++ seeding is the motivating case:
+// each of its k−1 seed rounds is one prepare wave (per-shard min-distance
+// scans) whose barrier draws the next seed.
+type PreparedLoop interface {
+	LoopState
+	// PrepareRounds returns how many preparation rounds the loop needs
+	// (0 = none). Called once, after BeginLoop.
+	PrepareRounds() int
+	// PrepareShard computes shard idx's contribution to the given round.
+	PrepareShard(ctx *Context, round, idx, total int) error
+	// EndPrepare closes one round — the per-round barrier.
+	EndPrepare(ctx *Context, round int) error
+}
+
 // Reflected port types of the iterative K-Means operators.
 var kmResultType = reflect.TypeOf((*kmeans.Result)(nil))
 
@@ -135,6 +155,7 @@ func (o *KMAssignOp) LoopShards() int {
 // the bookkeeping remote shard sessions need.
 type kmLoopState struct {
 	c       *kmeans.Clusterer
+	seeding *kmeans.Seeding // deferred K-Means++ state; nil once seeded
 	n       int
 	dim     int
 	bounds  []int // shard boundaries over [0, n], nnz-weighted
@@ -188,7 +209,9 @@ func kmInput(in Value) (docs []sparse.Vector, dim int, norms []float64, err erro
 	}
 }
 
-// BeginLoop implements IterativeOp: seeding, per-shard accumulator
+// BeginLoop implements IterativeOp: clusterer allocation plus the uniform
+// first seed draw (the k−1 distance-scan seed rounds run afterwards as
+// sharded preparation waves — see PrepareShard), per-shard accumulator
 // allocation, and the shard boundaries — weighted by per-document nonzero
 // counts (pario.WeightedBoundaries over each vector's NNZ), so every
 // shard carries close to equal assignment work (the kernel is O(nnz × k)
@@ -208,10 +231,15 @@ func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState
 		opts.DocNorms = norms
 	}
 	var c *kmeans.Clusterer
+	var seeding *kmeans.Seeding
 	err = ctx.Breakdown.TimeSpanErr(kmeans.PhaseKMeans, func() error {
 		ctx.Recorder.BeginPhase(kmeans.PhaseKMeans)
 		var err error
-		c, err = kmeans.New(docs, dim, ctx.Pool, opts)
+		c, seeding, err = kmeans.NewDeferredSeed(docs, dim, ctx.Pool, opts)
+		if err == nil && seeding.Rounds() == 0 {
+			seeding.Finish() // k = 1: no distance rounds, seed inline
+			seeding = nil
+		}
 		return err
 	})
 	if err != nil {
@@ -223,6 +251,7 @@ func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState
 	}
 	st := &kmLoopState{
 		c:       c,
+		seeding: seeding,
 		n:       len(docs),
 		dim:     dim,
 		bounds:  pario.WeightedBoundaries(weights, shards),
@@ -237,6 +266,101 @@ func (o *KMAssignOp) BeginLoop(ctx *Context, ins []Value, shards int) (LoopState
 		st.accs[q] = c.NewAccum()
 	}
 	return st, nil
+}
+
+// PrepareRounds implements PreparedLoop: one preparation round per
+// K-Means++ seed after the uniformly drawn first (k−1; 0 when k = 1 or
+// seeding already finished inline).
+func (s *kmLoopState) PrepareRounds() int {
+	if s.seeding == nil {
+		return 0
+	}
+	return s.seeding.Rounds()
+}
+
+// PrepareShard implements PreparedLoop: one seed round's min-distance scan
+// over the shard's document range — a pure per-element min-update, so
+// shards of one round run concurrently and results are independent of
+// shard count and scheduling.
+func (s *kmLoopState) PrepareShard(ctx *Context, round, idx, total int) error {
+	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
+		s.seeding.ScanRange(s.bounds[idx], s.bounds[idx+1])
+	})
+	return nil
+}
+
+// EndPrepare implements PreparedLoop: the per-round barrier sums the
+// min-distance array in ascending document order and draws the round's
+// seed — the same RNG consumption as the serial scan, so the chosen seeds
+// are bit-identical at any shard count on any backend. The final round
+// installs the centroids.
+func (s *kmLoopState) EndPrepare(ctx *Context, round int) error {
+	last := round == s.seeding.Rounds()-1
+	var pick int
+	ctx.Breakdown.TimeSpan(kmeans.PhaseKMeans, func() {
+		s.seeding.EndRound()
+		pick = s.seeding.LastIndex()
+		if last {
+			s.seeding.Finish()
+		}
+	})
+	if ctx.Tracer.Enabled() {
+		label := fmt.Sprintf("round=%d pick=%d", round, pick)
+		ctx.Tracer.Emit("kmeans", "seed-round", label, int64(round))
+	}
+	if last {
+		s.seeding = nil
+	}
+	return nil
+}
+
+// RemotePrepareTask implements RemotablePrepare: one seed round's scan over
+// one shard as a kmeans.seed kernel call. It reuses the loop's per-shard
+// worker sessions (same affinity key as the assignment iterations, so the
+// shard's documents ship exactly once across seeding and iterations) and
+// ships only the last chosen seed vector plus the shard's current
+// min-distance window; the worker runs the same SeedScanRange the local
+// path runs and returns the updated window, floats as IEEE 754 bits.
+func (s *kmLoopState) RemotePrepareTask(round, idx, total int) (*RemoteTask, bool) {
+	lo, hi := s.bounds[idx], s.bounds[idx+1]
+	session := s.sessionKey(idx)
+	args := KMSeedTaskArgs{
+		Session: session,
+		Last:    *s.seeding.Last(),
+		D2:      s.seeding.D2(lo, hi),
+	}
+	if !s.shipped[idx] {
+		args.Init = &KMShardInit{
+			Vectors:   s.docs[lo:hi],
+			Norms:     s.norms[lo:hi],
+			Dim:       s.dim,
+			K:         s.c.K(),
+			WantDists: s.c.TracksDists(),
+			Prune:     s.c.PruneEnabled(),
+			Elkan:     s.c.PruneElkan(),
+		}
+	}
+	seeding := s.seeding
+	return &RemoteTask{
+		Op:       "kmeans.seed",
+		Args:     args,
+		Affinity: session,
+		Phase:    kmeans.PhaseKMeans,
+		Codec:    "flat",
+		Absorb: func(body []byte) (Value, error) {
+			d2, err := DecodeFlatKMSeedReply(body)
+			if err != nil {
+				return nil, err
+			}
+			if len(d2) != hi-lo {
+				return nil, fmt.Errorf("%w: kmeans.seed reply for shard %d carries %d distances, want %d",
+					ErrType, idx, len(d2), hi-lo)
+			}
+			seeding.SetD2(lo, d2)
+			s.shipped[idx] = true
+			return nil, nil
+		},
+	}, true
 }
 
 // RunShard implements LoopState: one iteration's assignment over the
@@ -282,6 +406,7 @@ func (s *kmLoopState) RemoteShardTask(idx, total int) (*RemoteTask, bool) {
 			K:         s.c.K(),
 			WantDists: s.c.TracksDists(),
 			Prune:     s.c.PruneEnabled(),
+			Elkan:     s.c.PruneElkan(),
 		}
 	}
 	acc := s.accs[idx]
@@ -360,12 +485,26 @@ func (s *kmLoopState) Finish(ctx *Context) (Value, error) {
 }
 
 // Run implements Operator: the serial fallback drives the same loop inline
-// (one shard wave at a time), for linear Pipelines and direct calls.
+// (one shard wave at a time, preparation rounds included), for linear
+// Pipelines and direct calls.
 func (o *KMAssignOp) Run(ctx *Context, in Value) (Value, error) {
 	shards := o.LoopShards()
 	state, err := o.BeginLoop(ctx, []Value{in}, shards)
 	if err != nil {
 		return nil, err
+	}
+	if pl, ok := state.(PreparedLoop); ok {
+		rounds := pl.PrepareRounds()
+		for r := 0; r < rounds; r++ {
+			for q := 0; q < shards; q++ {
+				if err := pl.PrepareShard(ctx, r, q, shards); err != nil {
+					return nil, err
+				}
+			}
+			if err := pl.EndPrepare(ctx, r); err != nil {
+				return nil, err
+			}
+		}
 	}
 	partials := make([]any, shards)
 	for {

@@ -37,11 +37,28 @@ func runTFKMPruneOn(t *testing.T, src pario.Source, shards int, backend Backend,
 	return rep
 }
 
-// TestPrunedAssignMatchesBulk is the pruning acceptance suite: the bounded
-// assignment kernel must produce bit-identical assignments, inertia,
-// iteration counts and centroids to the full-scan kernel, at every shard
-// count, under both empty-cluster policies, on both execution backends —
-// while actually skipping work (skip rate > 0).
+// TestPrunedAssignMatchesBulk is the pruning and sharded-seeding
+// acceptance suite. Two baselines anchor the matrix:
+//
+//   - the bulk-synchronous plan (Shards: 0) — serial K-Means++ seeding,
+//     full-scan assignment. Every sharded cell must reproduce its seed
+//     picks, assignments, cluster counts and iteration count exactly
+//     (seed picks are the tentpole's bit-identity claim: the decomposed
+//     scan rounds replay the serial RNG draw-for-draw), and its centroids
+//     up to reduction-order rounding — the same contract sameClustering
+//     asserts for the unpruned loop;
+//   - the sharded PruneOff run at the same shard count. Within one shard
+//     count, {off, hamerly, elkan} × {local, rpc} must agree
+//     bit-for-bit: inertia, full inertia history, centroids, everything
+//     — pruning and backend choice never touch a float.
+//
+// The bounded cells must also actually skip work, and the per-centroid
+// Elkan bounds must never skip less than Hamerly's single bound over the
+// matrix (strict dominance on a k>=16 case is asserted at the kmeans
+// level, where synthetic data iterates long enough to open a gap — this
+// corpus converges in a couple of iterations). Under -short (the CI race run) the
+// matrix shrinks to one shard count and one empty policy — still covering
+// sharded seeding on both backends under the race detector.
 func TestPrunedAssignMatchesBulk(t *testing.T) {
 	src := diskCorpus(t)
 	scratch := t.TempDir()
@@ -51,45 +68,107 @@ func TestPrunedAssignMatchesBulk(t *testing.T) {
 	// deterministic corpus that is the window pruning gets. (Long-running
 	// skip-rate behavior is covered at the kmeans level, where synthetic
 	// data iterates longer.)
-	for _, empty := range []kmeans.EmptyPolicy{kmeans.KeepCentroid, kmeans.ReseedFarthest} {
-		for _, shards := range []int{1, 4, 7} {
-			base := runTFKMPruneOn(t, src, shards, LocalBackend{}, scratch,
-				kmeans.Options{K: 16, Seed: 3, Empty: empty, Prune: kmeans.PruneOff})
-			br := base.Clustering.Result
-			if br.Prune.Enabled {
-				t.Fatalf("empty=%v shards=%d: PruneOff run reports bounds enabled", empty, shards)
-			}
+	empties := []kmeans.EmptyPolicy{kmeans.KeepCentroid, kmeans.ReseedFarthest}
+	shardCounts := []int{1, 4, 7}
+	if testing.Short() {
+		empties = empties[:1]
+		shardCounts = []int{4}
+	}
+	modes := []struct {
+		mode    kmeans.PruneMode
+		variant string
+	}{
+		{kmeans.PruneOff, "off"},
+		{kmeans.PruneOn, "hamerly"},
+		{kmeans.PruneElkan, "elkan"},
+	}
+	for _, empty := range empties {
+		// Shards: 0 keeps the single-operator bulk path: seeding scans run
+		// serially inside the clusterer, not as executor prepare tasks.
+		bulk := runTFKMPruneOn(t, src, 0, LocalBackend{}, scratch,
+			kmeans.Options{K: 16, Seed: 3, Empty: empty, Prune: kmeans.PruneOff})
+		br := bulk.Clustering.Result
+		if br.Prune.Enabled {
+			t.Fatalf("empty=%v: bulk PruneOff run reports bounds enabled", empty)
+		}
+		var hamSkipped, elkSkipped int64
+		for _, shards := range shardCounts {
+			// Per-shard-count bit-exact reference: the unpruned local run.
+			ref := runTFKMPruneOn(t, src, shards, LocalBackend{}, scratch,
+				kmeans.Options{K: 16, Seed: 3, Empty: empty, Prune: kmeans.PruneOff}).Clustering.Result
 			backends := []struct {
 				name string
 				b    Backend
 			}{{"local", LocalBackend{}}, {"rpc", pipeBackend(t, 2)}}
 			for _, bk := range backends {
-				pruned := runTFKMPruneOn(t, src, shards, bk.b, scratch,
-					kmeans.Options{K: 16, Seed: 3, Empty: empty, Prune: kmeans.PruneOn})
-				pr := pruned.Clustering.Result
-				tag := fmt.Sprintf("empty=%v shards=%d backend=%s", empty, shards, bk.name)
-				if pr.Iterations != br.Iterations {
-					t.Errorf("%s: iterations: pruned %d, full %d", tag, pr.Iterations, br.Iterations)
-				}
-				if pr.Inertia != br.Inertia {
-					t.Errorf("%s: inertia: pruned %v, full %v", tag, pr.Inertia, br.Inertia)
-				}
-				if !reflect.DeepEqual(pr.Assign, br.Assign) {
-					t.Errorf("%s: assignments differ", tag)
-				}
-				if !reflect.DeepEqual(pr.Counts, br.Counts) {
-					t.Errorf("%s: cluster counts differ", tag)
-				}
-				if !reflect.DeepEqual(pr.Centroids, br.Centroids) {
-					t.Errorf("%s: centroids differ", tag)
-				}
-				if !pr.Prune.Enabled {
-					t.Errorf("%s: PruneOn run reports bounds disabled", tag)
-				}
-				if pr.Prune.Skipped == 0 {
-					t.Errorf("%s: pruning skipped nothing over %d document-iterations", tag, pr.Prune.DocIterations)
+				for _, m := range modes {
+					rep := runTFKMPruneOn(t, src, shards, bk.b, scratch,
+						kmeans.Options{K: 16, Seed: 3, Empty: empty, Prune: m.mode})
+					pr := rep.Clustering.Result
+					tag := fmt.Sprintf("empty=%v shards=%d backend=%s prune=%s", empty, shards, bk.name, m.variant)
+
+					// Against the serial-seeded bulk baseline: discrete
+					// outcomes exact, centroids up to reduction order.
+					if !reflect.DeepEqual(pr.Seeds, br.Seeds) {
+						t.Errorf("%s: seed picks: got %v, bulk serial %v", tag, pr.Seeds, br.Seeds)
+					}
+					if pr.Iterations != br.Iterations {
+						t.Errorf("%s: iterations: got %d, bulk %d", tag, pr.Iterations, br.Iterations)
+					}
+					if !reflect.DeepEqual(pr.Assign, br.Assign) {
+						t.Errorf("%s: assignments differ from bulk", tag)
+					}
+					if !reflect.DeepEqual(pr.Counts, br.Counts) {
+						t.Errorf("%s: cluster counts differ from bulk", tag)
+					}
+					for j := range br.Centroids {
+						for d := range br.Centroids[j] {
+							w, g := br.Centroids[j][d], pr.Centroids[j][d]
+							if math.Abs(w-g) > 1e-12*(1+math.Abs(w)) {
+								t.Fatalf("%s: centroid %d[%d] %v vs bulk %v", tag, j, d, g, w)
+							}
+						}
+					}
+
+					// Against the same-shard-count unpruned reference:
+					// bit-for-bit, floats included.
+					if math.Float64bits(pr.Inertia) != math.Float64bits(ref.Inertia) {
+						t.Errorf("%s: inertia: got %v, unpruned ref %v", tag, pr.Inertia, ref.Inertia)
+					}
+					if !reflect.DeepEqual(pr.History, ref.History) {
+						t.Errorf("%s: inertia history differs from unpruned ref", tag)
+					}
+					if !reflect.DeepEqual(pr.Centroids, ref.Centroids) {
+						t.Errorf("%s: centroids differ bitwise from unpruned ref", tag)
+					}
+
+					if pr.Prune.Variant != m.variant {
+						t.Errorf("%s: variant %q, want %q", tag, pr.Prune.Variant, m.variant)
+					}
+					switch m.mode {
+					case kmeans.PruneOff:
+						if pr.Prune.Enabled {
+							t.Errorf("%s: PruneOff run reports bounds enabled", tag)
+						}
+					default:
+						if !pr.Prune.Enabled {
+							t.Errorf("%s: bounded run reports bounds disabled", tag)
+						}
+						if pr.Prune.Skipped == 0 {
+							t.Errorf("%s: pruning skipped nothing over %d document-iterations", tag, pr.Prune.DocIterations)
+						}
+						if m.mode == kmeans.PruneOn {
+							hamSkipped += pr.Prune.Skipped
+						} else {
+							elkSkipped += pr.Prune.Skipped
+						}
+					}
 				}
 			}
+		}
+		if elkSkipped < hamSkipped {
+			t.Errorf("empty=%v: elkan skipped %d < hamerly %d at k=16; per-centroid bounds must dominate",
+				empty, elkSkipped, hamSkipped)
 		}
 	}
 }
@@ -181,7 +260,7 @@ func TestTransformKernelCacheProtocol(t *testing.T) {
 	// 3. The resend inlines the global body: full reply, cached counts
 	// consumed, table cached for every later shard.
 	flags, reply := transformFlags(t, TransformTaskArgs{
-		CountsSession: "sess-a", Global: g.Wire(), GlobalHash: hash, Opts: wopts,
+		CountsSession: "sess-a", GlobalFlat: g.Wire().EncodeFlat(nil), GlobalHash: hash, Opts: wopts,
 	})
 	if flags != 0 {
 		t.Fatalf("resend flags = %#x, want 0", flags)

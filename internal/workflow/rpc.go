@@ -34,8 +34,9 @@ var (
 
 // RegisterKernel adds a kernel to the worker registry under the given op
 // name — the name RemoteTask.Op resolves against on the worker. The
-// built-in kernels (tfidf.count, tfidf.transform, kmeans.assign) register
-// themselves; registering a taken name panics, like http.Handle.
+// built-in kernels (tfidf.count, tfidf.transform, kmeans.assign,
+// kmeans.seed) register themselves; registering a taken name panics, like
+// http.Handle.
 func RegisterKernel(name string, fn KernelFunc) {
 	kernelMu.Lock()
 	defer kernelMu.Unlock()
@@ -43,26 +44,6 @@ func RegisterKernel(name string, fn KernelFunc) {
 		panic(fmt.Sprintf("workflow: kernel %q registered twice", name))
 	}
 	kernels[name] = fn
-}
-
-// kernel adapts a typed worker function to a KernelFunc: gob-decode the
-// args, run, gob-encode the reply.
-func kernel[A, R any](name string, fn func(a *A) (*R, error)) KernelFunc {
-	return func(body []byte) ([]byte, error) {
-		var a A
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
-			return nil, fmt.Errorf("workflow: kernel %s: decode args: %w", name, err)
-		}
-		r, err := fn(&a)
-		if err != nil {
-			return nil, fmt.Errorf("workflow: kernel %s: %w", name, err)
-		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(r); err != nil {
-			return nil, fmt.Errorf("workflow: kernel %s: encode reply: %w", name, err)
-		}
-		return buf.Bytes(), nil
-	}
 }
 
 // RPCRequest is one task shipped to a worker.

@@ -87,14 +87,20 @@ func TestCrossBackendSpanParity(t *testing.T) {
 
 // TestTraceCoversEveryTask: span fields are complete — every span has a
 // node, op, kind, backend and a coherent Queued<=Start<=End timeline, loop
-// shard spans carry iterations starting at 0, and the K-Means loop emitted
-// per-iteration events.
+// shard spans carry iterations starting at 0, the K-Means++ seeding rounds
+// appear as prepare-wave spans (one per shard per round plus the round's
+// draw barrier) with matching per-round events, and the K-Means loop
+// emitted per-iteration events.
 func TestTraceCoversEveryTask(t *testing.T) {
 	tr := tracedTFKM(t, LocalBackend{}, t.TempDir())
 	if len(tr.Spans) == 0 {
 		t.Fatal("traced run recorded no spans")
 	}
+	// tracedTFKM clusters with K=8 over 4 shards: K-Means++ runs K-1 seed
+	// rounds, each scanning every shard before the coordinator draws.
+	const wantRounds, wantShards = 7, 4
 	iters := map[int]bool{}
+	prepShards, prepEnds := map[int]int{}, map[int]int{}
 	for i := range tr.Spans {
 		s := &tr.Spans[i]
 		if s.Node == "" || s.Op == "" || s.Kind == "" || s.Backend == "" {
@@ -103,26 +109,57 @@ func TestTraceCoversEveryTask(t *testing.T) {
 		if s.Queued.After(s.Start) || s.Start.After(s.End) {
 			t.Fatalf("span %d has an incoherent timeline: %+v", i, s)
 		}
-		if s.Kind == "loop-shard" {
+		switch s.Kind {
+		case "loop-shard":
 			if s.Iter < 0 {
 				t.Fatalf("loop-shard span without iteration: %+v", s)
 			}
 			iters[s.Iter] = true
-		} else if s.Kind == "run" && s.Iter != -1 {
-			t.Fatalf("non-loop span claims iteration %d: %+v", s.Iter, s)
+		case "loop-prep":
+			if s.Iter < 0 {
+				t.Fatalf("loop-prep span without round: %+v", s)
+			}
+			prepShards[s.Iter]++
+		case "loop-prep-end":
+			if s.Iter < 0 {
+				t.Fatalf("loop-prep-end span without round: %+v", s)
+			}
+			prepEnds[s.Iter]++
+		case "run":
+			if s.Iter != -1 {
+				t.Fatalf("non-loop span claims iteration %d: %+v", s.Iter, s)
+			}
 		}
 	}
 	if !iters[0] {
 		t.Errorf("loop iterations do not start at 0: %v", iters)
 	}
-	var kmEvents int
+	if len(prepShards) != wantRounds || len(prepEnds) != wantRounds {
+		t.Errorf("seed rounds traced: %d prep waves, %d barriers, want %d of each",
+			len(prepShards), len(prepEnds), wantRounds)
+	}
+	for round := 0; round < wantRounds; round++ {
+		if prepShards[round] != wantShards {
+			t.Errorf("seed round %d traced %d shard scans, want %d", round, prepShards[round], wantShards)
+		}
+		if prepEnds[round] != 1 {
+			t.Errorf("seed round %d traced %d draw barriers, want 1", round, prepEnds[round])
+		}
+	}
+	var kmEvents, seedEvents int
 	for _, e := range tr.Events {
-		if e.Cat == "kmeans" && e.Name == "iteration" {
+		switch {
+		case e.Cat == "kmeans" && e.Name == "iteration":
 			kmEvents++
+		case e.Cat == "kmeans" && e.Name == "seed-round":
+			seedEvents++
 		}
 	}
 	if kmEvents != len(iters) {
 		t.Errorf("kmeans iteration events %d != loop iterations %d", kmEvents, len(iters))
+	}
+	if seedEvents != wantRounds {
+		t.Errorf("kmeans seed-round events %d != seed rounds %d", seedEvents, wantRounds)
 	}
 }
 

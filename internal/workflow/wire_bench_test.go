@@ -23,8 +23,11 @@ func benchVectorShard() *tfidf.VectorShard {
 		idx := make([]uint32, nnz)
 		val := make([]float64, nnz)
 		norm := 0.0
+		// Strictly ascending indices: the invariant sparse.Builder
+		// guarantees for every real vector, and the contract the flat
+		// codec's delta coding relies on.
 		for e := range idx {
-			idx[e] = uint32((i*131 + e*977) % (1 << 16))
+			idx[e] = uint32(i + e*1021)
 			val[e] = float64(i+1) / float64(e+3)
 			norm += val[e] * val[e]
 		}

@@ -82,22 +82,27 @@
 // assignment loop's per-iteration shard tasks, whose documents ship once
 // into a worker-side session (pinned to one worker by backend affinity)
 // and whose per-iteration traffic is centroids out, kmeans.Accum wire
-// forms and assignments back. Splits, the DF tree-merge, the streaming
-// gather, the per-iteration barrier, K-Means seeding and output always
-// run on the coordinator; tasks whose inputs cannot be described
-// (in-memory sources, disk-simulated sources, stopword-bearing options)
-// quietly fall back to the local path.
+// forms and assignments back. K-Means++ seeding scan rounds ship as
+// prepare-wave tasks through the same pinned sessions (documents ship
+// once for seeding and iterations combined); the per-round seed draw
+// stays on the coordinator. Splits, the DF tree-merge, the streaming
+// gather, the per-iteration barrier and output always run on the
+// coordinator; tasks whose inputs cannot be described (in-memory
+// sources, disk-simulated sources, stopword-bearing options) quietly
+// fall back to the local path.
 //
 // # Pruning and the wire
 //
 // Two hot-path optimizations ride the remotable tasks (kernels.go):
 //
-//   - The K-Means assignment tasks run the bounded (Hamerly-style) kernel
-//     when Options.Prune allows it — bounds live in the worker-side loop
-//     session next to the shipped documents, drift rides the per-iteration
-//     task args, and results stay bit-identical to the unpruned kernel
-//     (see the kmeans package doc); the optimizer prices the pruned kernel
-//     separately (CostModel.KMeansAssignPrunedNS).
+//   - The K-Means assignment tasks run a bounded kernel (Hamerly's
+//     single bound or Elkan's per-centroid bounds, per Options.Prune) when
+//     pruning is active — bounds live in the worker-side loop session next
+//     to the shipped documents, drift rides the per-iteration task args,
+//     and results stay bit-identical to the unpruned kernel (see the
+//     kmeans package doc); the optimizer prices each bounded kernel
+//     separately (CostModel.KMeansAssignPrunedNS / KMeansAssignElkanNS)
+//     and under PruneAuto pins whichever variant is cheaper.
 //   - Task payloads avoid redundant and slow serialization. The global
 //     term table is content-addressed: transform args carry only its hash,
 //     workers cache table bodies (keyed by hash and dictionary kind, with
