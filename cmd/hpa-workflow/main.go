@@ -10,7 +10,7 @@
 //	             [-k 8] [-seed 1] [-scratch DIR] [-disksim off|hdd]
 //	             [-sweep 1,4,8,12,16] [-explain] [-optimize]
 //	             [-workers addr,addr] [-trace out.json]
-//	             [-measured-ship=true]
+//	             [-measured-ship=true] [-measured-skip=true]
 //	hpa-workflow -worker ADDR
 //
 // -shards selects partitioned streaming execution: the corpus scan is
@@ -85,6 +85,14 @@
 // feedback only survives across runs when -scratch points at a persistent
 // directory.
 //
+// Runs with assignment pruning active persist the measured skip rate the
+// same way (hpa-skip-ewma.json, keyed by bound variant and cluster-count
+// bucket), and later -optimize runs price the bounded K-Means kernels
+// with the skip rate real corpora achieve instead of the calibration
+// loop's synthetic one; -explain labels the source as "skip=measured" vs
+// "skip=calibrated". Pass -measured-skip=false to ignore the persisted
+// file and keep calibrated skip pricing.
+//
 // With -sweep, the workflow runs once per thread count and prints a
 // Figure 3-style table. With -explain, the validated plan DAG is printed
 // (materialize/load edges marked =[arff]=>, shard edges -[xN]->, optimizer
@@ -104,6 +112,7 @@ import (
 
 	"hpa/internal/corpus"
 	"hpa/internal/dict"
+	"hpa/internal/flatwire"
 	"hpa/internal/kmeans"
 	"hpa/internal/metrics"
 	"hpa/internal/obs"
@@ -138,6 +147,7 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated worker addresses to ship shard tasks to (started with -worker)")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto); also prints a per-node table and a predicted-vs-measured plan autopsy to stderr")
 		shipEWMA = flag.Bool("measured-ship", true, "price remote plans with the persisted measured ship EWMA when available (false: always use the calibrated loopback bound)")
+		skipEWMA = flag.Bool("measured-skip", true, "price bounded K-Means kernels with the persisted measured skip-rate EWMA when available (false: always use the calibration loop's skip rate)")
 	)
 	flag.Parse()
 	// Explicitly-set flags pin optimizer decisions (see the precedence
@@ -275,7 +285,11 @@ func main() {
 			}
 			profile = optimizer.RPCProfileFrom(workerCount, model, shipDir)
 		}
-		opts := optimizer.Options{Procs: procs, Shards: pin, Backend: profile}
+		skipDir := ""
+		if *skipEWMA {
+			skipDir = scratchDir
+		}
+		opts := optimizer.Options{Procs: procs, Shards: pin, Backend: profile, Skip: optimizer.SkipFrom(skipDir)}
 		if explicit["dict"] {
 			opts.Dict = optimizer.PinDict(kind)
 		}
@@ -392,6 +406,19 @@ func main() {
 			if ps := rep.Clustering.Result.Prune; ps.Enabled {
 				fmt.Fprintf(os.Stderr, "kmeans pruning: %s bounds, skipped %d of %d document-iterations (%.1f%% of k-way scans avoided)\n",
 					ps.Variant, ps.Skipped, ps.DocIterations, 100*ps.SkipRate())
+				// Persist the measured skip rate so the next -optimize run
+				// prices the bounded kernel with what this corpus actually
+				// achieves (skip=measured in -explain). Loading is what
+				// -measured-skip=false disables; recording is always on,
+				// like the ship EWMA and the cost-model cache.
+				if ps.DocIterations > 0 {
+					path := optimizer.SkipEWMAFile(scratchDir)
+					prev, _ := optimizer.LoadSkipEWMA(path)
+					prev.Observe(optimizer.SkipRegime(ps.Variant, *k), ps.SkipRate(), ps.DocIterations)
+					if err := prev.Save(path); err != nil {
+						fmt.Fprintf(os.Stderr, "hpa-workflow: persist skip EWMA: %v\n", err)
+					}
+				}
 			}
 		}
 		if tracer != nil {
@@ -415,8 +442,15 @@ func main() {
 	}
 	// Close the optimizer feedback loop on distributed runs: report what
 	// shipping a task actually cost next to the model's calibrated loopback
-	// lower bound, so stale or unrepresentative models are visible.
+	// lower bound, so stale or unrepresentative models are visible. The
+	// value-compression line reports what the flat codec's XOR value blocks
+	// saved over raw fixed-width floats across every payload shipped or
+	// absorbed this run.
 	if rpcBackend != nil {
+		if raw, coded := flatwire.ValueBytes(); raw > 0 {
+			fmt.Fprintf(os.Stderr, "wire values: %s raw -> %s coded (%.1f%% of raw, xor value blocks)\n",
+				metrics.FormatBytes(raw), metrics.FormatBytes(coded), 100*float64(coded)/float64(raw))
+		}
 		if ns, samples := rpcBackend.MeasuredShipNS(); samples > 0 {
 			line := fmt.Sprintf("rpc ship: measured %s/task (EWMA over %d tasks)",
 				time.Duration(ns).Round(time.Microsecond), samples)

@@ -21,18 +21,36 @@
 // Every flat payload carries a codec version byte immediately after its
 // magic, so layouts can evolve without breaking deployed decoders:
 //
-//   - CodecRaw (1) is the original layout: sorted u32 index arrays as raw
-//     fixed-width blocks.
-//   - CodecDelta (2) stores each sorted u32 index array delta-coded as
-//     unsigned varints (AppendDeltaU32s): ascending indexes make the
-//     deltas small, so most entries shrink from four bytes to one. The
-//     delta chain restarts for every sub-array (per document, per
-//     cluster), keeping windows independently decodable.
+//	version         index blocks (sorted u32)   f64 value blocks
+//	CodecRaw   (1)  raw fixed-width             raw fixed-width
+//	CodecDelta (2)  delta-coded varints         raw fixed-width
+//	CodecXor   (3)  delta-coded varints         XOR-with-previous runs
 //
-// Encoders emit the newest version; decoders accept both, dispatching on
-// the byte — so a coordinator can roll forward before its workers. Float
-// and signed blocks stay raw fixed-width in every version: they are
-// neither sorted nor small, and raw blocks decode allocation-free.
+// CodecRaw (1) is the original layout: sorted u32 index arrays and f64
+// value arrays as raw fixed-width blocks.
+//
+// CodecDelta (2) stores each sorted u32 index array delta-coded as
+// unsigned varints (AppendDeltaU32s): ascending indexes make the deltas
+// small, so most entries shrink from four bytes to one. The delta chain
+// restarts for every sub-array (per document, per cluster), keeping
+// windows independently decodable.
+//
+// CodecXor (3) keeps version 2's index coding and additionally compresses
+// f64 value blocks losslessly (AppendF64sXor): each value's IEEE 754 bits
+// are XORed with the previous value's, and the result is stored as a
+// control byte (leading/trailing zero-byte counts of the XOR word) plus
+// only its meaningful middle bytes — an exact-equality run costs one byte
+// per value, and values sharing sign, exponent and high mantissa bits
+// shed their common prefix. Every block starts with a one-byte form
+// marker; an encoder that would not shrink a block stores it raw behind
+// the marker, so a block never grows by more than one byte. Bit patterns
+// round-trip exactly: compatible with the engine's bit-identity contract.
+//
+// The compatibility rule: encoders emit the newest version; decoders
+// accept every version, dispatching on the byte — so a coordinator can
+// roll forward before its workers. Signed and unsigned fixed-width scalar
+// blocks (counts, assignments) stay raw in every version: they are small
+// next to the index/value payload and decode allocation-free.
 package flatwire
 
 import (
@@ -55,6 +73,9 @@ const (
 	// CodecDelta is layout version 2: sorted u32 index arrays delta-coded
 	// as unsigned varints, restarting per sub-array.
 	CodecDelta byte = 2
+	// CodecXor is layout version 3: version 2's index coding plus
+	// losslessly compressed f64 value blocks (AppendF64sXor).
+	CodecXor byte = 3
 )
 
 // AppendU8 appends one byte.

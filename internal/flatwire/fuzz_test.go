@@ -1,0 +1,59 @@
+package flatwire
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF64sXorRoundTrip: arbitrary f64 bit patterns — NaNs, subnormals,
+// signed zeros included — must survive the XOR value coding exactly,
+// whichever block form the encoder picks.
+func FuzzF64sXorRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64)) // all-zero: pure 0x88 stream
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf0, 0x7f}) // NaN
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vs := make([]float64, len(data)/8)
+		for i := range vs {
+			var x uint64
+			for b := 0; b < 8; b++ {
+				x |= uint64(data[i*8+b]) << (8 * uint(b))
+			}
+			vs[i] = math.Float64frombits(x)
+		}
+		enc := AppendF64sXor(nil, vs)
+		r := NewReader(enc)
+		dst := make([]float64, len(vs))
+		r.F64sXorInto(dst)
+		if err := r.Err(); err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if err := r.Done(); err != nil {
+			t.Fatalf("trailing bytes after own encoding: %v", err)
+		}
+		for i := range vs {
+			if math.Float64bits(dst[i]) != math.Float64bits(vs[i]) {
+				t.Fatalf("value %d: decoded bits %#x, want %#x",
+					i, math.Float64bits(dst[i]), math.Float64bits(vs[i]))
+			}
+		}
+	})
+}
+
+// FuzzF64sXorDecode: decoding arbitrary bytes as a value block of any
+// claimed length must error or succeed — never panic, never read past the
+// buffer.
+func FuzzF64sXorDecode(f *testing.F) {
+	f.Add(uint16(4), AppendF64sXor(nil, []float64{1, 1, 2.5, math.Copysign(0, -1)}))
+	f.Add(uint16(3), []byte{ValueBlockXor, 0x88, 0x88, 0x88})
+	f.Add(uint16(1), []byte{ValueBlockRaw, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint16(2), []byte{ValueBlockXor, 0x77}) // l+t > 7: malformed control byte
+	f.Add(uint16(1), []byte{9})                   // unknown block form
+	f.Fuzz(func(t *testing.T, n uint16, data []byte) {
+		r := NewReader(data)
+		dst := make([]float64, int(n)%1024)
+		r.F64sXorInto(dst)
+		_ = r.Err() // error or success both fine; panics are the bug
+	})
+}

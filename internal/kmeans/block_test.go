@@ -1,0 +1,96 @@
+package kmeans
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hpa/internal/par"
+	"hpa/internal/sparse"
+)
+
+// TestBlockSizeResolution pins the Block knob resolver: negative pins the
+// scalar kernel, 0 resolves by k, positive values pin that width.
+func TestBlockSizeResolution(t *testing.T) {
+	for _, tc := range []struct{ block, k, want int }{
+		{-1, 64, 0},
+		{0, 2, 0},
+		{0, 4, 4},
+		{0, 7, 4},
+		{0, 8, 8},
+		{0, 64, 8},
+		{2, 64, 2},
+		{8, 3, 8},
+	} {
+		if got := BlockSize(tc.block, tc.k); got != tc.want {
+			t.Errorf("BlockSize(%d, %d) = %d, want %d", tc.block, tc.k, got, tc.want)
+		}
+	}
+	docs := sparseMix(40, 16, 3)
+	p := par.NewPool(1)
+	defer p.Close()
+	for _, tc := range []struct{ block, k, want int }{
+		{-1, 8, 0},
+		{0, 8, 8},
+		{0, 5, 4},
+		{2, 8, 2},
+	} {
+		c, err := New(docs, 16, p, Options{K: tc.k, Seed: 1, Block: tc.block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.BlockWidth(); got != tc.want {
+			t.Errorf("Block=%d k=%d: BlockWidth() = %d, want %d", tc.block, tc.k, got, tc.want)
+		}
+	}
+	if _, err := New(docs, 16, p, Options{K: 4, Block: 9}); err == nil {
+		t.Errorf("Block=9 validated; widths above 8 must be rejected")
+	}
+}
+
+// TestBlockedAssignBitIdentical is the blocked-kernel contract at the
+// kmeans level: every lane width produces results bit-identical to the
+// pinned scalar kernel — assignments, centroids, counts, inertia history
+// and convergence — on a corpus that includes genuinely empty (zero-nnz)
+// documents, at cluster counts that are not multiples of any width (the
+// ragged tail block), with and without bound pruning in front of the
+// full-scan fallback.
+func TestBlockedAssignBitIdentical(t *testing.T) {
+	docs := sparseMix(300, 32, 13)
+	empties := 0
+	for i := range docs {
+		if i%7 == 3 {
+			docs[i] = sparse.Vector{} // genuine zero-nnz document
+			empties++
+		}
+	}
+	if empties == 0 {
+		t.Fatal("corpus has no empty documents; the test would not cover them")
+	}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"k5-off", Options{K: 5, Seed: 2, Prune: PruneOff}},
+		{"k13-elkan-reseed", Options{K: 13, Seed: 4, Prune: PruneElkan, Empty: ReseedFarthest}},
+	}
+	for _, tc := range cases {
+		scalarOpts := tc.opts
+		scalarOpts.Block = -1
+		scalar := shardedRun(t, docs, 32, scalarOpts, 4)
+		for _, block := range []int{0, 1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/block=%d", tc.name, block), func(t *testing.T) {
+				opts := tc.opts
+				opts.Block = block
+				got := shardedRun(t, docs, 32, opts, 4)
+				// Wall-clock timing is the only field allowed to differ.
+				wantC, gotC := *scalar, *got
+				wantC.SeedWall, gotC.SeedWall = 0, 0
+				if !reflect.DeepEqual(&wantC, &gotC) {
+					t.Errorf("blocked result differs from scalar:\n  scalar: iters=%d inertia=%v\n  block:  iters=%d inertia=%v",
+						scalar.Iterations, scalar.Inertia, got.Iterations, got.Inertia)
+				}
+			})
+		}
+	}
+}

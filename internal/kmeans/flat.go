@@ -25,10 +25,14 @@ import (
 //	idx                    (all clusters' indices, concatenated)
 //	val    f64 × totalNNZ  (all clusters' values, concatenated)
 //
-// The codec byte selects the idx block form: flatwire.CodecRaw ships raw
-// u32 × totalNNZ; flatwire.CodecDelta (what EncodeFlat emits) delta-codes
-// each cluster's ascending indices as varints, restarting per cluster.
-// Decoders accept both.
+// The codec byte selects the block forms: flatwire.CodecRaw ships raw
+// u32 × totalNNZ indices and raw f64 values; flatwire.CodecDelta
+// delta-codes each cluster's ascending indices as varints, restarting per
+// cluster, with raw values; flatwire.CodecXor (what EncodeFlat emits)
+// keeps the delta-coded indices and additionally XOR-compresses each
+// cluster's value block (flatwire.AppendF64sXor), restarting the XOR
+// chain per cluster so clusters stay independently decodable. Decoders
+// accept all three.
 
 // accumWireMagic identifies a flat AccumWire buffer.
 const accumWireMagic uint32 = 0x48504157 // "HPAW"
@@ -41,13 +45,14 @@ func (w *AccumWire) EncodeFlat(dst []byte) []byte {
 	for j := range w.Idx {
 		total += len(w.Idx[j])
 	}
-	// Capacity bound: a varint-coded index is at most 5 bytes.
-	size := 4 + 1 + 4 + 8 + 8 + 8 + 8*k + 4*k + 8 + 5*total + 8*total
+	// Capacity bound: a varint-coded index is at most 5 bytes, an
+	// XOR-coded value block at most 1 + 9 bytes per value.
+	size := 4 + 1 + 4 + 8 + 8 + 8 + 8*k + 4*k + 8 + 5*total + k + 9*total
 	if dst == nil {
 		dst = make([]byte, 0, size)
 	}
 	b := flatwire.AppendU32(dst, accumWireMagic)
-	b = flatwire.AppendU8(b, flatwire.CodecDelta)
+	b = flatwire.AppendU8(b, flatwire.CodecXor)
 	b = flatwire.AppendU32(b, uint32(k))
 	b = flatwire.AppendF64(b, w.Inertia)
 	b = flatwire.AppendI64(b, int64(w.Changed))
@@ -61,7 +66,7 @@ func (w *AccumWire) EncodeFlat(dst []byte) []byte {
 		b = flatwire.AppendDeltaU32s(b, w.Idx[j])
 	}
 	for j := range w.Val {
-		b = flatwire.AppendF64s(b, w.Val[j])
+		b = flatwire.AppendF64sXor(b, w.Val[j])
 	}
 	return b
 }
@@ -86,7 +91,7 @@ func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
 	}
-	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta {
+	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta && codec != flatwire.CodecXor {
 		return nil, fmt.Errorf("kmeans: decode accum: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
 	}
 	sum := 0
@@ -107,7 +112,30 @@ func decodeFlatAccumWire(r *flatwire.Reader) (*AccumWire, error) {
 			off += int(c)
 		}
 	}
-	r.F64sInto(val)
+	if r.Err() == nil {
+		// Every cluster's indices must be strictly ascending — the sparse
+		// accumulator invariant. The raw codec could otherwise smuggle in
+		// arbitrary orderings (the delta codec, duplicates) and corrupt the
+		// ordered reduce.
+		off := 0
+		for j, c := range nnz {
+			for e := 1; e < int(c); e++ {
+				if idx[off+e] <= idx[off+e-1] {
+					return nil, fmt.Errorf("kmeans: decode accum: %w: cluster %d indices not strictly ascending", flatwire.ErrMalformed, j)
+				}
+			}
+			off += int(c)
+		}
+	}
+	if codec == flatwire.CodecXor {
+		off := 0
+		for _, c := range nnz {
+			r.F64sXorInto(val[off : off+int(c)])
+			off += int(c)
+		}
+	} else {
+		r.F64sInto(val)
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("kmeans: decode accum: %w", err)
 	}

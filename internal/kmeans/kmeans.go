@@ -85,6 +85,35 @@
 // themselves are reproducible. Result.Prune reports what pruning did
 // (document-iterations skipped vs scanned, and which variant ran);
 // BENCH_pruned.json records the kernel savings per variant.
+//
+// # Blocked distance kernel
+//
+// The full k-way scans inside AssignRange (the unpruned kernel and the
+// full-scan fallbacks of both bound variants) optionally run on a
+// transposed, block-major centroid layout (sparse.BlockLayout): one sweep
+// of a document's nonzeros accumulates dot products to B centroids in B
+// register-resident accumulators, instead of re-walking the Idx/Val
+// arrays once per centroid. Options.Block selects the width (0 resolves
+// by k: 8 lanes from k >= 8, 4 from k >= 4, scalar below; negative pins
+// the scalar kernel). The layout is re-transposed once per iteration —
+// O(k·dim), amortized over the O(n·nnz·k) scan it accelerates.
+//
+// Blocking is bit-identical by construction, not by tolerance: each
+// lane's accumulator performs exactly the float operations DotDense
+// performs for that centroid, in the same ascending nonzero order, and
+// the distance expression and argmin comparison sequence are unchanged —
+// only which centroid's accumulation advances first differs, which no
+// float result depends on. Assignments, inertia history, centroids and
+// convergence are therefore identical at every block size, shard count
+// and backend (the matrix test cycles block sizes to assert it), so the
+// block width never ships on the wire: coordinator and workers may even
+// pick different widths.
+//
+// K-Means++ seeding scans are NOT blocked, deliberately: each of the k−1
+// seed rounds scans against the single most recently drawn seed, and the
+// next round's scan target depends on the draw the previous round's
+// total funded — there is never more than one centroid to batch a sweep
+// over. The seeding kernel stays SeedScanRange's scalar min-update.
 package kmeans
 
 import (
@@ -146,6 +175,29 @@ type Options struct {
 	// convergence are unchanged; only the work to compute them shrinks.
 	// PruneAuto (the default) enables it when k is large enough to pay.
 	Prune PruneMode
+	// Block selects the blocked distance kernel's lane width (see the
+	// package comment): 0 resolves automatically by k, a negative value
+	// pins the scalar kernel, and 1..8 pin that width. Results are
+	// bit-identical at every width; values above 8 are rejected.
+	Block int
+}
+
+// BlockSize resolves the Block knob at cluster count k to the lane width
+// the kernel will run (0 = scalar). Exported so remote shard workers
+// resolve the same width the coordinator shipped.
+func BlockSize(block, k int) int {
+	switch {
+	case block < 0:
+		return 0
+	case block > 0:
+		return block
+	case k >= 8:
+		return 8
+	case k >= 4:
+		return 4
+	default:
+		return 0
+	}
 }
 
 // validate checks the options against a document count and applies the
@@ -167,6 +219,9 @@ func (o *Options) validate(docs int) error {
 	if o.DocNorms != nil && len(o.DocNorms) != docs {
 		return fmt.Errorf("%w: DocNorms has %d entries for %d documents",
 			ErrOptions, len(o.DocNorms), docs)
+	}
+	if o.Block > 8 {
+		return fmt.Errorf("%w: Block=%d, want at most 8", ErrOptions, o.Block)
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 100
@@ -236,6 +291,7 @@ type Clusterer struct {
 
 	centroids [][]float64
 	cnorms    []float64
+	layout    *sparse.BlockLayout // blocked-kernel centroid transpose (nil = scalar)
 	counts    []int64
 	assign    []int32
 	dists     []float64 // per-doc distance to assigned centroid (ReseedFarthest only)
@@ -268,6 +324,7 @@ type Clusterer struct {
 // across iterations via Reset.
 type Accum struct {
 	accs    []*sparse.Accumulator
+	dots    []float64 // blocked-kernel scratch: one dot per (padded) centroid
 	inertia float64
 	changed int
 	skipped int64
@@ -293,7 +350,12 @@ func (c *Clusterer) NewAccum() *Accum { return NewAccumFor(c.opts.K, c.dim) }
 // dense dimension — the standalone form remote shard workers use, where no
 // Clusterer exists.
 func NewAccumFor(k, dim int) *Accum {
-	a := &Accum{accs: make([]*sparse.Accumulator, k)}
+	// The dots scratch is sized for the widest block (8 lanes), so one
+	// Accum serves any resolved block width.
+	a := &Accum{
+		accs: make([]*sparse.Accumulator, k),
+		dots: make([]float64, (k+7)&^7),
+	}
 	for j := range a.accs {
 		a.accs[j] = sparse.NewAccumulator(dim)
 	}
@@ -362,6 +424,9 @@ func newClusterer(docs []sparse.Vector, dim int, pool *par.Pool, opts Options) (
 	for i := range c.assign {
 		c.assign[i] = -1
 	}
+	if b := BlockSize(opts.Block, opts.K); b > 0 {
+		c.layout = sparse.NewBlockLayout(opts.K, dim, b)
+	}
 	if opts.Empty == ReseedFarthest {
 		c.dists = make([]float64, len(docs))
 	}
@@ -386,6 +451,9 @@ func (c *Clusterer) seed() {
 // (which copies the seeded centroids). Called exactly once, by
 // Seeding.Finish.
 func (c *Clusterer) postSeed() {
+	if c.layout != nil {
+		c.layout.Fill(c.centroids)
+	}
 	v := c.opts.Prune.Variant(c.opts.K)
 	c.pruneStats.Variant = v.String()
 	if v == VariantOff {
@@ -432,7 +500,7 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 	if rec.Enabled() {
 		start = time.Now()
 	}
-	AssignRange(lo, hi, c.opts.K, c.docs, c.docNorms, c.centroids, c.cnorms, c.assign, c.dists, c.bp, a)
+	AssignRange(lo, hi, c.opts.K, c.docs, c.docNorms, c.centroids, c.cnorms, c.layout, c.assign, c.dists, c.bp, a)
 	if rec.Enabled() {
 		rec.Task(time.Since(start), 0, false)
 	}
@@ -452,18 +520,39 @@ func (c *Clusterer) AssignShard(lo, hi int, a *Accum) {
 // lower bound on every other distance skips the k-way scan and contributes
 // the identical distance, assignment and accumulation the scan would have —
 // see bounds.go for the invariance argument. bp is indexed like assign.
+//
+// A non-nil layout routes the full k-way scans through the blocked
+// distance kernel (sparse.BlockLayout.DotsInto): one sweep of the
+// document's nonzeros yields all k dots, and the per-centroid distance
+// expression and argmin comparisons run unchanged over them — bit-identical
+// to the scalar path at every block size (see the package comment). The
+// layout must hold the same centroids the centroids slice does; the
+// pruned single-distance path stays scalar (one distTo is cheaper than a
+// block sweep).
 func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
-	centroids [][]float64, cnorms []float64, assign []int32, dists []float64,
-	bp *BoundsPass, a *Accum) {
+	centroids [][]float64, cnorms []float64, layout *sparse.BlockLayout,
+	assign []int32, dists []float64, bp *BoundsPass, a *Accum) {
 	if bp == nil {
 		for i := lo; i < hi; i++ {
 			v := &docs[i]
 			best, bestD := int32(0), math.Inf(1)
-			for j := 0; j < k; j++ {
-				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
-				if d < bestD {
-					bestD = d
-					best = int32(j)
+			if layout != nil {
+				layout.DotsInto(v, a.dots)
+				dn := docNorms[i]
+				for j := 0; j < k; j++ {
+					d := cnorms[j] - 2*a.dots[j] + dn
+					if d < bestD {
+						bestD = d
+						best = int32(j)
+					}
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+					if d < bestD {
+						bestD = d
+						best = int32(j)
+					}
 				}
 			}
 			if bestD < 0 {
@@ -533,21 +622,39 @@ func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
 		}
 		var best int32
 		var bestD float64
+		if layout != nil {
+			layout.DotsInto(v, a.dots)
+		}
 		if elkan {
 			// Full scan seeding every per-centroid bound with its exact
 			// distance — no shave at seed time: the per-iteration decay
 			// above charges the rounding margin before a bound is consumed.
 			row := bp.LowerK[i*k : i*k+k]
 			best, bestD = int32(0), math.Inf(1)
-			for j := 0; j < k; j++ {
-				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
-				cd := d
-				if cd < 0 {
-					cd = 0
+			if layout != nil {
+				dn := docNorms[i]
+				for j := 0; j < k; j++ {
+					d := cnorms[j] - 2*a.dots[j] + dn
+					cd := d
+					if cd < 0 {
+						cd = 0
+					}
+					row[j] = math.Sqrt(cd)
+					if d < bestD {
+						bestD, best = d, int32(j)
+					}
 				}
-				row[j] = math.Sqrt(cd)
-				if d < bestD {
-					bestD, best = d, int32(j)
+			} else {
+				for j := 0; j < k; j++ {
+					d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+					cd := d
+					if cd < 0 {
+						cd = 0
+					}
+					row[j] = math.Sqrt(cd)
+					if d < bestD {
+						bestD, best = d, int32(j)
+					}
 				}
 			}
 			if bestD < 0 {
@@ -557,13 +664,26 @@ func AssignRange(lo, hi, k int, docs []sparse.Vector, docNorms []float64,
 		} else {
 			var secD float64
 			best, bestD, secD = int32(0), math.Inf(1), math.Inf(1)
-			for j := 0; j < k; j++ {
-				d := distTo(v, centroids[j], cnorms[j], docNorms[i])
-				if d < bestD {
-					secD = bestD
-					bestD, best = d, int32(j)
-				} else if d < secD {
-					secD = d
+			if layout != nil {
+				dn := docNorms[i]
+				for j := 0; j < k; j++ {
+					d := cnorms[j] - 2*a.dots[j] + dn
+					if d < bestD {
+						secD = bestD
+						bestD, best = d, int32(j)
+					} else if d < secD {
+						secD = d
+					}
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					d := distTo(v, centroids[j], cnorms[j], docNorms[i])
+					if d < bestD {
+						secD = bestD
+						bestD, best = d, int32(j)
+					} else if d < secD {
+						secD = d
+					}
 				}
 			}
 			if bestD < 0 {
@@ -646,6 +766,12 @@ func (c *Clusterer) EndIteration(accs []*Accum) (float64, int) {
 				c.reseedEmpty(j)
 			}
 		}
+	}
+	if c.layout != nil {
+		// Re-transpose the updated centroids for the next iteration's
+		// blocked scans — after the empty policy, so a reseeded centroid
+		// lands in the layout too.
+		c.layout.Fill(c.centroids)
 	}
 	if c.bp != nil {
 		// Drift is measured after the empty-cluster policy ran, so a

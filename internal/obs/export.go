@@ -45,6 +45,8 @@ type chromeSpanArgs struct {
 	Out     int64  `json:"bytes_out,omitempty"`
 	In      int64  `json:"bytes_in,omitempty"`
 	Codec   string `json:"codec,omitempty"`
+	ValRaw  int64  `json:"value_raw_bytes,omitempty"`
+	ValCod  int64  `json:"value_coded_bytes,omitempty"`
 	Resend  bool   `json:"resend,omitempty"`
 	Err     bool   `json:"error,omitempty"`
 }
@@ -153,6 +155,7 @@ func WriteChromeTrace(w io.Writer, tr *Trace) error {
 				Backend: s.Backend, Worker: s.Worker,
 				WaitUS: s.Wait().Microseconds(),
 				Out:    s.BytesOut, In: s.BytesIn, Codec: s.Codec,
+				ValRaw: s.ValueRawBytes, ValCod: s.ValueCodedBytes,
 				Resend: s.Resend, Err: s.Err,
 			},
 		})

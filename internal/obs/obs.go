@@ -49,6 +49,12 @@ type Span struct {
 	BytesOut, BytesIn int64
 	// Codec is the reply encoding for remote tasks: "flat", "gob" or "".
 	Codec string
+	// ValueRawBytes and ValueCodedBytes split the task's XOR-coded f64
+	// value blocks into the size they would occupy fixed-width and what
+	// they took on the wire (see flatwire.ValueBytes). Deltas of
+	// process-wide counters: with concurrent tasks a span's split is
+	// approximate, but the totals across all spans sum exactly.
+	ValueRawBytes, ValueCodedBytes int64
 	// Resend marks a task that needed a second round trip to re-ship cached
 	// state (the needResend protocol).
 	Resend bool

@@ -129,8 +129,8 @@ func Calibrate(opts CalibrationOptions) (*CostModel, error) {
 	m.ARFFWriteBPS, m.ARFFReadBPS = w, r
 	m.ShardTaskNS = calibrateShardOverhead(opts.ShardTasks)
 	m.KMeansAssignNS = calibrateKMeansAssign(opts)
-	m.KMeansAssignPrunedNS = calibrateKMeansAssignPruned(opts, kmeans.PruneOn)
-	m.KMeansAssignElkanNS = calibrateKMeansAssignPruned(opts, kmeans.PruneElkan)
+	m.KMeansAssignPrunedNS, m.KMeansPrunedSkipRate = calibrateKMeansAssignPruned(opts, kmeans.PruneOn)
+	m.KMeansAssignElkanNS, m.KMeansElkanSkipRate = calibrateKMeansAssignPruned(opts, kmeans.PruneElkan)
 	m.RPCShipNS = calibrateRPCShip(opts.RPCTasks)
 	return m, nil
 }
@@ -344,15 +344,17 @@ func calibrateKMeansAssign(opts CalibrationOptions) float64 {
 // assignment passes are timed; the returned rate divides the same
 // iterations × nnz × k unit count as the full-scan calibration, so the
 // rates differ exactly by what each bound structure saves net of its
-// maintenance cost.
-func calibrateKMeansAssignPruned(opts CalibrationOptions, mode kmeans.PruneMode) float64 {
+// maintenance cost. The second return is the skip rate the loop observed
+// (kmeans.PruneStats.SkipRate) — what the rate's saving comes from, and
+// what the measured-skip feedback needs to re-price it.
+func calibrateKMeansAssignPruned(opts CalibrationOptions, mode kmeans.PruneMode) (float64, float64) {
 	const k = 8
 	vecs, dim := calKMeansMatrix(opts)
 	pool := par.NewPool(1)
 	defer pool.Close()
 	c, err := kmeans.New(vecs, dim, pool, kmeans.Options{K: k, Seed: 1, Prune: mode})
 	if err != nil {
-		return 1.5 // cannot happen with the synthetic matrix
+		return 1.5, 0 // cannot happen with the synthetic matrix
 	}
 	acc := c.NewAccum()
 	accs := []*kmeans.Accum{acc}
@@ -370,7 +372,7 @@ func calibrateKMeansAssignPruned(opts CalibrationOptions, mode kmeans.PruneMode)
 		ops += int64(len(vecs[i].Idx)) * k
 	}
 	ops *= passes
-	return float64(assignNS) / float64(ops)
+	return float64(assignNS) / float64(ops), c.PruneStats().SkipRate()
 }
 
 // calibrateShardOverhead times a plan of empty partition tasks (split ->

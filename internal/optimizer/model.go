@@ -44,8 +44,11 @@ import (
 // RPCShipNS (the per-task ship cost of the RPC execution backend); v4
 // added KMeansAssignPrunedNS (the bounded assignment kernel's effective
 // cost); v5 added KMeansAssignElkanNS (the per-centroid-bound variant's
-// rate), so earlier caches self-invalidate and re-measure.
-const ModelVersion = 5
+// rate); v6 added the skip rates the bounded calibrations observed
+// (KMeansPrunedSkipRate, KMeansElkanSkipRate — what the measured-skip
+// feedback loop needs to decompose the bounded rates), so earlier caches
+// self-invalidate and re-measure.
+const ModelVersion = 6
 
 // DictPoint is one calibrated operating point of a dictionary kind:
 // amortized per-operation costs measured while growing a dictionary to
@@ -148,6 +151,16 @@ type CostModel struct {
 	// compares it against the Hamerly rate and pins whichever is cheaper
 	// on this machine (both variants are result-invariant).
 	KMeansAssignElkanNS float64 `json:"kmeans_assign_elkan_ns"`
+	// KMeansPrunedSkipRate is the fraction of document-iterations whose
+	// k-way scan the Hamerly calibration loop skipped — the skip rate baked
+	// into KMeansAssignPrunedNS. Persisting it lets the measured-skip
+	// feedback loop decompose that rate into surviving full scans plus
+	// bounds-maintenance overhead and re-price the kernel at the skip rate
+	// real runs achieve (see SkipEWMA).
+	KMeansPrunedSkipRate float64 `json:"kmeans_pruned_skip_rate"`
+	// KMeansElkanSkipRate is KMeansPrunedSkipRate for the Elkan-bounded
+	// calibration loop.
+	KMeansElkanSkipRate float64 `json:"kmeans_elkan_skip_rate"`
 	// RPCShipNS is the per-task overhead of shipping one shard task to an
 	// RPC worker and absorbing its reply — gob encode, a loopback net/rpc
 	// round trip with a representative small payload, gob decode — in

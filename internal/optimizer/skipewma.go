@@ -1,0 +1,144 @@
+package optimizer
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SkipEWMA is the persisted measured-skip feedback state: per-regime
+// exponentially weighted moving averages of the k-way-scan skip rate the
+// bounded K-Means assignment kernels achieved on real runs
+// (kmeans.PruneStats.SkipRate), stored next to the cost-model cache like
+// the ship EWMA. Subsequent plans re-price the bounded kernels with the
+// measured skip rate instead of the one the calibration loop observed on
+// its synthetic matrix (see rule.kmEffectiveRate): real corpora cluster
+// far better or worse than the calibration blobs, and the skip rate is
+// what the bounded rates' value hinges on.
+//
+// Rates are keyed by regime — bound variant plus a power-of-two cluster
+// count bucket (e.g. "elkan-k16") — because skip behavior depends on both:
+// Elkan bounds tighten with k while the single Hamerly bound loosens, so
+// one global average would mislead the variant decision it feeds.
+type SkipEWMA struct {
+	// Regimes maps SkipRegime keys to their averaged skip state.
+	Regimes map[string]SkipRate `json:"regimes"`
+}
+
+// SkipRate is one regime's averaged skip state.
+type SkipRate struct {
+	// Rate is the averaged fraction of document-iterations whose k-way
+	// scan was skipped, in [0, 1].
+	Rate float64 `json:"rate"`
+	// Samples counts the document-iterations folded in, capped at
+	// skipEWMASampleCap so the average stays adaptive.
+	Samples int64 `json:"samples"`
+}
+
+// skipEWMASampleCap bounds the effective history per regime, exactly as
+// shipEWMASampleCap does for the ship EWMA: new observations keep at
+// least 1/cap weight, so the average tracks corpus drift.
+const skipEWMASampleCap = 1000
+
+// SkipEWMAFile returns the path of the skip-EWMA file in dir, alongside
+// the cost-model cache and the ship EWMA.
+func SkipEWMAFile(dir string) string {
+	return filepath.Join(dir, "hpa-skip-ewma.json")
+}
+
+// SkipRegime returns the EWMA key for a bound variant (the
+// kmeans.PruneVariant label, "hamerly" or "elkan") at cluster count k:
+// the variant plus k rounded down to a power of two, so nearby cluster
+// counts share an average while order-of-magnitude regimes stay apart.
+func SkipRegime(variant string, k int) string {
+	bucket := 1
+	for bucket*2 <= k {
+		bucket *= 2
+	}
+	return fmt.Sprintf("%s-k%d", variant, bucket)
+}
+
+// LoadSkipEWMA reads a persisted skip EWMA. A missing file is an error;
+// callers treat any error as "no measured data yet". Files with rates
+// outside [0, 1] or negative sample counts are rejected whole — a corrupt
+// feedback file must not poison pricing.
+func LoadSkipEWMA(path string) (SkipEWMA, error) {
+	var e SkipEWMA
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		return SkipEWMA{}, fmt.Errorf("optimizer: parse %s: %w", path, err)
+	}
+	for regime, sr := range e.Regimes {
+		if sr.Samples < 0 || sr.Rate < 0 || sr.Rate > 1 {
+			return SkipEWMA{}, fmt.Errorf("optimizer: %s: regime %q has out-of-range skip EWMA fields", path, regime)
+		}
+	}
+	return e, nil
+}
+
+// Lookup returns the averaged skip state of a regime, false when the
+// regime has never been observed.
+func (e *SkipEWMA) Lookup(regime string) (SkipRate, bool) {
+	if e == nil {
+		return SkipRate{}, false
+	}
+	sr, ok := e.Regimes[regime]
+	return sr, ok
+}
+
+// Observe folds a run's measured skip rate (over n document-iterations)
+// into the regime's EWMA, weighting by sample counts. Out-of-range rates
+// and non-positive counts are ignored.
+func (e *SkipEWMA) Observe(regime string, rate float64, n int64) {
+	if rate < 0 || rate > 1 || n <= 0 {
+		return
+	}
+	if e.Regimes == nil {
+		e.Regimes = make(map[string]SkipRate)
+	}
+	sr := e.Regimes[regime]
+	if sr.Samples <= 0 {
+		sr = SkipRate{Rate: rate, Samples: n}
+	} else {
+		total := sr.Samples + n
+		sr.Rate += (rate - sr.Rate) * float64(n) / float64(total)
+		sr.Samples = total
+	}
+	if sr.Samples > skipEWMASampleCap {
+		sr.Samples = skipEWMASampleCap
+	}
+	e.Regimes[regime] = sr
+}
+
+// Save atomically writes the EWMA to path (write temp + rename), the same
+// discipline as ShipEWMA.Save.
+func (e SkipEWMA) Save(path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// SkipFrom loads the persisted skip EWMA under dir for Options.Skip,
+// returning nil — calibrated skip rates price the plan — when dir is
+// empty (the flag-off escape hatch, mirroring RPCProfileFrom), the file
+// is absent or corrupt, or no regime has been observed yet.
+func SkipFrom(dir string) *SkipEWMA {
+	if dir == "" {
+		return nil
+	}
+	e, err := LoadSkipEWMA(SkipEWMAFile(dir))
+	if err != nil || len(e.Regimes) == 0 {
+		return nil
+	}
+	return &e
+}

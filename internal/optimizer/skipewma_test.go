@@ -1,0 +1,214 @@
+package optimizer
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpa/internal/kmeans"
+)
+
+func TestSkipRegimeBuckets(t *testing.T) {
+	cases := []struct {
+		variant string
+		k       int
+		want    string
+	}{
+		{"hamerly", 8, "hamerly-k8"},
+		{"hamerly", 13, "hamerly-k8"}, // rounds down to a power of two
+		{"elkan", 16, "elkan-k16"},
+		{"elkan", 31, "elkan-k16"},
+		{"elkan", 32, "elkan-k32"},
+		{"hamerly", 1, "hamerly-k1"},
+		{"hamerly", 0, "hamerly-k1"}, // degenerate k still gets a bucket
+	}
+	for _, tc := range cases {
+		if got := SkipRegime(tc.variant, tc.k); got != tc.want {
+			t.Errorf("SkipRegime(%q, %d) = %q, want %q", tc.variant, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestSkipEWMAObserve(t *testing.T) {
+	var e SkipEWMA
+	e.Observe("elkan-k16", 0.8, 10)
+	if sr, ok := e.Lookup("elkan-k16"); !ok || sr.Rate != 0.8 || sr.Samples != 10 {
+		t.Fatalf("first observation: %+v", e)
+	}
+	// Sample-weighted blend: (0.8×10 + 0.4×10) / 20 = 0.6.
+	e.Observe("elkan-k16", 0.4, 10)
+	if sr, _ := e.Lookup("elkan-k16"); math.Abs(sr.Rate-0.6) > 1e-9 || sr.Samples != 20 {
+		t.Fatalf("blended observation: %+v", e)
+	}
+	// Regimes are independent.
+	e.Observe("hamerly-k8", 0.1, 5)
+	if sr, _ := e.Lookup("elkan-k16"); math.Abs(sr.Rate-0.6) > 1e-9 {
+		t.Fatalf("foreign regime mutated elkan-k16: %+v", e)
+	}
+	// Garbage in, no change out.
+	before, _ := e.Lookup("elkan-k16")
+	e.Observe("elkan-k16", -0.1, 10)
+	e.Observe("elkan-k16", 1.5, 10)
+	e.Observe("elkan-k16", 0.5, 0)
+	if sr, _ := e.Lookup("elkan-k16"); sr != before {
+		t.Fatalf("out-of-range inputs mutated the EWMA: %+v", e)
+	}
+	// The sample cap keeps the average adaptive.
+	e.Observe("elkan-k16", 0.6, 100_000)
+	if sr, _ := e.Lookup("elkan-k16"); sr.Samples != 1000 {
+		t.Fatalf("sample cap not applied: %+v", sr)
+	}
+	prev, _ := e.Lookup("elkan-k16")
+	e.Observe("elkan-k16", 1.0, 100)
+	if sr, _ := e.Lookup("elkan-k16"); sr.Rate <= prev.Rate {
+		t.Fatalf("capped EWMA stopped adapting: %v -> %v", prev.Rate, sr.Rate)
+	}
+	// An unobserved regime reports absent, including on a nil receiver.
+	if _, ok := e.Lookup("hamerly-k64"); ok {
+		t.Fatal("unobserved regime reported present")
+	}
+	var nilE *SkipEWMA
+	if _, ok := nilE.Lookup("elkan-k16"); ok {
+		t.Fatal("nil EWMA reported a regime")
+	}
+}
+
+func TestSkipEWMASaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := SkipEWMAFile(dir)
+	if filepath.Dir(path) != dir || !strings.HasSuffix(path, "hpa-skip-ewma.json") {
+		t.Fatalf("SkipEWMAFile(%q) = %q", dir, path)
+	}
+	if _, err := LoadSkipEWMA(path); err == nil {
+		t.Fatal("loading a missing file did not error")
+	}
+	var want SkipEWMA
+	want.Observe("elkan-k16", 0.85, 12_000)
+	want.Observe("hamerly-k8", 0.4, 900)
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSkipEWMA(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Regimes) != 2 || got.Regimes["elkan-k16"] != want.Regimes["elkan-k16"] ||
+		got.Regimes["hamerly-k8"] != want.Regimes["hamerly-k8"] {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	// Corrupt and out-of-range files are rejected whole.
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSkipEWMA(path); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"regimes":{"elkan-k16":{"rate":1.5,"samples":3}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSkipEWMA(path); err == nil {
+		t.Fatal("out-of-range rate loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"regimes":{"elkan-k16":{"rate":0.5,"samples":-1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSkipEWMA(path); err == nil {
+		t.Fatal("negative samples loaded")
+	}
+}
+
+func TestSkipFrom(t *testing.T) {
+	dir := t.TempDir()
+	// The escape hatch and the missing file both price calibrated.
+	if e := SkipFrom(""); e != nil {
+		t.Fatalf("SkipFrom(\"\") = %+v, want nil", e)
+	}
+	if e := SkipFrom(dir); e != nil {
+		t.Fatalf("SkipFrom on empty dir = %+v, want nil", e)
+	}
+	// An empty (regime-free) file is treated as no data.
+	if err := (SkipEWMA{}).Save(SkipEWMAFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if e := SkipFrom(dir); e != nil {
+		t.Fatalf("SkipFrom on regime-free file = %+v, want nil", e)
+	}
+	var w SkipEWMA
+	w.Observe("elkan-k16", 0.9, 100)
+	if err := w.Save(SkipEWMAFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	e := SkipFrom(dir)
+	if e == nil {
+		t.Fatal("SkipFrom missed a persisted regime")
+	}
+	if sr, ok := e.Lookup("elkan-k16"); !ok || sr.Rate != 0.9 {
+		t.Fatalf("loaded EWMA: %+v", e)
+	}
+}
+
+// TestMeasuredSkipPricing: the measured-skip feedback loop. The calibrated
+// rates favor Hamerly, so PruneAuto re-decides away from the k-threshold's
+// Elkan pick; a persisted skip EWMA where Elkan skips nearly everything and
+// Hamerly barely skips must flip that decision back — and the annotation
+// must say which skip source priced it.
+func TestMeasuredSkipPricing(t *testing.T) {
+	m := testModel()
+	m.KMeansAssignNS = 2
+	m.KMeansAssignPrunedNS = 0.9
+	m.KMeansAssignElkanNS = 1.0
+	m.KMeansPrunedSkipRate = 0.6
+	m.KMeansElkanSkipRate = 0.55
+	opts := kmeans.Options{K: 16, Prune: kmeans.PruneAuto}
+
+	// Calibrated pricing: hamerly (0.9) beats elkan (1.0), so auto
+	// re-decides away from the k>=16 Elkan default.
+	r := &rule{st: testStats(), m: m, opts: Options{Procs: 4}}
+	v, pin, note := r.kmPruneResolved(opts)
+	if v != kmeans.VariantHamerly || pin != kmeans.PruneOn {
+		t.Fatalf("calibrated resolution: variant=%v pin=%v (%s)", v, pin, note)
+	}
+	if !strings.Contains(note, "skip=calibrated") {
+		t.Errorf("calibrated note lacks skip source: %q", note)
+	}
+
+	// Measured pricing: elkan skips 95%, hamerly only 20%. Effective rates
+	// decompose the calibrated ones — overhead 0.9−2·0.4 = 0.1 (hamerly)
+	// and 1.0−2·0.45 = 0.1 (elkan) — so hamerly prices at 2·0.8+0.1 = 1.7
+	// and elkan at 2·0.05+0.1 = 0.2, flipping the auto decision back.
+	var skip SkipEWMA
+	skip.Observe(SkipRegime("elkan", 16), 0.95, 1000)
+	skip.Observe(SkipRegime("hamerly", 16), 0.2, 1000)
+	r = &rule{st: testStats(), m: m, opts: Options{Procs: 4, Skip: &skip}}
+
+	if eff, src := r.kmEffectiveRate(kmeans.VariantHamerly, 16); math.Abs(eff-1.7) > 1e-9 || src != "measured" {
+		t.Errorf("hamerly effective rate = %v (%s), want 1.7 (measured)", eff, src)
+	}
+	if eff, src := r.kmEffectiveRate(kmeans.VariantElkan, 16); math.Abs(eff-0.2) > 1e-9 || src != "measured" {
+		t.Errorf("elkan effective rate = %v (%s), want 0.2 (measured)", eff, src)
+	}
+	v, pin, note = r.kmPruneResolved(opts)
+	if v != kmeans.VariantElkan || pin != kmeans.PruneAuto {
+		t.Fatalf("measured resolution: variant=%v pin=%v (%s)", v, pin, note)
+	}
+	if !strings.Contains(note, "skip=measured") {
+		t.Errorf("measured note lacks skip source: %q", note)
+	}
+
+	// A regime the EWMA has never seen keeps calibrated pricing.
+	if eff, src := r.kmEffectiveRate(kmeans.VariantElkan, 64); eff != 1.0 || src != "calibrated" {
+		t.Errorf("unobserved regime priced %v (%s), want 1.0 (calibrated)", eff, src)
+	}
+	// The unpruned variant has no skip source.
+	if eff, src := r.kmEffectiveRate(kmeans.VariantOff, 16); eff != 2 || src != "" {
+		t.Errorf("off variant priced %v (%q)", eff, src)
+	}
+	// Models without calibrated skip/bounded rates ignore the EWMA.
+	bare := testModel()
+	r = &rule{st: testStats(), m: bare, opts: Options{Procs: 4, Skip: &skip}}
+	if eff, src := r.kmEffectiveRate(kmeans.VariantElkan, 16); eff != bare.KMeansAssignNS || src != "calibrated" {
+		t.Errorf("unbounded model priced %v (%s)", eff, src)
+	}
+}

@@ -1,0 +1,61 @@
+package sparse
+
+import "testing"
+
+// TestVectorAllocBounds guards the pre-sizing of the two conversion paths
+// the inner loops lean on: FromDense counts nonzeros first and allocates
+// the exact backing arrays (two allocations, never append regrowth), and
+// Clone copies into exactly-sized arrays. Empty inputs allocate nothing.
+func TestVectorAllocBounds(t *testing.T) {
+	dense := make([]float64, 256)
+	for i := 0; i < len(dense); i += 3 {
+		dense[i] = float64(i + 1)
+	}
+	var sink Vector
+	if n := testing.AllocsPerRun(100, func() { sink = FromDense(dense) }); n > 2 {
+		t.Errorf("FromDense allocated %.0f times, want at most 2 (pre-sized Idx+Val)", n)
+	}
+	src := FromDense(dense)
+	if n := testing.AllocsPerRun(100, func() { sink = src.Clone() }); n > 2 {
+		t.Errorf("Clone allocated %.0f times, want at most 2 (exact-size Idx+Val)", n)
+	}
+	zeros := make([]float64, 256)
+	if n := testing.AllocsPerRun(100, func() { sink = FromDense(zeros) }); n != 0 {
+		t.Errorf("FromDense on all zeros allocated %.0f times, want 0", n)
+	}
+	var empty Vector
+	if n := testing.AllocsPerRun(100, func() { sink = empty.Clone() }); n != 0 {
+		t.Errorf("Clone of an empty vector allocated %.0f times, want 0", n)
+	}
+	_ = sink
+}
+
+// BenchmarkFromDense tracks the conversion cost and its allocation count —
+// the pre-sizing keeps it at two allocations regardless of density.
+func BenchmarkFromDense(b *testing.B) {
+	dense := make([]float64, 1024)
+	for i := 0; i < len(dense); i += 4 {
+		dense[i] = float64(i + 1)
+	}
+	b.ReportAllocs()
+	var sink Vector
+	for i := 0; i < b.N; i++ {
+		sink = FromDense(dense)
+	}
+	_ = sink
+}
+
+// BenchmarkVectorClone tracks the copy cost of Clone's exact-size arrays.
+func BenchmarkVectorClone(b *testing.B) {
+	dense := make([]float64, 1024)
+	for i := 0; i < len(dense); i += 4 {
+		dense[i] = float64(i + 1)
+	}
+	src := FromDense(dense)
+	b.ReportAllocs()
+	var sink Vector
+	for i := 0; i < b.N; i++ {
+		sink = src.Clone()
+	}
+	_ = sink
+}

@@ -1,0 +1,171 @@
+package sparse
+
+// This file implements the blocked distance kernel's centroid layout: a
+// transposed, block-major copy of the K-Means centroid matrix that lets one
+// sweep of a document's nonzeros serve a whole block of centroids.
+//
+// The scalar assignment kernel computes k dot products per document by
+// calling DotDense once per centroid — re-walking the document's Idx/Val
+// arrays k times and streaming k different dense centroid rows through the
+// cache. The blocked layout stores the same floats transposed in blocks of
+// B centroids ("lanes"): block bi holds, contiguously per component index,
+// the B values centroids[bi·B+0..bi·B+B-1][idx]. DotsInto then walks the
+// document's nonzeros once per block, accumulating B dot products in B
+// register-resident scalar accumulators — one pass over Idx/Val serves B
+// centroids, and each loaded cache line of the layout feeds all B lanes.
+//
+// Bit-identity: each lane's accumulator starts at 0 and adds the products
+// v.Val[i] * centroid[v.Idx[i]] in ascending i order, stopping at the same
+// idx >= dim guard — exactly the float sequence DotDense performs for that
+// centroid. Blocking only changes which centroid's accumulation advances
+// when, never the per-centroid order of operations, so every dot (and
+// every distance derived from it) is bitwise identical to the scalar
+// kernel's at any block size.
+type BlockLayout struct {
+	k, dim, b int
+	blocks    [][]float64
+}
+
+// NewBlockLayout allocates a layout for k centroids of the given dense
+// dimensionality, transposed in blocks of b lanes (1 <= b <= 8). The tail
+// block's unused lanes stay zero. Call Fill before the first DotsInto and
+// after every centroid update.
+func NewBlockLayout(k, dim, b int) *BlockLayout {
+	if k < 1 || dim < 0 || b < 1 || b > 8 {
+		panic("sparse: invalid block layout shape")
+	}
+	nb := (k + b - 1) / b
+	l := &BlockLayout{k: k, dim: dim, b: b, blocks: make([][]float64, nb)}
+	for i := range l.blocks {
+		l.blocks[i] = make([]float64, dim*b)
+	}
+	return l
+}
+
+// BlockSize returns the lane count B.
+func (l *BlockLayout) BlockSize() int { return l.b }
+
+// K returns the centroid count the layout was shaped for.
+func (l *BlockLayout) K() int { return l.k }
+
+// Padded returns k rounded up to a whole number of blocks — the minimum
+// scratch length DotsInto writes.
+func (l *BlockLayout) Padded() int { return len(l.blocks) * l.b }
+
+// Fill re-transposes the current centroids into the layout, reusing the
+// allocation. Rows shorter than dim are zero-extended (DotDense treats the
+// missing components as zero via its idx >= len guard; an explicit zero
+// lane contributes the same ±0 products, so the dots stay bit-identical).
+func (l *BlockLayout) Fill(centroids [][]float64) {
+	if len(centroids) != l.k {
+		panic("sparse: BlockLayout.Fill centroid count mismatch")
+	}
+	b := l.b
+	for bi, blk := range l.blocks {
+		for lane := 0; lane < b; lane++ {
+			j := bi*b + lane
+			if j >= l.k {
+				break // tail padding lanes are zero from allocation, never written
+			}
+			cent := centroids[j]
+			if len(cent) > l.dim {
+				cent = cent[:l.dim]
+			}
+			for idx, x := range cent {
+				blk[idx*b+lane] = x
+			}
+			for idx := len(cent); idx < l.dim; idx++ {
+				blk[idx*b+lane] = 0
+			}
+		}
+	}
+}
+
+// DotsInto computes dots[j] = DotDense(v, centroids[j]) for every j < K in
+// one sweep of v per block, bit-identical to the scalar calls (see the
+// type comment). dots must have length >= Padded(); entries past K-1 are
+// scratch. Allocates nothing.
+func (l *BlockLayout) DotsInto(v *Vector, dots []float64) {
+	switch l.b {
+	case 8:
+		l.dots8(v, dots)
+	case 4:
+		l.dots4(v, dots)
+	default:
+		l.dotsN(v, dots)
+	}
+}
+
+// dots8 is the 8-lane specialization: eight scalar accumulators the
+// compiler keeps in registers across the nonzero sweep.
+func (l *BlockLayout) dots8(v *Vector, dots []float64) {
+	dim := uint32(l.dim)
+	idxs, vals := v.Idx, v.Val
+	for bi, blk := range l.blocks {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for i, idx := range idxs {
+			if idx >= dim {
+				break
+			}
+			x := vals[i]
+			row := blk[int(idx)*8 : int(idx)*8+8]
+			s0 += x * row[0]
+			s1 += x * row[1]
+			s2 += x * row[2]
+			s3 += x * row[3]
+			s4 += x * row[4]
+			s5 += x * row[5]
+			s6 += x * row[6]
+			s7 += x * row[7]
+		}
+		d := dots[bi*8 : bi*8+8]
+		d[0], d[1], d[2], d[3] = s0, s1, s2, s3
+		d[4], d[5], d[6], d[7] = s4, s5, s6, s7
+	}
+}
+
+// dots4 is the 4-lane specialization.
+func (l *BlockLayout) dots4(v *Vector, dots []float64) {
+	dim := uint32(l.dim)
+	idxs, vals := v.Idx, v.Val
+	for bi, blk := range l.blocks {
+		var s0, s1, s2, s3 float64
+		for i, idx := range idxs {
+			if idx >= dim {
+				break
+			}
+			x := vals[i]
+			row := blk[int(idx)*4 : int(idx)*4+4]
+			s0 += x * row[0]
+			s1 += x * row[1]
+			s2 += x * row[2]
+			s3 += x * row[3]
+		}
+		d := dots[bi*4 : bi*4+4]
+		d[0], d[1], d[2], d[3] = s0, s1, s2, s3
+	}
+}
+
+// dotsN is the generic fallback for the remaining block sizes; the lane
+// accumulators live in the dots slice, added to in the same ascending
+// nonzero order, so results stay bit-identical to the specializations.
+func (l *BlockLayout) dotsN(v *Vector, dots []float64) {
+	b := l.b
+	dim := uint32(l.dim)
+	for bi, blk := range l.blocks {
+		d := dots[bi*b : bi*b+b]
+		for lane := range d {
+			d[lane] = 0
+		}
+		for i, idx := range v.Idx {
+			if idx >= dim {
+				break
+			}
+			x := v.Val[i]
+			row := blk[int(idx)*b : int(idx)*b+b]
+			for lane, c := range row {
+				d[lane] += x * c
+			}
+		}
+	}
+}

@@ -71,12 +71,19 @@ func (v *Vector) At(i uint32) float64 {
 	return 0
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, with both slices allocated at exactly NNZ
+// capacity.
 func (v *Vector) Clone() Vector {
-	return Vector{
-		Idx: append([]uint32(nil), v.Idx...),
-		Val: append([]float64(nil), v.Val...),
+	if len(v.Idx) == 0 {
+		return Vector{}
 	}
+	c := Vector{
+		Idx: make([]uint32, len(v.Idx)),
+		Val: make([]float64, len(v.Val)),
+	}
+	copy(c.Idx, v.Idx)
+	copy(c.Val, v.Val)
+	return c
 }
 
 // Reset empties the vector, retaining capacity for recycling.
@@ -269,9 +276,20 @@ func (v *Vector) ToDense(dim int) []float64 {
 	return out
 }
 
-// FromDense builds a sparse vector from a dense slice, dropping zeros.
+// FromDense builds a sparse vector from a dense slice, dropping zeros. The
+// nonzero count is known up front, so both slices are allocated once at
+// exactly NNZ length — no append growth.
 func FromDense(dense []float64) Vector {
-	var v Vector
+	nnz := 0
+	for _, x := range dense {
+		if x != 0 {
+			nnz++
+		}
+	}
+	if nnz == 0 {
+		return Vector{}
+	}
+	v := Vector{Idx: make([]uint32, 0, nnz), Val: make([]float64, 0, nnz)}
 	for i, x := range dense {
 		if x != 0 {
 			v.Idx = append(v.Idx, uint32(i))

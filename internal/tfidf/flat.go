@@ -26,10 +26,14 @@ import (
 //	norms f64 × nDocs
 //	names (u32 len + bytes) × nDocs
 //
-// The codec byte selects the idx block form: flatwire.CodecRaw ships raw
-// u32 × totalNNZ; flatwire.CodecDelta (what EncodeFlat emits) delta-codes
-// each vector's ascending indices as varints, restarting per document.
-// Decoders accept both.
+// The codec byte selects the block forms: flatwire.CodecRaw ships raw
+// u32 × totalNNZ indices and raw f64 values; flatwire.CodecDelta
+// delta-codes each vector's ascending indices as varints, restarting per
+// document, with raw values; flatwire.CodecXor (what EncodeFlat emits)
+// keeps the delta-coded indices and additionally XOR-compresses the f64
+// value and norm blocks (flatwire.AppendF64sXor) — the XOR chain restarts
+// per document, keeping documents independently decodable. Decoders
+// accept all three.
 
 // vectorShardMagic identifies a flat VectorShard buffer.
 const vectorShardMagic uint32 = 0x48505653 // "HPVS"
@@ -54,13 +58,14 @@ func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
 		names += flatwire.SizeString(name)
 	}
 	n := len(vs.Vectors)
-	// Capacity bound: a varint-coded index is at most 5 bytes.
-	size := 4 + 1 + 4*8 + 4 + 8 + 4*n + 5*total + 8*total + 8*n + names
+	// Capacity bound: a varint-coded index is at most 5 bytes, an
+	// XOR-coded value block at most 1 + 9 bytes per value.
+	size := 4 + 1 + 4*8 + 4 + 8 + 4*n + 5*total + n + 9*total + 1 + 9*n + names
 	if dst == nil {
 		dst = make([]byte, 0, size)
 	}
 	b := flatwire.AppendU32(dst, vectorShardMagic)
-	b = flatwire.AppendU8(b, flatwire.CodecDelta)
+	b = flatwire.AppendU8(b, flatwire.CodecXor)
 	b = flatwire.AppendU64(b, uint64(vs.Lo))
 	b = flatwire.AppendU64(b, uint64(vs.Hi))
 	b = flatwire.AppendU64(b, uint64(vs.Dim))
@@ -74,9 +79,9 @@ func (vs *VectorShard) EncodeFlat(dst []byte) []byte {
 		b = flatwire.AppendDeltaU32s(b, vs.Vectors[i].Idx)
 	}
 	for i := range vs.Vectors {
-		b = flatwire.AppendF64s(b, vs.Vectors[i].Val)
+		b = flatwire.AppendF64sXor(b, vs.Vectors[i].Val)
 	}
-	b = flatwire.AppendF64s(b, vs.Norms)
+	b = flatwire.AppendF64sXor(b, vs.Norms)
 	for _, name := range vs.DocNames {
 		b = flatwire.AppendString(b, name)
 	}
@@ -103,7 +108,7 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("tfidf: decode vector shard: %w", err)
 	}
-	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta {
+	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta && codec != flatwire.CodecXor {
 		return nil, fmt.Errorf("tfidf: decode vector shard: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
 	}
 	sum := 0
@@ -124,7 +129,30 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 			off += int(c)
 		}
 	}
-	r.F64sInto(val)
+	if r.Err() == nil {
+		// Every document's indices must be strictly ascending — the
+		// sparse.Vector invariant. The raw codec could otherwise smuggle in
+		// arbitrary orderings (the delta codec, duplicates) and break every
+		// kernel that binary-searches or merges the vectors.
+		off := 0
+		for i, c := range nnz {
+			for e := 1; e < int(c); e++ {
+				if idx[off+e] <= idx[off+e-1] {
+					return nil, fmt.Errorf("tfidf: decode vector shard: %w: document %d indices not strictly ascending", flatwire.ErrMalformed, i)
+				}
+			}
+			off += int(c)
+		}
+	}
+	if codec == flatwire.CodecXor {
+		off := 0
+		for _, c := range nnz {
+			r.F64sXorInto(val[off : off+int(c)])
+			off += int(c)
+		}
+	} else {
+		r.F64sInto(val)
+	}
 	vs.Vectors = make([]sparse.Vector, n)
 	off := 0
 	for i, c := range nnz {
@@ -134,7 +162,11 @@ func DecodeFlatVectorShard(b []byte) (*VectorShard, error) {
 		}
 		off += int(c)
 	}
-	vs.Norms = r.F64s(n)
+	if codec == flatwire.CodecXor {
+		vs.Norms = r.F64sXor(n)
+	} else {
+		vs.Norms = r.F64s(n)
+	}
 	vs.DocNames = make([]string, n)
 	for i := range vs.DocNames {
 		vs.DocNames[i] = r.String()
@@ -274,14 +306,23 @@ func DecodeFlatWireShardCounts(b []byte) (*WireShardCounts, error) {
 // Layout (little-endian):
 //
 //	magic u32 | codec u8 | numDocs u64 | nTerms u32
-//	df    u32 × nTerms
+//	df    u32 × nTerms  (CodecRaw) | uvarint × nTerms (CodecXor)
 //	terms (u32 len + bytes) × nTerms
+//
+// The codec byte selects the DF block form: flatwire.CodecRaw ships raw
+// u32s; flatwire.CodecXor (what EncodeFlat emits) varint-codes them —
+// document frequencies follow a Zipfian tail of small counts, so most
+// entries shrink from four bytes to one. (There are no sorted index
+// arrays here, so version 2 was never emitted for this payload; the
+// decoder accepts it as raw for uniformity.)
 func (w *WireGlobal) EncodeFlat(dst []byte) []byte {
 	b := flatwire.AppendU32(dst, wireGlobalMagic)
-	b = flatwire.AppendU8(b, flatwire.CodecRaw)
+	b = flatwire.AppendU8(b, flatwire.CodecXor)
 	b = flatwire.AppendU64(b, uint64(w.NumDocs))
 	b = flatwire.AppendU32(b, uint32(len(w.Terms)))
-	b = flatwire.AppendU32s(b, w.DF)
+	for _, df := range w.DF {
+		b = flatwire.AppendUvarint(b, uint64(df))
+	}
 	for _, term := range w.Terms {
 		b = flatwire.AppendString(b, term)
 	}
@@ -299,11 +340,21 @@ func DecodeFlatWireGlobal(b []byte) (*WireGlobal, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("tfidf: decode global table: %w", err)
 	}
-	if codec != flatwire.CodecRaw {
+	if codec != flatwire.CodecRaw && codec != flatwire.CodecDelta && codec != flatwire.CodecXor {
 		return nil, fmt.Errorf("tfidf: decode global table: %w: unknown codec version %d", flatwire.ErrMalformed, codec)
 	}
 	w.DF = make([]uint32, n)
-	r.U32sInto(w.DF)
+	if codec == flatwire.CodecXor {
+		for i := range w.DF {
+			v := r.Uvarint()
+			if v > 0xffffffff {
+				return nil, fmt.Errorf("tfidf: decode global table: %w: DF %d overflows uint32", flatwire.ErrMalformed, v)
+			}
+			w.DF[i] = uint32(v)
+		}
+	} else {
+		r.U32sInto(w.DF)
+	}
 	w.Terms = make([]string, n)
 	for i := range w.Terms {
 		w.Terms[i] = r.String()

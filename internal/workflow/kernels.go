@@ -337,6 +337,11 @@ type KMShardInit struct {
 	// coordinator's variant: the two variants skip different documents, and
 	// a skip changes which float operations run.
 	Elkan bool
+	// Block is the coordinator's resolved blocked-kernel lane width
+	// (kmeans.Clusterer.BlockWidth; 0 = scalar). Unlike Prune/Elkan this
+	// never affects results — any width is bit-identical — it only keeps
+	// the kernel shape consistent across backends.
+	Block int
 }
 
 // KMAssignTaskArgs are the kmeans.assign kernel arguments — one shard's
@@ -380,6 +385,7 @@ type kmSession struct {
 	acc     *kmeans.Accum
 	dists   []float64
 	bp      *kmeans.BoundsPass
+	layout  *sparse.BlockLayout // blocked-kernel transpose, refilled per call
 	lastUse time.Time
 }
 
@@ -424,6 +430,9 @@ func kmSessionFor(id string, init *KMShardInit) (*kmSession, error) {
 				s.bp.EnableElkan(init.K)
 			}
 		}
+		if init.Block > 0 {
+			s.layout = sparse.NewBlockLayout(init.K, init.Dim, init.Block)
+		}
 		kmSessions.m[id] = s
 	}
 	s.lastUse = now
@@ -454,7 +463,12 @@ func runKMAssignKernel(a *KMAssignTaskArgs) (*KMAssignReply, error) {
 		s.bp.SetDrift(a.Drift)
 	}
 	s.acc.Reset()
-	kmeans.AssignRange(0, n, s.k, s.docs, s.norms, a.Centroids, a.CNorms, a.Assign, s.dists, s.bp, s.acc)
+	if s.layout != nil {
+		// Re-transpose this iteration's shipped centroids; block width never
+		// changes results, so the layout is purely a work-shape choice.
+		s.layout.Fill(a.Centroids)
+	}
+	kmeans.AssignRange(0, n, s.k, s.docs, s.norms, a.Centroids, a.CNorms, s.layout, a.Assign, s.dists, s.bp, s.acc)
 	return &KMAssignReply{Accum: s.acc.Wire(), Assign: a.Assign, Dists: s.dists}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hpa/internal/flatwire"
 	"hpa/internal/obs"
 )
 
@@ -311,6 +312,15 @@ func (b *RPCBackend) RunTask(ctx *Context, t *Task) (Value, error) {
 		if span != nil {
 			span.Worker = b.labels[i]
 			span.Codec = rt.Codec
+			// Attribute the XOR value-block traffic this call decodes (and,
+			// over a pipe worker, encodes) to the span as deltas of the
+			// process-wide counters.
+			vRaw0, vCoded0 := flatwire.ValueBytes()
+			defer func() {
+				raw, coded := flatwire.ValueBytes()
+				span.ValueRawBytes += raw - vRaw0
+				span.ValueCodedBytes += coded - vCoded0
+			}()
 			if pinned {
 				tracer.Emit("wire", "affinity-hit", rt.Affinity, int64(i))
 			}

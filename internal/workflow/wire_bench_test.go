@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hpa/internal/flatwire"
 	"hpa/internal/kmeans"
 	"hpa/internal/sparse"
 	"hpa/internal/tfidf"
@@ -62,17 +63,52 @@ func benchAccumWire() *kmeans.AccumWire {
 	return w
 }
 
+// benchVectorShardQuantized is benchVectorShard with quantized values:
+// runs of repeated products, the shape real TF/IDF vectors take when many
+// terms in a document share a term frequency. Equal neighbors XOR to zero,
+// so this is the corpus where the codec-3 value blocks earn their keep —
+// benchVectorShard's dense rationals are the near-incompressible floor.
+func benchVectorShardQuantized() *tfidf.VectorShard {
+	vs := benchVectorShard()
+	for i := range vs.Vectors {
+		val := vs.Vectors[i].Val
+		norm := 0.0
+		for e := range val {
+			val[e] = float64(1+e/16) / 4
+			norm += val[e] * val[e]
+		}
+		vs.Norms[i] = norm
+	}
+	return vs
+}
+
 // BenchmarkWirePayloads compares the gob and flat codecs on the two hot
 // worker→coordinator payloads — one encode+decode round trip per op, with
 // the encoded size reported — quantifying what flattening the wire saves
-// in bytes, time and allocations. Run with
+// in bytes, time and allocations. The flat cases additionally report
+// val%: the XOR-coded f64 value blocks' size as a percentage of their
+// fixed-width form (flatwire.ValueBytes), on both the adversarial
+// dense-rational corpus and the quantized repeated-value corpus. Run with
 //
 //	go test ./internal/workflow -run '^$' -bench WirePayloads -benchtime 100x
 //
 // (results folded into BENCH_pruned.json).
 func BenchmarkWirePayloads(b *testing.B) {
 	vs := benchVectorShard()
+	qs := benchVectorShardQuantized()
 	aw := benchAccumWire()
+
+	// valuePct measures one encode's value-block compression via the
+	// process-wide flatwire counters (encode-side delta only).
+	valuePct := func(encode func() []byte) float64 {
+		raw0, coded0 := flatwire.ValueBytes()
+		encode()
+		raw1, coded1 := flatwire.ValueBytes()
+		if raw1 == raw0 {
+			return 100
+		}
+		return 100 * float64(coded1-coded0) / float64(raw1-raw0)
+	}
 
 	b.Run("vectorshard/gob", func(b *testing.B) {
 		b.ReportAllocs()
@@ -101,6 +137,36 @@ func BenchmarkWirePayloads(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(size), "wire-bytes")
+		b.ReportMetric(valuePct(func() []byte { return vs.EncodeFlat(nil) }), "val%")
+	})
+	b.Run("vectorshard-quantized/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(qs); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+			var out tfidf.VectorShard
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+	})
+	b.Run("vectorshard-quantized/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			buf := qs.EncodeFlat(nil)
+			size = len(buf)
+			if _, err := tfidf.DecodeFlatVectorShard(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(size), "wire-bytes")
+		b.ReportMetric(valuePct(func() []byte { return qs.EncodeFlat(nil) }), "val%")
 	})
 	b.Run("accum/gob", func(b *testing.B) {
 		b.ReportAllocs()
@@ -129,5 +195,6 @@ func BenchmarkWirePayloads(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(size), "wire-bytes")
+		b.ReportMetric(valuePct(func() []byte { return aw.EncodeFlat(nil) }), "val%")
 	})
 }
